@@ -1,0 +1,86 @@
+// Command diemap renders one manufactured die: an ASCII heat map of the
+// systematic Vth variation and the resulting per-core frequency and
+// static-power characterisation (what the chip manufacturer would ship as
+// profile data, paper Table 3).
+//
+// Usage:
+//
+//	diemap [-die 3] [-sigma 0.12] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vasched/internal/chip"
+	"vasched/internal/delay"
+	"vasched/internal/floorplan"
+	"vasched/internal/power"
+	"vasched/internal/thermal"
+	"vasched/internal/varmodel"
+)
+
+func main() {
+	var (
+		die   = flag.Int("die", 0, "die index within the batch")
+		sigma = flag.Float64("sigma", 0.12, "Vth sigma/mu")
+		seed  = flag.Int64("seed", 1, "batch seed")
+	)
+	flag.Parse()
+
+	if err := run(*die, *sigma, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "diemap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(die int, sigma float64, seed int64) error {
+	cfg := varmodel.DefaultConfig()
+	cfg.VthSigmaOverMu = sigma
+	gen, err := varmodel.NewGenerator(cfg)
+	if err != nil {
+		return err
+	}
+	maps, err := gen.Die(seed, die)
+	if err != nil {
+		return err
+	}
+	fp := floorplan.New20CoreCMP()
+	c, err := chip.Build(maps, fp, delay.DefaultConfig(), power.DefaultModel(cfg.Tech), thermal.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("die %d (batch seed %d, sigma/mu %.2f)\n\n", die, seed, sigma)
+	fmt.Println("systematic Vth map (. low / # high => fast&leaky .. slow&frugal):")
+	const cells = 40
+	ramp := []byte(" .:-=+*%#")
+	_, sysSigma, _ := cfg.SigmaVth()
+	for r := 0; r < cells; r++ {
+		for col := 0; col < cells; col++ {
+			v := maps.VthSys.AtPoint((float64(col)+0.5)/cells, (float64(r)+0.5)/cells)
+			// Map +-2.5 sigma onto the ramp.
+			t := (v/sysSigma + 2.5) / 5
+			if t < 0 {
+				t = 0
+			}
+			if t > 0.999 {
+				t = 0.999
+			}
+			fmt.Printf("%c", ramp[int(t*float64(len(ramp)))])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nper-core characterisation (rated at worst-case temperature):")
+	fmt.Printf("%-6s %10s %14s %20s\n", "core", "Fmax(GHz)", "static@1V (W)", "min feasible level")
+	for core := 0; core < c.NumCores(); core++ {
+		fmt.Printf("C%-5d %10.2f %14.2f %17.2fV\n",
+			core+1,
+			c.FmaxNominal(core)/1e9,
+			c.StaticAtLevel[core][len(c.Levels)-1],
+			c.Levels[c.MinLevelIndex(core)])
+	}
+	return nil
+}

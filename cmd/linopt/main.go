@@ -1,0 +1,99 @@
+// Command linopt demonstrates the power managers head to head on one
+// frozen scheduling instant: it builds a die, places a workload with
+// VarF&AppIPC, and prints the (V, f) assignment, modelled throughput, and
+// solve time of Foxton*, LinOpt, and SAnn side by side for a given power
+// budget.
+//
+// Usage:
+//
+//	linopt [-threads 20] [-budget 75] [-die 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vasched/internal/chip"
+	"vasched/internal/core"
+	"vasched/internal/cpusim"
+	"vasched/internal/delay"
+	"vasched/internal/floorplan"
+	"vasched/internal/pm"
+	"vasched/internal/power"
+	"vasched/internal/stats"
+	"vasched/internal/thermal"
+	"vasched/internal/varmodel"
+	"vasched/internal/workload"
+)
+
+func main() {
+	var (
+		threads = flag.Int("threads", 20, "number of threads (<= 20)")
+		budget  = flag.Float64("budget", 75, "chip power target in watts")
+		die     = flag.Int("die", 0, "die index")
+	)
+	flag.Parse()
+	if err := run(*threads, *budget, *die); err != nil {
+		fmt.Fprintln(os.Stderr, "linopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(threads int, budgetW float64, die int) error {
+	cfg := varmodel.DefaultConfig()
+	gen, err := varmodel.NewGenerator(cfg)
+	if err != nil {
+		return err
+	}
+	maps, err := gen.Die(1, die)
+	if err != nil {
+		return err
+	}
+	fp := floorplan.New20CoreCMP()
+	c, err := chip.Build(maps, fp, delay.DefaultConfig(), power.DefaultModel(cfg.Tech), thermal.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	cpu, err := cpusim.New(cpusim.DefaultCoreConfig(), workload.SPEC())
+	if err != nil {
+		return err
+	}
+	apps := workload.Mix(stats.NewRNG(3), threads)
+	plat, err := core.FrozenSnapshot(c, cpu, apps, 7)
+	if err != nil {
+		return err
+	}
+	b := pm.Budget{PTargetW: budgetW, PCoreMaxW: 2 * budgetW / float64(threads)}
+	fmt.Printf("%d threads, Ptarget %.0f W, Pcoremax %.1f W, uncore %.1f W\n\n",
+		threads, b.PTargetW, b.PCoreMaxW, plat.UncorePowerW())
+
+	if sens, err := pm.BudgetSensitivity(plat, b, pm.ObjMIPS); err == nil {
+		fmt.Printf("budget shadow price: one extra watt buys ~%.0f MIPS at this point\n\n", sens)
+	}
+
+	managers := []pm.Manager{pm.NewFoxton(), pm.NewLinOpt(), pm.SAnn{MaxEvals: 50000}}
+	for _, m := range managers {
+		start := time.Now()
+		levels, err := m.Decide(plat, b, stats.NewRNG(9))
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		var tp, pw float64
+		pw = plat.UncorePowerW()
+		for cix, l := range levels {
+			tp += plat.IPC(cix) * plat.FreqAt(cix, l) / 1e6
+			pw += plat.PowerAt(cix, l)
+		}
+		fmt.Printf("%-10s  TP=%8.0f MIPS  P=%6.1f W  solve=%-12v\n", m.Name(), tp, pw, elapsed.Round(time.Microsecond))
+		fmt.Print("  V per core:")
+		for cix, l := range levels {
+			fmt.Printf(" %.2f", plat.VoltageAt(l))
+			_ = cix
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Command vasched reproduces the evaluation of "Variation-Aware
+// Application Scheduling and Power Management for Chip Multiprocessors"
+// (ISCA 2008) and runs custom scenarios on the same simulator.
+//
+// Usage:
+//
+//	vasched -list
+//	vasched -experiment fig11 [-scale quick|default] [-json]
+//	vasched -experiment all -scale quick
+//	vasched -run -sched "VarF&AppIPC" -manager LinOpt -threads 16 -budget 60
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vasched"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		expID   = flag.String("experiment", "", "experiment id to run, or 'all'")
+		scale   = flag.String("scale", "default", "experiment scale: quick or default")
+		asJSON  = flag.Bool("json", false, "emit experiment results as JSON instead of text")
+		run     = flag.Bool("run", false, "run a custom scenario instead of a paper experiment")
+		schedF  = flag.String("sched", vasched.SchedVarFAppIPC, "scheduling policy for -run")
+		manager = flag.String("manager", vasched.ManagerLinOpt, "power manager for -run (DVFS mode)")
+		mode    = flag.String("mode", vasched.ModeDVFS, "CMP configuration for -run")
+		threads = flag.Int("threads", 8, "thread count for -run (apps drawn from the SPEC pool)")
+		budget  = flag.Float64("budget", 60, "chip power target in watts for -run")
+		dur     = flag.Float64("duration", 200, "simulated milliseconds for -run")
+		die     = flag.Int("die", 0, "die index for -run")
+		sigma   = flag.Float64("sigma", 0.12, "Vth sigma/mu for -run")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("experiments (DESIGN.md section 3 maps ids to paper artefacts):")
+		for _, id := range vasched.ExperimentIDs() {
+			fmt.Println("  " + id)
+		}
+	case *run:
+		if err := runScenario(*schedF, *manager, *mode, *threads, *budget, *dur, *die, *sigma); err != nil {
+			fmt.Fprintln(os.Stderr, "vasched:", err)
+			os.Exit(1)
+		}
+	case *expID != "":
+		if err := runExperiments(*expID, *scale, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "vasched:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runExperiments(expID, scale string, asJSON bool) error {
+	ids := []string{expID}
+	if expID == "all" {
+		ids = vasched.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if asJSON {
+			res, err := vasched.RunExperimentResult(id, vasched.Scale(scale))
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			blob, err := json.MarshalIndent(map[string]any{"id": id, "result": res}, "", "  ")
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Println(string(blob))
+			continue
+		}
+		out, err := vasched.RunExperiment(id, vasched.Scale(scale))
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("==== %s (%v) ====\n%s\n", id, time.Since(start).Round(time.Millisecond), strings.TrimRight(out, "\n"))
+	}
+	return nil
+}
+
+func runScenario(schedName, manager, mode string, threads int, budget, durMS float64, die int, sigma float64) error {
+	opt := vasched.DefaultOptions()
+	opt.DieIndex = die
+	opt.VthSigmaOverMu = sigma
+	plat, err := vasched.NewPlatform(opt)
+	if err != nil {
+		return err
+	}
+	cfg := vasched.SystemConfig{Scheduler: schedName, Mode: mode, CaptureTrace: true}
+	if mode == vasched.ModeDVFS {
+		cfg.Manager = manager
+		cfg.PTargetW = budget
+		cfg.PCoreMaxW = 2 * budget / float64(threads)
+	}
+	sys, err := plat.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	apps := vasched.SPECApps()
+	for len(apps) < threads {
+		apps = append(apps, apps[len(apps)%14])
+	}
+	apps = apps[:threads]
+
+	st, err := sys.Run(apps, durMS)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("die %d (sigma/mu %.2f), %d threads, %s", die, sigma, threads, mode)
+	if mode == vasched.ModeDVFS {
+		fmt.Printf(", %s @ %.0f W", manager, budget)
+	}
+	fmt.Printf(", scheduler %s, %.0f ms simulated\n\n", schedName, durMS)
+	fmt.Printf("throughput   %9.0f MIPS (weighted %.2f)\n", st.MIPS, st.WeightedThroughput)
+	fmt.Printf("power        %9.1f W (dyn %.1f + static %.1f)\n", st.AvgPowerW, st.DynPowerW, st.StaticPowerW)
+	if mode == vasched.ModeDVFS {
+		fmt.Printf("deviation    %9.2f %% from target\n", st.PowerDeviationPct)
+	}
+	fmt.Printf("frequency    %9.2f GHz mean\n", st.AvgFrequencyGHz)
+	fmt.Printf("hottest block %8.1f C, worst core aging %.2fx nominal\n", st.MaxTempC, st.WearoutMax)
+	if len(st.Trace) > 1 {
+		const width = 60
+		fmt.Printf("\npower  %s\n", vasched.Sparkline(st.Trace, func(p vasched.TracePoint) float64 { return p.PowerW }, width))
+		fmt.Printf("MIPS   %s\n", vasched.Sparkline(st.Trace, func(p vasched.TracePoint) float64 { return p.MIPS }, width))
+		fmt.Printf("temp   %s\n", vasched.Sparkline(st.Trace, func(p vasched.TracePoint) float64 { return p.MaxTempC }, width))
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// Package vasched is a from-scratch reproduction of "Variation-Aware
+// Application Scheduling and Power Management for Chip Multiprocessors"
+// (Teodorescu & Torrellas, ISCA 2008).
+//
+// Within-die process variation makes the cores of a CMP differ in maximum
+// frequency and leakage power. The paper (and this library) exploits that
+// heterogeneity twice: variation-aware schedulers place threads on the
+// cores that suit them (VarP, VarP&AppP, VarF, VarF&AppIPC), and
+// variation-aware power managers pick per-core (voltage, frequency) points
+// that maximise throughput under a chip-wide power budget — most notably
+// LinOpt, which linearises the problem and solves it with the Simplex
+// method in microseconds.
+//
+// The package is a façade over the full simulation stack in internal/:
+// VARIUS-style variation maps (Gaussian random fields via circulant-
+// embedding FFT sampling), alpha-power-law critical-path frequency models,
+// subthreshold/gate leakage with temperature feedback, a HotSpot-style
+// thermal RC network, an interval-analysis out-of-order core model
+// calibrated to the paper's Table 5 workloads, a set-associative cache
+// hierarchy, and the LP/annealing optimisers.
+//
+// # Quick start
+//
+//	plat, err := vasched.NewPlatform(vasched.DefaultOptions())
+//	if err != nil { ... }
+//	sys, err := plat.NewSystem(vasched.SystemConfig{
+//		Scheduler: "VarF&AppIPC",
+//		Mode:      "NUniFreq+DVFS",
+//		Manager:   "LinOpt",
+//		PTargetW:  75,
+//	})
+//	if err != nil { ... }
+//	stats, err := sys.Run([]string{"bzip2", "mcf", "vortex", "swim"}, 100)
+//
+// Every experiment from the paper's evaluation section is runnable via
+// RunExperiment (ids "table5", "fig4" ... "fig15", "sec74", "sann"), or
+// from the command line with cmd/vasched.
+package vasched

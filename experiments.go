@@ -1,0 +1,61 @@
+package vasched
+
+import (
+	"fmt"
+
+	"vasched/internal/experiments"
+)
+
+// Scale selects how much work RunExperiment does.
+type Scale string
+
+// Experiment scales.
+const (
+	// ScaleQuick uses small die batches and short timelines — seconds per
+	// experiment, suitable for smoke tests.
+	ScaleQuick Scale = "quick"
+	// ScaleDefault uses the paper's 200-die batches and longer timelines.
+	ScaleDefault Scale = "default"
+)
+
+// ExperimentIDs lists the runnable reproductions of the paper's tables and
+// figures ("table5", "fig4" ... "fig15", "sec74", "sann"); see DESIGN.md
+// section 3 for the mapping.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment executes one experiment and returns its rendered report.
+func RunExperiment(id string, scale Scale) (string, error) {
+	res, err := RunExperimentResult(id, scale)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}
+
+// ExperimentResult is a typed experiment outcome: it renders as the
+// paper's plot/table and marshals to JSON through its exported fields
+// (every experiment result is a plain struct).
+type ExperimentResult interface {
+	Render() string
+}
+
+// RunExperimentResult executes one experiment and returns its typed
+// result, for callers that want the numbers rather than the rendering.
+func RunExperimentResult(id string, scale Scale) (ExperimentResult, error) {
+	var (
+		env *experiments.Env
+		err error
+	)
+	switch scale {
+	case ScaleQuick:
+		env, err = experiments.QuickEnv()
+	case ScaleDefault, "":
+		env, err = experiments.DefaultEnv()
+	default:
+		return nil, fmt.Errorf("vasched: unknown scale %q", scale)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Run(id, env)
+}

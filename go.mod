@@ -1,0 +1,3 @@
+module vasched
+
+go 1.22

@@ -1,0 +1,210 @@
+package abb
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"vasched/internal/chip"
+	"vasched/internal/delay"
+	"vasched/internal/floorplan"
+	"vasched/internal/power"
+	"vasched/internal/thermal"
+	"vasched/internal/varmodel"
+)
+
+var (
+	once     sync.Once
+	baseChip *chip.Chip
+	buildErr error
+)
+
+func base(t *testing.T) *chip.Chip {
+	t.Helper()
+	once.Do(func() {
+		cfg := varmodel.DefaultConfig()
+		cfg.GridRows, cfg.GridCols = 128, 128
+		g, err := varmodel.NewGenerator(cfg)
+		if err != nil {
+			buildErr = err
+			return
+		}
+		maps, err := g.Die(1, 0)
+		if err != nil {
+			buildErr = err
+			return
+		}
+		baseChip, buildErr = chip.Build(maps, floorplan.New20CoreCMP(), delay.DefaultConfig(),
+			power.DefaultModel(cfg.Tech), thermal.DefaultConfig())
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return baseChip
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MaxForwardV: -1, MaxReverseV: 0.5, StepV: 0.1, VthPerBiasV: 0.1},
+		{MaxForwardV: 0.5, MaxReverseV: 0.5, StepV: 0, VthPerBiasV: 0.1},
+		{MaxForwardV: 0.5, MaxReverseV: 0.5, StepV: 0.1, VthPerBiasV: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooseBiasDirections(t *testing.T) {
+	c := base(t)
+	bias, err := ChooseBias(c, delay.DefaultConfig(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bias) != c.NumCores() {
+		t.Fatalf("bias for %d cores", len(bias))
+	}
+	// Slowest core must get forward bias, fastest must get reverse (or
+	// none), per the equalising policy.
+	slow, fast := 0, 0
+	for core := 1; core < c.NumCores(); core++ {
+		if c.FmaxNominal(core) < c.FmaxNominal(slow) {
+			slow = core
+		}
+		if c.FmaxNominal(core) > c.FmaxNominal(fast) {
+			fast = core
+		}
+	}
+	if bias[slow] <= 0 {
+		t.Fatalf("slowest core bias = %v, want forward", bias[slow])
+	}
+	if bias[fast] > 0 {
+		t.Fatalf("fastest core bias = %v, want reverse or zero", bias[fast])
+	}
+	cfg := DefaultConfig()
+	for core, b := range bias {
+		if b > cfg.MaxForwardV+1e-9 || b < -cfg.MaxReverseV-1e-9 {
+			t.Fatalf("core %d bias %v out of range", core, b)
+		}
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	c := base(t)
+	cfg := DefaultConfig()
+	if _, err := Apply(c.Maps, c.FP, make(Assignment, 3), cfg); err == nil {
+		t.Fatal("wrong-length assignment accepted")
+	}
+	over := make(Assignment, c.NumCores())
+	over[0] = cfg.MaxForwardV + 1
+	if _, err := Apply(c.Maps, c.FP, over, cfg); err == nil {
+		t.Fatal("out-of-range bias accepted")
+	}
+}
+
+func TestApplyDoesNotMutateOriginal(t *testing.T) {
+	c := base(t)
+	cfg := DefaultConfig()
+	bias := make(Assignment, c.NumCores())
+	for i := range bias {
+		bias[i] = 0.3
+	}
+	before := append([]float64(nil), c.Maps.VthSys.Data...)
+	if _, err := Apply(c.Maps, c.FP, bias, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if c.Maps.VthSys.Data[i] != before[i] {
+			t.Fatal("Apply mutated the original maps")
+		}
+	}
+}
+
+func TestForwardBiasSpeedsUpAndLeaksMore(t *testing.T) {
+	c := base(t)
+	cfg := DefaultConfig()
+	bias := make(Assignment, c.NumCores())
+	for i := range bias {
+		bias[i] = 0.5 // max forward everywhere
+	}
+	maps, err := Apply(c.Maps, c.FP, bias, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := chip.Build(maps, c.FP, delay.DefaultConfig(), c.Power, thermal.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := len(c.Levels) - 1
+	for core := 0; core < c.NumCores(); core++ {
+		if fast.FmaxNominal(core) <= c.FmaxNominal(core) {
+			t.Fatalf("core %d not faster under forward bias", core)
+		}
+		if fast.StaticAtLevel[core][top] <= c.StaticAtLevel[core][top] {
+			t.Fatalf("core %d not leakier under forward bias", core)
+		}
+	}
+}
+
+func TestRebuildCompressesFrequencySpread(t *testing.T) {
+	// The Humenay et al. result: ABB narrows the frequency spread at the
+	// cost of a wider power spread (or higher total leakage).
+	c := base(t)
+	biased, bias, err := Rebuild(c, delay.DefaultConfig(), c.Power, thermal.DefaultConfig(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bias) != c.NumCores() {
+		t.Fatal("missing bias assignment")
+	}
+	fBefore, _ := Spread(c)
+	fAfter, _ := Spread(biased)
+	if fAfter >= fBefore {
+		t.Fatalf("ABB did not compress frequency spread: %v -> %v", fBefore, fAfter)
+	}
+	// Spread compression should be substantial (>=30% of the excess).
+	if (fBefore-fAfter)/(fBefore-1) < 0.3 {
+		t.Fatalf("compression too weak: %v -> %v", fBefore, fAfter)
+	}
+}
+
+func TestSpreadSane(t *testing.T) {
+	c := base(t)
+	f, l := Spread(c)
+	if f <= 1 || l <= 1 || math.IsInf(f, 0) || math.IsInf(l, 0) {
+		t.Fatalf("spread = %v, %v", f, l)
+	}
+}
+
+func TestBiasLevelsCoverRange(t *testing.T) {
+	cfg := DefaultConfig()
+	levels := cfg.biasLevels()
+	if levels[0] != -cfg.MaxReverseV {
+		t.Fatalf("first level %v", levels[0])
+	}
+	if last := levels[len(levels)-1]; math.Abs(last-cfg.MaxForwardV) > 1e-9 {
+		t.Fatalf("last level %v", last)
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] <= levels[i-1] {
+			t.Fatal("levels not ascending")
+		}
+	}
+}
+
+func TestZeroBiasIsIdentity(t *testing.T) {
+	c := base(t)
+	maps, err := Apply(c.Maps, c.FP, make(Assignment, c.NumCores()), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range maps.VthSys.Data {
+		if maps.VthSys.Data[i] != c.Maps.VthSys.Data[i] {
+			t.Fatal("zero bias changed the maps")
+		}
+	}
+}

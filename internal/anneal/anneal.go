@@ -1,0 +1,163 @@
+// Package anneal implements simulated annealing over integer-vector
+// states, matching the configuration the paper uses for its SAnn baseline
+// (Section 6.5): a Gaussian Markov proposal kernel whose scale is
+// proportional to the current annealing temperature, a logarithmic cooling
+// schedule, and a fixed budget of objective evaluations.
+package anneal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vasched/internal/stats"
+)
+
+// Config tunes the annealer.
+type Config struct {
+	// MaxEvals is the objective-evaluation budget. The paper used 1e6;
+	// the experiments here default to a smaller budget (see pm package)
+	// because SAnn is invoked thousands of times across the sweeps.
+	MaxEvals int
+	// InitialTemp sets the starting annealing temperature. The paper
+	// scales it with problem size; callers do the same.
+	InitialTemp float64
+	// Kernel scale is InitialTemp-proportional: at temperature T, each
+	// coordinate moves by a Gaussian step of KernelScale*T/InitialTemp
+	// positions (minimum 1).
+	KernelScale float64
+}
+
+// DefaultConfig returns a budget suitable for repeated on-line invocation.
+func DefaultConfig(numVars int) Config {
+	return Config{
+		MaxEvals:    20000,
+		InitialTemp: 1 + float64(numVars)/4, // more randomness for larger problems
+		KernelScale: 3,
+	}
+}
+
+// Problem is a bounded integer-vector minimisation... maximisation:
+// states are vectors x with 0 <= x[i] < Card[i]; Objective returns the
+// value to maximize, and Feasible filters states (infeasible states are
+// never accepted).
+type Problem struct {
+	// Card is the per-coordinate cardinality (number of discrete levels).
+	Card []int
+	// Objective returns the value to maximize for a feasible state.
+	Objective func(x []int) float64
+	// Feasible reports whether the state satisfies the hard constraints.
+	Feasible func(x []int) bool
+	// Init is the starting state; it must be feasible.
+	Init []int
+}
+
+// Result is the best state found.
+type Result struct {
+	X     []int
+	Value float64
+	Evals int
+}
+
+// Solve runs simulated annealing on p.
+func Solve(p *Problem, cfg Config, rng *stats.RNG) (*Result, error) {
+	n := len(p.Card)
+	if n == 0 {
+		return nil, errors.New("anneal: empty problem")
+	}
+	if len(p.Init) != n {
+		return nil, fmt.Errorf("anneal: init has %d coordinates, want %d", len(p.Init), n)
+	}
+	for i, c := range p.Card {
+		if c <= 0 {
+			return nil, fmt.Errorf("anneal: coordinate %d has cardinality %d", i, c)
+		}
+		if p.Init[i] < 0 || p.Init[i] >= c {
+			return nil, fmt.Errorf("anneal: init[%d]=%d outside [0,%d)", i, p.Init[i], c)
+		}
+	}
+	if !p.Feasible(p.Init) {
+		return nil, errors.New("anneal: initial state infeasible")
+	}
+	if cfg.MaxEvals <= 0 {
+		cfg.MaxEvals = 20000
+	}
+	if cfg.InitialTemp <= 0 {
+		cfg.InitialTemp = 1
+	}
+	if cfg.KernelScale <= 0 {
+		cfg.KernelScale = 3
+	}
+
+	cur := append([]int(nil), p.Init...)
+	curVal := p.Objective(cur)
+	best := append([]int(nil), cur...)
+	bestVal := curVal
+	evals := 1
+
+	cand := make([]int, n)
+	for evals < cfg.MaxEvals {
+		// Logarithmic cooling: T_k = T0 / ln(e + k).
+		temp := cfg.InitialTemp / math.Log(math.E+float64(evals))
+
+		// Gaussian Markov kernel scaled by the current temperature.
+		scale := cfg.KernelScale * temp / cfg.InitialTemp
+		if scale < 0.6 {
+			scale = 0.6
+		}
+		copy(cand, cur)
+		moved := false
+		for i := 0; i < n; i++ {
+			step := int(math.Round(rng.Norm() * scale))
+			if step == 0 {
+				continue
+			}
+			v := cand[i] + step
+			if v < 0 {
+				v = 0
+			}
+			if v >= p.Card[i] {
+				v = p.Card[i] - 1
+			}
+			if v != cand[i] {
+				cand[i] = v
+				moved = true
+			}
+		}
+		if !moved {
+			// Force a single-coordinate move so the chain cannot stall.
+			i := rng.Intn(n)
+			if cand[i]+1 < p.Card[i] && (cand[i] == 0 || rng.Float64() < 0.5) {
+				cand[i]++
+			} else if cand[i] > 0 {
+				cand[i]--
+			}
+		}
+		if !p.Feasible(cand) {
+			evals++
+			continue
+		}
+		v := p.Objective(cand)
+		evals++
+		if accept(v-curVal, temp, rng) {
+			copy(cur, cand)
+			curVal = v
+			if v > bestVal {
+				bestVal = v
+				copy(best, cur)
+			}
+		}
+	}
+	return &Result{X: best, Value: bestVal, Evals: evals}, nil
+}
+
+// accept implements the Metropolis criterion for maximisation.
+func accept(delta, temp float64, rng *stats.RNG) bool {
+	if delta >= 0 {
+		return true
+	}
+	if temp <= 0 {
+		return false
+	}
+	return rng.Float64() < math.Exp(delta/temp)
+}

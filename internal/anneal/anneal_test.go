@@ -1,0 +1,166 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"vasched/internal/stats"
+)
+
+// quadratic builds a separable concave objective with a known integer
+// optimum at target.
+func quadratic(target []int) func(x []int) float64 {
+	return func(x []int) float64 {
+		s := 0.0
+		for i := range x {
+			d := float64(x[i] - target[i])
+			s -= d * d
+		}
+		return s
+	}
+}
+
+func TestFindsUnconstrainedOptimum(t *testing.T) {
+	target := []int{3, 7, 1, 5}
+	p := &Problem{
+		Card:      []int{10, 10, 10, 10},
+		Objective: quadratic(target),
+		Feasible:  func([]int) bool { return true },
+		Init:      []int{0, 0, 0, 0},
+	}
+	r, err := Solve(p, DefaultConfig(4), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 0 {
+		t.Fatalf("best value = %v at %v, want exact optimum", r.Value, r.X)
+	}
+}
+
+func TestRespectsFeasibility(t *testing.T) {
+	// Optimum at x=9 but feasibility caps sum at 5: the annealer must
+	// return a feasible state.
+	p := &Problem{
+		Card:      []int{10, 10},
+		Objective: func(x []int) float64 { return float64(x[0] + x[1]) },
+		Feasible:  func(x []int) bool { return x[0]+x[1] <= 5 },
+		Init:      []int{0, 0},
+	}
+	r, err := Solve(p, DefaultConfig(2), stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.X[0]+r.X[1] > 5 {
+		t.Fatalf("infeasible result %v", r.X)
+	}
+	if r.Value != 5 {
+		t.Fatalf("value = %v, want 5", r.Value)
+	}
+}
+
+func TestBudgetHonoured(t *testing.T) {
+	calls := 0
+	p := &Problem{
+		Card: []int{100},
+		Objective: func(x []int) float64 {
+			calls++
+			return float64(x[0])
+		},
+		Feasible: func([]int) bool { return true },
+		Init:     []int{0},
+	}
+	cfg := DefaultConfig(1)
+	cfg.MaxEvals = 500
+	if _, err := Solve(p, cfg, stats.NewRNG(3)); err != nil {
+		t.Fatal(err)
+	}
+	if calls > 500 {
+		t.Fatalf("objective called %d times, budget 500", calls)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ok := func([]int) bool { return true }
+	obj := func([]int) float64 { return 0 }
+	cases := []*Problem{
+		{},
+		{Card: []int{5}, Objective: obj, Feasible: ok, Init: []int{}},
+		{Card: []int{0}, Objective: obj, Feasible: ok, Init: []int{0}},
+		{Card: []int{5}, Objective: obj, Feasible: ok, Init: []int{7}},
+		{Card: []int{5}, Objective: obj, Feasible: func([]int) bool { return false }, Init: []int{0}},
+	}
+	for i, p := range cases {
+		if _, err := Solve(p, DefaultConfig(1), stats.NewRNG(4)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	target := []int{2, 8, 4}
+	mk := func() *Problem {
+		return &Problem{
+			Card:      []int{10, 10, 10},
+			Objective: quadratic(target),
+			Feasible:  func([]int) bool { return true },
+			Init:      []int{5, 5, 5},
+		}
+	}
+	a, err := Solve(mk(), DefaultConfig(3), stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(mk(), DefaultConfig(3), stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Fatal("same seed produced different results")
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatal("same seed produced different states")
+		}
+	}
+}
+
+func TestNearOptimalOnRuggedObjective(t *testing.T) {
+	// Multi-modal objective: global optimum at 37 with a decoy at 80.
+	p := &Problem{
+		Card: []int{101},
+		Objective: func(x []int) float64 {
+			v := float64(x[0])
+			return 10*math.Exp(-(v-37)*(v-37)/50) + 8*math.Exp(-(v-80)*(v-80)/50)
+		},
+		Feasible: func([]int) bool { return true },
+		Init:     []int{0},
+	}
+	cfg := DefaultConfig(1)
+	cfg.MaxEvals = 30000
+	r, err := Solve(p, cfg, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value < 9.9 {
+		t.Fatalf("stuck at %v (x=%v); want near global optimum 10", r.Value, r.X)
+	}
+}
+
+func TestSingleCoordinateCardinalityOne(t *testing.T) {
+	// A frozen coordinate (cardinality 1) must not break the kernel.
+	p := &Problem{
+		Card:      []int{1, 5},
+		Objective: func(x []int) float64 { return float64(x[1]) },
+		Feasible:  func([]int) bool { return true },
+		Init:      []int{0, 0},
+	}
+	cfg := DefaultConfig(2)
+	cfg.MaxEvals = 2000
+	r, err := Solve(p, cfg, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.X[0] != 0 || r.Value != 4 {
+		t.Fatalf("result %v value %v", r.X, r.Value)
+	}
+}

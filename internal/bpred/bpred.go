@@ -1,0 +1,145 @@
+// Package bpred implements the branch prediction hardware of the paper's
+// Table 4 core: a 4K-entry branch target buffer paired with a gshare
+// direction predictor. The cycle-level pipeline model (package pipeline)
+// uses it to decide when fetch follows a taken branch and when a 7-cycle
+// misprediction flush occurs.
+package bpred
+
+import "fmt"
+
+// Config sizes the predictor.
+type Config struct {
+	// BTBEntries is the number of branch-target-buffer entries (4096 in
+	// Table 4). Must be a power of two.
+	BTBEntries int
+	// HistoryBits is the gshare global-history length; the pattern table
+	// has 2^HistoryBits 2-bit counters.
+	HistoryBits int
+}
+
+// DefaultConfig returns the Table 4 predictor.
+func DefaultConfig() Config {
+	return Config{BTBEntries: 4096, HistoryBits: 12}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BTBEntries <= 0 || c.BTBEntries&(c.BTBEntries-1) != 0 {
+		return fmt.Errorf("bpred: BTB entries %d not a positive power of two", c.BTBEntries)
+	}
+	if c.HistoryBits <= 0 || c.HistoryBits > 24 {
+		return fmt.Errorf("bpred: history bits %d outside (0,24]", c.HistoryBits)
+	}
+	return nil
+}
+
+type btbEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+}
+
+// Predictor is one core's branch predictor.
+type Predictor struct {
+	cfg      Config
+	btb      []btbEntry
+	pht      []uint8 // 2-bit saturating counters
+	history  uint64
+	histMask uint64
+	btbMask  uint64
+
+	// Stats.
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// New builds a predictor.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		btb:      make([]btbEntry, cfg.BTBEntries),
+		pht:      make([]uint8, 1<<cfg.HistoryBits),
+		histMask: (1 << cfg.HistoryBits) - 1,
+		btbMask:  uint64(cfg.BTBEntries - 1),
+	}
+	// Weakly taken initial state converges fastest on loopy codes.
+	for i := range p.pht {
+		p.pht[i] = 2
+	}
+	return p, nil
+}
+
+// Prediction is the fetch-stage outcome.
+type Prediction struct {
+	// Taken is the predicted direction.
+	Taken bool
+	// Target is the predicted target; valid only when Taken and BTBHit.
+	Target uint64
+	// BTBHit reports whether the BTB knew this branch. A taken prediction
+	// without a target still redirects fetch late (treated as a partial
+	// penalty by the pipeline).
+	BTBHit bool
+}
+
+// Predict returns the prediction for the branch at pc.
+func (p *Predictor) Predict(pc uint64) Prediction {
+	p.Lookups++
+	idx := (pc ^ (p.history & p.histMask)) & p.histMask
+	taken := p.pht[idx] >= 2
+	e := p.btb[(pc>>2)&p.btbMask]
+	hit := e.valid && e.tag == pc
+	out := Prediction{Taken: taken, BTBHit: hit}
+	if hit {
+		out.Target = e.target
+	}
+	return out
+}
+
+// Update trains the predictor with the branch's actual outcome and returns
+// whether the earlier prediction would have been a misprediction.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) bool {
+	idx := (pc ^ (p.history & p.histMask)) & p.histMask
+	predTaken := p.pht[idx] >= 2
+	e := &p.btb[(pc>>2)&p.btbMask]
+	btbHit := e.valid && e.tag == pc && e.target == target
+
+	// 2-bit saturating counter update.
+	if taken {
+		if p.pht[idx] < 3 {
+			p.pht[idx]++
+		}
+	} else if p.pht[idx] > 0 {
+		p.pht[idx]--
+	}
+	// BTB allocate/refresh on taken branches.
+	if taken {
+		e.tag = pc
+		e.target = target
+		e.valid = true
+	}
+	p.history = (p.history << 1) | boolBit(taken)
+
+	misp := predTaken != taken || (taken && !btbHit)
+	if misp {
+		p.Mispredicts++
+	}
+	return misp
+}
+
+// MispredictRate returns mispredictions per lookup.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

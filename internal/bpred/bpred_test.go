@@ -1,0 +1,141 @@
+package bpred
+
+import (
+	"testing"
+
+	"vasched/internal/stats"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{BTBEntries: 0, HistoryBits: 12},
+		{BTBEntries: 1000, HistoryBits: 12}, // not pow2
+		{BTBEntries: 4096, HistoryBits: 0},
+		{BTBEntries: 4096, HistoryBits: 30},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pc, target = 0x4000, 0x5000
+	// Train.
+	for i := 0; i < 8; i++ {
+		p.Update(pc, true, target)
+	}
+	pred := p.Predict(pc)
+	if !pred.Taken || !pred.BTBHit || pred.Target != target {
+		t.Fatalf("trained branch predicted %+v", pred)
+	}
+}
+
+func TestLearnsNeverTaken(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pc = 0x4000
+	for i := 0; i < 8; i++ {
+		p.Update(pc, false, 0)
+	}
+	if p.Predict(pc).Taken {
+		t.Fatal("not-taken branch predicted taken")
+	}
+}
+
+func TestLearnsAlternatingViaHistory(t *testing.T) {
+	// gshare should learn a strict T/N/T/N pattern almost perfectly after
+	// warmup, because the global history disambiguates the two phases.
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pc, target = 0x1234, 0x2000
+	misp := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		taken := i%2 == 0
+		if p.Update(pc, taken, target) && i > n/2 {
+			misp++
+		}
+	}
+	if rate := float64(misp) / (n / 2); rate > 0.05 {
+		t.Fatalf("alternating pattern mispredict rate %v after warmup", rate)
+	}
+}
+
+func TestRandomBranchesNearHalf(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	misp := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		taken := rng.Float64() < 0.5
+		if p.Update(0x8000, taken, 0x9000) {
+			misp++
+		}
+	}
+	rate := float64(misp) / n
+	if rate < 0.35 || rate > 0.65 {
+		t.Fatalf("random branch mispredict rate = %v, want ~0.5", rate)
+	}
+}
+
+func TestBiasedBranchLowMispredicts(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	misp := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		taken := rng.Float64() < 0.95 // strongly biased
+		if p.Update(0xA000, taken, 0xB000) {
+			misp++
+		}
+	}
+	rate := float64(misp) / n
+	if rate > 0.15 {
+		t.Fatalf("biased branch mispredict rate = %v, want < 0.15", rate)
+	}
+}
+
+func TestBTBMissOnColdTakenBranch(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A taken branch the BTB has never seen counts as a misprediction
+	// even if the direction guess happens to be right.
+	if !p.Update(0xC000, true, 0xD000) {
+		t.Fatal("cold taken branch should mispredict (no target)")
+	}
+}
+
+func TestStats(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MispredictRate() != 0 {
+		t.Fatal("empty predictor should report 0")
+	}
+	p.Predict(0x10)
+	if p.Lookups != 1 {
+		t.Fatalf("lookups = %d", p.Lookups)
+	}
+}

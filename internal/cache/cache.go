@@ -1,0 +1,232 @@
+// Package cache implements a set-associative cache hierarchy simulator:
+// write-back, write-allocate caches with true-LRU replacement, composable
+// into the paper's two-level hierarchy (per-core 16 KB L1s backed by a
+// shared 8 MB L2). The cpusim package drives it with the synthetic
+// reference streams from package workload to obtain miss rates; it can
+// also be used standalone.
+package cache
+
+import (
+	"fmt"
+
+	"vasched/internal/stats"
+	"vasched/internal/workload"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the block size.
+	LineBytes int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats accumulates access outcomes.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses per access, or 0 with no traffic.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lastUse is a per-set logical clock value for true LRU.
+	lastUse uint64
+}
+
+// Cache is one level. A nil next pointer means misses go to memory.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	offBits uint
+	idxBits uint
+	clock   uint64
+	next    *Cache
+
+	// Stats is exported state; callers may reset it between measurement
+	// windows.
+	Stats Stats
+}
+
+// New builds a cache level; next (may be nil) receives miss traffic.
+func New(cfg Config, next *Cache) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	nsets := lines / cfg.Ways
+	c := &Cache{cfg: cfg, next: next, setMask: uint64(nsets - 1)}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.offBits++
+	}
+	for s := nsets; s > 1; s >>= 1 {
+		c.idxBits++
+	}
+	c.sets = make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return c, nil
+}
+
+// Config returns the level's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access performs one reference and returns true on hit at this level.
+// Misses recurse into the next level (or memory) and allocate here;
+// dirty evictions count as writebacks and propagate to the next level.
+func (c *Cache) Access(addr uint64, kind workload.AccessKind) bool {
+	c.clock++
+	c.Stats.Accesses++
+	set := (addr >> c.offBits) & c.setMask
+	tag := addr >> (c.offBits + c.idxBits)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lastUse = c.clock
+			if kind == workload.Write {
+				ways[i].dirty = true
+			}
+			return true
+		}
+	}
+	// Miss: fetch from below, then allocate over the LRU way.
+	c.Stats.Misses++
+	if c.next != nil {
+		c.next.Access(addr, workload.Read)
+	}
+	victim := 0
+	for i := 1; i < len(ways); i++ {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	if ways[victim].valid && ways[victim].dirty {
+		c.Stats.Writebacks++
+		if c.next != nil {
+			// Reconstruct the victim's address for the writeback.
+			vaddr := (ways[victim].tag<<c.idxBits | set) << c.offBits
+			c.next.Access(vaddr, workload.Write)
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: kind == workload.Write, lastUse: c.clock}
+	return false
+}
+
+// ResetStats zeroes the counters (cache contents are retained, so warmup
+// state survives into the measurement window).
+func (c *Cache) ResetStats() { c.Stats = Stats{} }
+
+// Hierarchy is the paper's per-core view: a private L1D backed by a shared
+// L2. (The instruction stream is not simulated; SPEC L1I miss rates are
+// negligible next to data misses.)
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+}
+
+// DefaultHierarchy builds the paper's Table 4 data-side hierarchy: 16 KB
+// 2-way L1 and 8 MB 8-way shared L2, 64-byte lines.
+func DefaultHierarchy() (*Hierarchy, error) {
+	l2, err := New(Config{SizeBytes: 8 << 20, Ways: 8, LineBytes: 64}, nil)
+	if err != nil {
+		return nil, err
+	}
+	l1, err := New(Config{SizeBytes: 16 << 10, Ways: 2, LineBytes: 64}, l2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1: l1, L2: l2}, nil
+}
+
+// MeasureMPKI runs the profile's synthetic stream through a fresh default
+// hierarchy and returns (L1 MPKI, L2 MPKI) — misses per thousand
+// *instructions*, assuming the profile's MemAccessFrac of instructions
+// reference memory. warmup accesses prime the caches before the measured
+// window of n accesses.
+func MeasureMPKI(prof *workload.AppProfile, gen *workload.StreamGen, warmup, n int) (l1MPKI, l2MPKI float64, err error) {
+	h, err := DefaultHierarchy()
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < warmup; i++ {
+		a := gen.Next()
+		h.L1.Access(a.Addr, a.Kind)
+	}
+	h.L1.ResetStats()
+	h.L2.ResetStats()
+	for i := 0; i < n; i++ {
+		a := gen.Next()
+		h.L1.Access(a.Addr, a.Kind)
+	}
+	if prof.MemAccessFrac <= 0 {
+		return 0, 0, fmt.Errorf("cache: profile %s has no memory accesses", prof.Name)
+	}
+	instructions := float64(n) / prof.MemAccessFrac
+	l1MPKI = float64(h.L1.Stats.Misses) / instructions * 1000
+	l2MPKI = float64(h.L2.Stats.Misses) / instructions * 1000
+	return l1MPKI, l2MPKI, nil
+}
+
+// CalibrateProfile returns a copy of prof whose L1MPKI and L2MPKI are
+// replaced by miss rates measured on the default hierarchy with the
+// profile's own synthetic reference stream. Because the stream generator
+// derives its cold-reference rate from the profile's L2MPKI, measurement
+// and profile should agree closely — the consistency check that ties the
+// cache simulator to the interval model's inputs (see the cpusim tests).
+func CalibrateProfile(prof *workload.AppProfile, seed int64, warmup, n int) (*workload.AppProfile, error) {
+	gen := workload.NewStreamGen(prof, stats.NewRNG(seed))
+	l1, l2, err := MeasureMPKI(prof, gen, warmup, n)
+	if err != nil {
+		return nil, err
+	}
+	out := *prof
+	out.L1MPKI = l1
+	out.L2MPKI = l2
+	if out.L2MPKI > out.L1MPKI {
+		// An L2 miss implies an L1 miss; tiny sampling inversions are
+		// clamped so the profile stays valid.
+		out.L2MPKI = out.L1MPKI
+	}
+	return &out, nil
+}

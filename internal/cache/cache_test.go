@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vasched/internal/stats"
+	"vasched/internal/workload"
+)
+
+func mustCache(t *testing.T, cfg Config, next *Cache) *Cache {
+	t.Helper()
+	c, err := New(cfg, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 2, LineBytes: 64},
+		{SizeBytes: 1024, Ways: 0, LineBytes: 64},
+		{SizeBytes: 1024, Ways: 2, LineBytes: 60},       // non-pow2 line
+		{SizeBytes: 1000, Ways: 2, LineBytes: 64},       // size not multiple
+		{SizeBytes: 3 * 64 * 2, Ways: 2, LineBytes: 64}, // 3 sets: not pow2
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	good := Config{SizeBytes: 16 << 10, Ways: 2, LineBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 1024, Ways: 2, LineBytes: 64}, nil)
+	if c.Access(0x100, workload.Read) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x100, workload.Read) {
+		t.Fatal("second access missed")
+	}
+	// Same line, different offset also hits.
+	if !c.Access(0x13F, workload.Read) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Stats.Accesses != 3 || c.Stats.Misses != 1 {
+		t.Fatalf("stats: %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 2 ways, address stride of setCount*lineSize maps
+	// to the same set.
+	c := mustCache(t, Config{SizeBytes: 4 * 64, Ways: 2, LineBytes: 64}, nil)
+	// 2 sets; addresses 0, 128, 256 all map to set 0.
+	c.Access(0, workload.Read)
+	c.Access(128, workload.Read)
+	c.Access(0, workload.Read)   // touch 0: now 128 is LRU
+	c.Access(256, workload.Read) // evicts 128
+	if !c.Access(0, workload.Read) {
+		t.Fatal("recently used line was evicted")
+	}
+	if c.Access(128, workload.Read) {
+		t.Fatal("LRU line was not evicted")
+	}
+}
+
+func TestWritebackPropagation(t *testing.T) {
+	l2 := mustCache(t, Config{SizeBytes: 8 << 10, Ways: 4, LineBytes: 64}, nil)
+	l1 := mustCache(t, Config{SizeBytes: 2 * 64, Ways: 1, LineBytes: 64}, l2)
+	l1.Access(0, workload.Write)  // dirty line in set 0
+	l1.Access(128, workload.Read) // evicts dirty line -> writeback to L2
+	if l1.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", l1.Stats.Writebacks)
+	}
+	// The L2 saw the fill for 0, the fill for 128, and the writeback of 0.
+	if l2.Stats.Accesses != 3 {
+		t.Fatalf("L2 accesses = %d", l2.Stats.Accesses)
+	}
+	// Clean eviction must not write back.
+	l1.Access(0, workload.Read) // evicts clean 128
+	if l1.Stats.Writebacks != 1 {
+		t.Fatalf("clean eviction wrote back: %d", l1.Stats.Writebacks)
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 1024, Ways: 2, LineBytes: 64}, nil)
+	c.Access(0x40, workload.Read)
+	c.ResetStats()
+	if c.Stats.Accesses != 0 {
+		t.Fatal("stats not reset")
+	}
+	if !c.Access(0x40, workload.Read) {
+		t.Fatal("contents lost on stats reset")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatal("empty miss rate should be 0")
+	}
+	s = Stats{Accesses: 10, Misses: 3}
+	if s.MissRate() != 0.3 {
+		t.Fatalf("miss rate = %v", s.MissRate())
+	}
+}
+
+func TestDefaultHierarchyGeometry(t *testing.T) {
+	h, err := DefaultHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.L1.Config().SizeBytes != 16<<10 || h.L1.Config().Ways != 2 {
+		t.Fatalf("L1 geometry: %+v", h.L1.Config())
+	}
+	if h.L2.Config().SizeBytes != 8<<20 || h.L2.Config().Ways != 8 {
+		t.Fatalf("L2 geometry: %+v", h.L2.Config())
+	}
+}
+
+func TestSmallWorkingSetFitsInL2(t *testing.T) {
+	// A working set far below 8 MB must produce near-zero L2 misses after
+	// warmup.
+	prof := &workload.AppProfile{
+		Name: "fits", DynPowerW: 1, IPCNom: 1, MLP: 1, L1MPKI: 10, L2MPKI: 1,
+		MemAccessFrac: 0.3, WorkingSetKB: 512, StridedFrac: 0.5,
+	}
+	gen := workload.NewStreamGen(prof, stats.NewRNG(1))
+	_, l2MPKI, err := MeasureMPKI(prof, gen, 200000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2MPKI > 0.5 {
+		t.Fatalf("in-cache working set produced L2 MPKI %v", l2MPKI)
+	}
+}
+
+func TestLargeWorkingSetMissesInL2(t *testing.T) {
+	prof := &workload.AppProfile{
+		Name: "thrash", DynPowerW: 1, IPCNom: 1, MLP: 1, L1MPKI: 60, L2MPKI: 30,
+		MemAccessFrac: 0.4, WorkingSetKB: 96000, StridedFrac: 0.1,
+	}
+	gen := workload.NewStreamGen(prof, stats.NewRNG(2))
+	l1MPKI, l2MPKI, err := MeasureMPKI(prof, gen, 100000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2MPKI < 5 {
+		t.Fatalf("thrashing working set produced only L2 MPKI %v", l2MPKI)
+	}
+	if l1MPKI < l2MPKI {
+		t.Fatalf("L1 MPKI %v below L2 MPKI %v", l1MPKI, l2MPKI)
+	}
+}
+
+func TestProfileMPKIOrderingMatchesCacheSim(t *testing.T) {
+	// The calibrated profiles should rank the same way the cache
+	// simulator ranks them: mcf (huge, pointer-chasing) misses far more
+	// than crafty (small, cache-friendly).
+	measure := func(name string) float64 {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.NewStreamGen(prof, stats.NewRNG(3))
+		_, l2, err := MeasureMPKI(prof, gen, 150000, 150000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l2
+	}
+	mcf := measure("mcf")
+	crafty := measure("crafty")
+	if mcf <= crafty*3 {
+		t.Fatalf("cache sim does not separate mcf (%v) from crafty (%v)", mcf, crafty)
+	}
+}
+
+func BenchmarkL1Access(b *testing.B) {
+	h, err := DefaultHierarchy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := workload.ByName("bzip2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewStreamGen(prof, stats.NewRNG(4))
+	accs := gen.Fill(nil, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := accs[i&(1<<16-1)]
+		h.L1.Access(a.Addr, a.Kind)
+	}
+}
+
+func TestCalibrateProfileConsistency(t *testing.T) {
+	// The measured L2MPKI should land near the profile's own number for
+	// large-footprint apps (the stream's cold rate is derived from it).
+	for _, name := range []string{"mcf", "swim", "equake"} {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal, err := CalibrateProfile(prof, 1, 300000, 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The cold-reference rate alone reproduces the profile number;
+		// cold insertions additionally evict hot lines (capacity
+		// interference), so the measurement can run up to ~2x above the
+		// profile for high-reuse streams. Same order of magnitude is the
+		// consistency claim.
+		if cal.L2MPKI < prof.L2MPKI*0.5 || cal.L2MPKI > prof.L2MPKI*2.2 {
+			t.Errorf("%s: measured L2MPKI %v vs profile %v", name, cal.L2MPKI, prof.L2MPKI)
+		}
+		if cal.L1MPKI < cal.L2MPKI {
+			t.Errorf("%s: invalid calibrated profile (L1 %v < L2 %v)", name, cal.L1MPKI, cal.L2MPKI)
+		}
+		if err := cal.Validate(); err != nil {
+			t.Errorf("%s: calibrated profile invalid: %v", name, err)
+		}
+	}
+}
+
+func TestCalibrateProfileDoesNotMutate(t *testing.T) {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1Before, l2Before := prof.L1MPKI, prof.L2MPKI
+	if _, err := CalibrateProfile(prof, 1, 50000, 50000); err != nil {
+		t.Fatal(err)
+	}
+	if prof.L1MPKI != l1Before || prof.L2MPKI != l2Before {
+		t.Fatal("CalibrateProfile mutated its input")
+	}
+}
+
+// Property: any address accessed twice in a row hits the second time, for
+// arbitrary access sequences interleaved in between the pair within
+// associativity bounds (here: immediately consecutive, so always).
+func TestConsecutiveAccessHitsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		c, err := New(Config{SizeBytes: 4 << 10, Ways: 2, LineBytes: 64}, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			addr := uint64(rng.Int63()) % (1 << 20)
+			kind := workload.Read
+			if rng.Float64() < 0.3 {
+				kind = workload.Write
+			}
+			c.Access(addr, kind)
+			if !c.Access(addr, workload.Read) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: miss counts never exceed access counts, and writebacks never
+// exceed misses plus initial dirty lines (zero here).
+func TestStatsInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		l2, err := New(Config{SizeBytes: 16 << 10, Ways: 4, LineBytes: 64}, nil)
+		if err != nil {
+			return false
+		}
+		l1, err := New(Config{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64}, l2)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 2000; i++ {
+			kind := workload.Read
+			if rng.Float64() < 0.5 {
+				kind = workload.Write
+			}
+			l1.Access(uint64(rng.Int63())%(64<<10), kind)
+		}
+		for _, c := range []*Cache{l1, l2} {
+			if c.Stats.Misses > c.Stats.Accesses {
+				return false
+			}
+			if c.Stats.Writebacks > c.Stats.Misses {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

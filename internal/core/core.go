@@ -1,0 +1,435 @@
+// Package core is the runtime that ties the repository together: a System
+// owns one characterised chip, a scheduling policy, and (optionally) a
+// power manager, and executes the paper's Figure 2 timeline — the OS
+// re-schedules threads every OS interval, the power manager re-solves the
+// per-core (V, f) assignment every DVFS interval, and the chip model
+// integrates instructions, power, and temperature in between.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vasched/internal/chip"
+	"vasched/internal/cpusim"
+	"vasched/internal/metrics"
+	"vasched/internal/pm"
+	"vasched/internal/sched"
+	"vasched/internal/sensors"
+	"vasched/internal/stats"
+	"vasched/internal/wearout"
+	"vasched/internal/workload"
+)
+
+// Mode selects the CMP configuration of the paper's Table 2.
+type Mode int
+
+// The three evaluated configurations.
+const (
+	// ModeUniFreq: all cores cycle at the slowest core's frequency, no
+	// DVFS (Section 4.1).
+	ModeUniFreq Mode = iota
+	// ModeNUniFreq: each core at its own maximum frequency, no DVFS
+	// (Section 4.2).
+	ModeNUniFreq
+	// ModeDVFS: non-uniform frequency with per-core DVFS under a power
+	// budget (Section 4.3).
+	ModeDVFS
+)
+
+// String names the configuration as in Table 2.
+func (m Mode) String() string {
+	switch m {
+	case ModeUniFreq:
+		return "UniFreq"
+	case ModeNUniFreq:
+		return "NUniFreq"
+	case ModeDVFS:
+		return "NUniFreq+DVFS"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config assembles a System.
+type Config struct {
+	// Chip is the characterised die and CPU the calibrated core model.
+	Chip *chip.Chip
+	CPU  *cpusim.Model
+	// Scheduler places threads on cores.
+	Scheduler sched.Policy
+	// Mode selects the Table 2 configuration.
+	Mode Mode
+	// Manager chooses (V, f) points; required in ModeDVFS, ignored
+	// otherwise.
+	Manager pm.Manager
+	// Budget is the power envelope for ModeDVFS.
+	Budget pm.Budget
+	// OSIntervalMS and DVFSIntervalMS set the Figure 2 cadence. Defaults:
+	// 100 ms and 10 ms.
+	OSIntervalMS   float64
+	DVFSIntervalMS float64
+	// SampleIntervalMS is the power-monitor sampling cadence used for the
+	// Figure 14 deviation statistic. Default: 1 ms.
+	SampleIntervalMS float64
+	// WarmupMS excludes an initial transient from the reported statistics:
+	// the timeline still executes (temperatures settle, the first DVFS
+	// decisions take effect) but accumulators and the deviation tracker
+	// only start recording afterwards.
+	WarmupMS float64
+	// CaptureTrace records one TracePoint per monitor sample in
+	// RunStats.Trace (costs memory proportional to duration/sample).
+	CaptureTrace bool
+	// TransientThermal switches the per-sample thermal evaluation from
+	// steady-state (the default, matching the recorded experiments) to
+	// time-stepped RC integration with thermal inertia. Activity-
+	// migration policies (TempAware) only show their benefit with inertia
+	// modelled: a migrated-to core heats up over tens of milliseconds
+	// instead of instantly.
+	TransientThermal bool
+	// VTransitionUSPerStep is the time in microseconds a core stalls per
+	// voltage-ladder step it moves at a DVFS decision. The paper
+	// conservatively assumes the transition speeds of Xscale-era systems
+	// (tens of microseconds per step, supplied by off-chip regulators);
+	// fast on-chip regulators (Kim et al., cited in the paper) make this
+	// ~0. Default 0.
+	VTransitionUSPerStep float64
+	// SensorNoise is the relative sigma of sensor measurements.
+	SensorNoise float64
+	// Seed drives every stochastic choice (random scheduling, profiling
+	// core selection, SAnn).
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.OSIntervalMS <= 0 {
+		c.OSIntervalMS = 100
+	}
+	if c.DVFSIntervalMS <= 0 {
+		c.DVFSIntervalMS = 10
+	}
+	if c.SampleIntervalMS <= 0 {
+		c.SampleIntervalMS = 1
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Chip == nil || c.CPU == nil {
+		return errors.New("core: Chip and CPU are required")
+	}
+	if c.Scheduler == nil {
+		return errors.New("core: Scheduler is required")
+	}
+	if c.Mode == ModeDVFS {
+		if c.Manager == nil {
+			return errors.New("core: ModeDVFS requires a power manager")
+		}
+		if c.Budget.PTargetW <= 0 || c.Budget.PCoreMaxW <= 0 {
+			return fmt.Errorf("core: ModeDVFS requires a positive budget, got %+v", c.Budget)
+		}
+	}
+	return nil
+}
+
+// TracePoint is one monitor sample of a captured run.
+type TracePoint struct {
+	// TimeMS is the sample's simulated time.
+	TimeMS float64
+	// PowerW and MIPS are the instantaneous chip power and throughput.
+	PowerW float64
+	MIPS   float64
+	// MaxTempC is the hottest block temperature at the sample.
+	MaxTempC float64
+}
+
+// RunStats aggregates one run.
+type RunStats struct {
+	// DurationMS is the simulated time.
+	DurationMS float64
+	// AvgPowerW/AvgDynW/AvgStatW are time-averaged chip powers.
+	AvgPowerW, AvgDynW, AvgStatW float64
+	// MIPS is the time-averaged total throughput.
+	MIPS float64
+	// WeightedTP is the time-averaged weighted throughput (one unit per
+	// thread running at its reference speed).
+	WeightedTP float64
+	// AvgActiveFreqHz is the time- and thread-averaged core frequency.
+	AvgActiveFreqHz float64
+	// MaxTempC is the hottest block temperature seen.
+	MaxTempC float64
+	// EDSquared is AvgPowerW / MIPS^3 (proportional to true ED^2 at fixed
+	// work; see metrics.EDSquared).
+	EDSquared float64
+	// PowerDeviationPct is the Figure 14 statistic: mean |P - Ptarget| in
+	// percent over the monitor samples (0 unless ModeDVFS).
+	PowerDeviationPct float64
+	// WearoutIndex is the per-die-core aging rate relative to nominal
+	// operation (see package wearout); WearoutMax is its maximum — the
+	// lifetime-limiting core.
+	WearoutIndex []float64
+	WearoutMax   float64
+	// Instructions is per-thread executed instruction counts.
+	Instructions []float64
+	// DecideTime is total wall-clock time spent inside Manager.Decide,
+	// and DecideCount the number of invocations (Figure 15).
+	DecideTime  time.Duration
+	DecideCount int
+	// Trace holds per-sample points when Config.CaptureTrace is set.
+	Trace []TracePoint
+}
+
+// System is a runnable CMP with scheduling and power management.
+type System struct {
+	cfg Config
+	rng *stats.RNG
+}
+
+// New validates cfg and returns a System.
+func New(cfg Config) (*System, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}, nil
+}
+
+// Run executes the workload for the given simulated duration and returns
+// aggregate statistics. The number of threads must not exceed the number
+// of cores.
+func (s *System) Run(apps []*workload.AppProfile, durationMS float64) (*RunStats, error) {
+	c := s.cfg.Chip
+	if len(apps) == 0 {
+		return nil, errors.New("core: empty workload")
+	}
+	if len(apps) > c.NumCores() {
+		return nil, fmt.Errorf("core: %d threads exceed %d cores", len(apps), c.NumCores())
+	}
+	if durationMS <= 0 {
+		return nil, fmt.Errorf("core: non-positive duration %v", durationMS)
+	}
+
+	noise := sensors.NewNoise(s.cfg.SensorNoise, s.rng.Derive(1))
+	schedRNG := s.rng.Derive(2)
+	pmRNG := s.rng.Derive(3)
+	profRNG := s.rng.Derive(4)
+
+	coreInfos := sensors.CoreInfos(c)
+	aging, err := wearout.NewAccumulator(wearout.DefaultParams(), c.NumCores())
+	if err != nil {
+		return nil, err
+	}
+	nT := len(apps)
+	elapsed := make([]float64, nT)
+	instructions := make([]float64, nT)
+	refIPS := make([]float64, nT)
+	for i, a := range apps {
+		ipc, err := s.cfg.CPU.SteadyIPC(a, c.Tech.FNominalHz)
+		if err != nil {
+			return nil, err
+		}
+		refIPS[i] = ipc * c.Tech.FNominalHz
+	}
+
+	// UniFreq: the chip-wide frequency is the slowest core's rated Fmax.
+	uniFreq := 0.0
+	if s.cfg.Mode == ModeUniFreq {
+		uniFreq = c.FmaxNominal(0)
+		for core := 1; core < c.NumCores(); core++ {
+			if f := c.FmaxNominal(core); f < uniFreq {
+				uniFreq = f
+			}
+		}
+	}
+
+	var (
+		powerAcc, dynAcc, statAcc, mipsAcc, wtpAcc, freqAcc metrics.Accumulator
+		deviation                                           = metrics.NewDeviationTracker(s.cfg.Budget.PTargetW)
+		maxTemp                                             float64
+		decideTime                                          time.Duration
+		decideCount                                         int
+	)
+
+	var assignment sched.Assignment
+	var lastEval *chip.EvalResult
+	var tracePoints []TracePoint
+	levels := make([]int, nT) // active-core ladder levels (ModeDVFS)
+	stallMS := make([]float64, nT)
+	vTop := len(c.Levels) - 1
+
+	now := 0.0
+	nextOS := 0.0
+	nextDVFS := 0.0
+	for now < durationMS-1e-9 {
+		// OS scheduling interval: re-profile and re-map threads.
+		if now >= nextOS-1e-9 {
+			// Expose current sensor temperatures to temperature-aware
+			// policies; a cold chip reads ambient.
+			for i := range coreInfos {
+				if lastEval != nil {
+					coreInfos[i].TempC = lastEval.CoreTempC[i]
+				} else {
+					coreInfos[i].TempC = c.Therm.Config().AmbientC
+				}
+			}
+			threadInfos, err := sensors.ProfileThreads(c, s.cfg.CPU, apps, elapsed, noise, profRNG)
+			if err != nil {
+				return nil, err
+			}
+			assignment, err = s.cfg.Scheduler.Assign(coreInfos, threadInfos, schedRNG)
+			if err != nil {
+				return nil, err
+			}
+			if err := assignment.Validate(c.NumCores()); err != nil {
+				return nil, err
+			}
+			nextOS += s.cfg.OSIntervalMS
+			// A re-map invalidates the previous DVFS decision.
+			for i := range levels {
+				levels[i] = vTop
+			}
+			nextDVFS = now
+		}
+
+		// DVFS interval: re-solve the (V, f) assignment.
+		if s.cfg.Mode == ModeDVFS && now >= nextDVFS-1e-9 {
+			plat, err := s.snapshot(apps, assignment, elapsed, levels, lastEval, noise)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			lv, err := s.cfg.Manager.Decide(plat, s.cfg.Budget, pmRNG)
+			decideTime += time.Since(start)
+			decideCount++
+			if err != nil {
+				return nil, err
+			}
+			if s.cfg.VTransitionUSPerStep > 0 {
+				for t := range levels {
+					steps := lv[t] - levels[t]
+					if steps < 0 {
+						steps = -steps
+					}
+					stallMS[t] += float64(steps) * s.cfg.VTransitionUSPerStep / 1000
+				}
+			}
+			copy(levels, lv)
+			nextDVFS += s.cfg.DVFSIntervalMS
+		} else if s.cfg.Mode != ModeDVFS {
+			nextDVFS = now + s.cfg.DVFSIntervalMS
+		}
+
+		// Advance one monitor sample.
+		dt := s.cfg.SampleIntervalMS
+		if rem := durationMS - now; dt > rem {
+			dt = rem
+		}
+		states := c.OffStates()
+		freqs := make([]float64, nT)
+		for t, app := range apps {
+			coreID := assignment[t]
+			var v, f float64
+			switch s.cfg.Mode {
+			case ModeUniFreq:
+				v, f = c.Tech.VddNominal, uniFreq
+			case ModeNUniFreq:
+				v, f = c.Tech.VddNominal, c.FmaxNominal(coreID)
+			case ModeDVFS:
+				v = c.Levels[levels[t]]
+				f = c.FmaxAt(coreID, v)
+			}
+			states[coreID] = chip.CoreState{App: app, V: v, F: f, ElapsedMS: elapsed[t]}
+			freqs[t] = f
+		}
+		var res *chip.EvalResult
+		if s.cfg.TransientThermal {
+			var prev []float64
+			if lastEval != nil {
+				prev = lastEval.BlockTempC
+			}
+			res, err = c.EvaluateTransient(states, s.cfg.CPU, prev, dt)
+		} else {
+			res, err = c.Evaluate(states, s.cfg.CPU)
+		}
+		if err != nil {
+			return nil, err
+		}
+		lastEval = res
+
+		ipcs := make([]float64, nT)
+		for t := range apps {
+			ipcs[t] = res.CoreIPC[assignment[t]]
+			// Voltage transitions stall the core: it burns a share of this
+			// sample without retiring instructions.
+			if stallMS[t] > 0 {
+				stall := stallMS[t]
+				if stall > dt {
+					stall = dt
+				}
+				stallMS[t] -= stall
+				ipcs[t] *= 1 - stall/dt
+			}
+			instructions[t] += ipcs[t] * freqs[t] * dt / 1000
+			elapsed[t] += dt
+		}
+		coreTemps := make([]float64, c.NumCores())
+		coreVolts := make([]float64, c.NumCores())
+		for core := range coreTemps {
+			coreTemps[core] = res.CoreTempC[core]
+			coreVolts[core] = states[core].V // 0 when powered off
+		}
+		if err := aging.Add(coreTemps, coreVolts, dt); err != nil {
+			return nil, err
+		}
+		if s.cfg.CaptureTrace {
+			out := TracePoint{
+				TimeMS:   now,
+				PowerW:   res.TotalW,
+				MIPS:     metrics.MIPS(ipcs, freqs),
+				MaxTempC: c.Therm.MaxTemp(res.BlockTempC),
+			}
+			tracePoints = append(tracePoints, out)
+		}
+		if now+dt > s.cfg.WarmupMS {
+			mips := metrics.MIPS(ipcs, freqs)
+			wtp, err := metrics.WeightedThroughput(ipcs, freqs, refIPS)
+			if err != nil {
+				return nil, err
+			}
+			powerAcc.Add(res.TotalW, dt)
+			dynAcc.Add(res.DynW, dt)
+			statAcc.Add(res.StaticW, dt)
+			mipsAcc.Add(mips, dt)
+			wtpAcc.Add(wtp, dt)
+			freqAcc.Add(stats.Mean(freqs), dt)
+			if s.cfg.Mode == ModeDVFS {
+				deviation.Sample(res.TotalW)
+			}
+			if mt := c.Therm.MaxTemp(res.BlockTempC); mt > maxTemp {
+				maxTemp = mt
+			}
+		}
+		now += dt
+	}
+
+	out := &RunStats{
+		DurationMS:        durationMS,
+		AvgPowerW:         powerAcc.Mean(),
+		AvgDynW:           dynAcc.Mean(),
+		AvgStatW:          statAcc.Mean(),
+		MIPS:              mipsAcc.Mean(),
+		WeightedTP:        wtpAcc.Mean(),
+		AvgActiveFreqHz:   freqAcc.Mean(),
+		MaxTempC:          maxTemp,
+		PowerDeviationPct: deviation.MeanPct(),
+		Instructions:      instructions,
+		DecideTime:        decideTime,
+		DecideCount:       decideCount,
+	}
+	out.Trace = tracePoints
+	out.WearoutIndex = aging.Index()
+	out.WearoutMax = aging.Max()
+	out.EDSquared = metrics.EDSquared(out.AvgPowerW, out.MIPS)
+	return out, nil
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"vasched/internal/chip"
+	"vasched/internal/cpusim"
+	"vasched/internal/pm"
+	"vasched/internal/sched"
+	"vasched/internal/sensors"
+	"vasched/internal/stats"
+	"vasched/internal/workload"
+)
+
+// FrozenSnapshot exposes a platform snapshot for diagnostics and tests:
+// threads are placed with VarF&AppIPC and the platform reflects cold-start
+// conditions (no prior evaluation).
+func FrozenSnapshot(c *chip.Chip, cpu *cpusim.Model, apps []*workload.AppProfile, seed int64) (pm.Platform, error) {
+	rng := stats.NewRNG(seed)
+	infos := sensors.CoreInfos(c)
+	threads, err := sensors.ProfileThreads(c, cpu, apps, nil, sensors.Noise{}, rng)
+	if err != nil {
+		return nil, err
+	}
+	assignment, err := (sched.VarFAppIPCPolicy{}).Assign(infos, threads, rng)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{cfg: Config{Chip: c, CPU: cpu}, rng: rng}
+	return sys.snapshot(apps, assignment, make([]float64, len(apps)), nil, nil, sensors.Noise{})
+}

@@ -1,0 +1,254 @@
+package cpusim
+
+import (
+	"math"
+	"testing"
+
+	"vasched/internal/cache"
+	"vasched/internal/workload"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(DefaultCoreConfig(), workload.SPEC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCalibrationReproducesTable5(t *testing.T) {
+	m := newModel(t)
+	for _, a := range workload.SPEC() {
+		ipc, err := m.SteadyIPC(a, 4e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ipc-a.IPCNom) > 1e-9 {
+			t.Errorf("%s: IPC(4GHz) = %v, want %v", a.Name, ipc, a.IPCNom)
+		}
+	}
+}
+
+func TestIPCDropsWithFrequency(t *testing.T) {
+	// Memory latency is constant in ns, so raising f costs more cycles
+	// per miss: IPC must be non-increasing in f, strictly for memory-bound
+	// apps.
+	m := newModel(t)
+	mcf, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := m.SteadyIPC(mcf, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := m.SteadyIPC(mcf, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi >= lo {
+		t.Fatalf("mcf IPC did not drop with frequency: %v at 2 GHz, %v at 4 GHz", lo, hi)
+	}
+	// mcf is heavily memory-bound: the drop should be substantial (>20%).
+	if hi > 0.8*lo {
+		t.Fatalf("mcf IPC drop too small: %v -> %v", lo, hi)
+	}
+}
+
+func TestComputeBoundAppNearlyFrequencyIndependent(t *testing.T) {
+	m := newModel(t)
+	crafty, err := workload.ByName("crafty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := m.SteadyIPC(crafty, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := m.SteadyIPC(crafty, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi < 0.9*lo {
+		t.Fatalf("crafty IPC dropped %v -> %v; should be nearly flat", lo, hi)
+	}
+}
+
+func TestThroughputStillRisesWithFrequency(t *testing.T) {
+	// Even for memory-bound apps, IPS = IPC*f must not decrease with f in
+	// this model (stall cycles scale at most linearly with f).
+	m := newModel(t)
+	for _, name := range []string{"mcf", "swim", "crafty"} {
+		a, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0.0
+		for _, f := range []float64{1e9, 2e9, 3e9, 4e9} {
+			ipc, err := m.SteadyIPC(a, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ips := ipc * f
+			if ips < prev*(1-1e-9) {
+				t.Fatalf("%s: IPS fell from %v to %v at %v Hz", name, prev, ips, f)
+			}
+			prev = ips
+		}
+	}
+}
+
+func TestPhaseScalingAndIssueCap(t *testing.T) {
+	m := newModel(t)
+	vortex, err := workload.ByName("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.SteadyIPC(vortex, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigPhase := workload.Phase{IPCScale: 10, PowerScale: 1}
+	capped, err := m.IPC(vortex, bigPhase, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped != float64(m.Core().IssueWidth) {
+		t.Fatalf("IPC not capped at issue width: %v", capped)
+	}
+	halfPhase := workload.Phase{IPCScale: 0.5, PowerScale: 1}
+	half, err := m.IPC(vortex, halfPhase, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half-base/2) > 1e-9 {
+		t.Fatalf("phase scaling wrong: %v vs %v/2", half, base)
+	}
+}
+
+func TestCPIBreakdownComposition(t *testing.T) {
+	m := newModel(t)
+	a, err := workload.ByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, branch, mem, err := m.CPIBreakdown(a, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base <= 0 || branch < 0 || mem <= 0 {
+		t.Fatalf("breakdown: %v %v %v", base, branch, mem)
+	}
+	if math.Abs(base+branch+mem-1/a.IPCNom) > 1e-9 {
+		t.Fatalf("breakdown does not sum to calibrated CPI")
+	}
+	// Memory CPI doubles when frequency doubles.
+	_, _, mem2, err := m.CPIBreakdown(a, 8e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mem2-2*mem) > 1e-9 {
+		t.Fatalf("memory CPI not linear in f: %v vs %v", mem2, mem)
+	}
+}
+
+func TestUncalibratedAppRejected(t *testing.T) {
+	m := newModel(t)
+	ghost := &workload.AppProfile{Name: "ghost", DynPowerW: 1, IPCNom: 1, MLP: 1,
+		L1MPKI: 1, L2MPKI: 0.1, MemAccessFrac: 0.3}
+	if _, err := m.SteadyIPC(ghost, 4e9); err == nil {
+		t.Fatal("uncalibrated app accepted")
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	cc := DefaultCoreConfig()
+	cc.IssueWidth = 0
+	if _, err := New(cc, workload.SPEC()); err == nil {
+		t.Fatal("invalid core config accepted")
+	}
+	cc = DefaultCoreConfig()
+	if _, err := New(cc, []*workload.AppProfile{{Name: "bad"}}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestInfeasibleCalibrationRejected(t *testing.T) {
+	// An app claiming IPC 3 on a 2-issue machine cannot be calibrated.
+	cc := DefaultCoreConfig()
+	app := &workload.AppProfile{Name: "superscalar", DynPowerW: 1, IPCNom: 3,
+		MLP: 1, L1MPKI: 1, L2MPKI: 0.1, MemAccessFrac: 0.3}
+	if _, err := New(cc, []*workload.AppProfile{app}); err == nil {
+		t.Fatal("super-issue-width calibration accepted")
+	}
+}
+
+func TestL2AccessRate(t *testing.T) {
+	m := newModel(t)
+	a, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := m.L2AccessRate(a, 4e9, 0.1)
+	want := 85.0 / 1000 * 0.1 * 4e9
+	if math.Abs(rate-want) > 1e-6*want {
+		t.Fatalf("L2 access rate = %v, want %v", rate, want)
+	}
+}
+
+func TestNonPositiveFrequencyRejected(t *testing.T) {
+	m := newModel(t)
+	a, err := workload.ByName("gap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SteadyIPC(a, 0); err == nil {
+		t.Fatal("zero frequency accepted")
+	}
+}
+
+func TestModelFromCacheCalibratedProfiles(t *testing.T) {
+	// Profiles re-calibrated from cache-simulator measurements must still
+	// produce a valid interval model whose IPC ranking tracks the
+	// Table 5-calibrated one: the two calibration paths are consistent.
+	orig := workload.SPEC()
+	ref := newModel(t)
+	measured := make([]*workload.AppProfile, 0, len(orig))
+	for _, a := range orig {
+		cal, err := cache.CalibrateProfile(a, 1, 150000, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Measured MPKI implies a different IPC; re-derive it from the
+		// reference model's base CPI so the profile stays consistent.
+		cal, err = ref.AdjustIPCNom(cal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured = append(measured, cal)
+	}
+	m, err := New(DefaultCoreConfig(), measured)
+	if err != nil {
+		t.Fatalf("cache-calibrated profiles failed interval calibration: %v", err)
+	}
+	// Frequency response direction must be preserved for the most
+	// memory-bound app.
+	var mcf *workload.AppProfile
+	for _, a := range measured {
+		if a.Name == "mcf" {
+			mcf = a
+		}
+	}
+	lo, err := m.SteadyIPC(mcf, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := m.SteadyIPC(mcf, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi >= lo {
+		t.Fatalf("cache-calibrated mcf IPC did not fall with frequency: %v -> %v", lo, hi)
+	}
+}

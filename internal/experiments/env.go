@@ -1,0 +1,189 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 7). Each experiment is a function from a shared Env
+// (the "lab bench": variation model, floorplan, power/thermal calibration,
+// die batch, workload pool) to a typed result that renders the paper's
+// plot as a text table. DESIGN.md section 3 maps experiment ids to paper
+// artefacts; EXPERIMENTS.md records measured-vs-paper outcomes.
+package experiments
+
+import (
+	"fmt"
+
+	"vasched/internal/chip"
+	"vasched/internal/cpusim"
+	"vasched/internal/delay"
+	"vasched/internal/floorplan"
+	"vasched/internal/pm"
+	"vasched/internal/power"
+	"vasched/internal/thermal"
+	"vasched/internal/varmodel"
+	"vasched/internal/workload"
+)
+
+// PowerEnv is one of the paper's three power environments (Section 7.5):
+// the chip-wide Ptarget at full (20-thread) occupancy; fewer threads scale
+// the target proportionally.
+type PowerEnv struct {
+	Name     string
+	PTargetW float64
+}
+
+// The paper's environments.
+var (
+	LowPower        = PowerEnv{Name: "Low Power", PTargetW: 50}
+	CostPerformance = PowerEnv{Name: "Cost-Performance", PTargetW: 75}
+	HighPerformance = PowerEnv{Name: "High Performance", PTargetW: 100}
+)
+
+// Budget returns the pm budget for n active threads on a CMP with numCores
+// cores: Ptarget scales proportionally with occupancy (paper Section 7.5);
+// the per-core cap is twice the per-core share of the full-occupancy
+// target.
+func (e PowerEnv) Budget(n, numCores int) pm.Budget {
+	return pm.Budget{
+		PTargetW:  e.PTargetW * float64(n) / float64(numCores),
+		PCoreMaxW: 2 * e.PTargetW / float64(numCores),
+	}
+}
+
+// Env is the shared experimental setup.
+type Env struct {
+	// VarCfg, DelayCfg, Power, ThermalCfg configure die generation.
+	VarCfg     varmodel.Config
+	DelayCfg   delay.Config
+	Power      power.Model
+	ThermalCfg thermal.Config
+	// NumDies is the batch size for die-statistics experiments (the paper
+	// uses 200 dies per experiment).
+	NumDies int
+	// RunDies is how many dies the time-based scheduling/DVFS sweeps
+	// average over (each run costs a full timeline simulation).
+	RunDies int
+	// Trials is the number of random workloads per configuration (the
+	// paper repeats each experiment 20 times).
+	Trials int
+	// SimMS is the simulated duration of each timeline run and SampleMS
+	// the power-monitor cadence.
+	SimMS    float64
+	SampleMS float64
+	// SAnnEvals is the simulated-annealing budget per invocation (the
+	// paper used 1e6 for one-shot runs; sweeps need it smaller).
+	SAnnEvals int
+	// Seed derives all randomness; BatchSeed selects the die batch.
+	Seed      int64
+	BatchSeed int64
+
+	fp    *floorplan.Floorplan
+	cpu   *cpusim.Model
+	gen   *varmodel.Generator
+	pool  []*workload.AppProfile
+	chips map[int]*chip.Chip
+}
+
+// DefaultEnv returns the paper-scale configuration (200 dies for the
+// statistics experiments; the timeline sweeps average over a few dies and
+// ten workloads each, which already gives stable means).
+func DefaultEnv() (*Env, error) {
+	e := &Env{
+		VarCfg:     varmodel.DefaultConfig(),
+		DelayCfg:   delay.DefaultConfig(),
+		Power:      power.DefaultModel(varmodel.DefaultConfig().Tech),
+		ThermalCfg: thermal.DefaultConfig(),
+		NumDies:    200,
+		RunDies:    3,
+		Trials:     10,
+		SimMS:      100,
+		SampleMS:   1,
+		SAnnEvals:  20000,
+		Seed:       2008,
+		BatchSeed:  1,
+	}
+	return e, e.init()
+}
+
+// QuickEnv returns a scaled-down configuration for tests and benchmarks:
+// fewer dies, fewer trials, shorter timelines, coarser sampling.
+func QuickEnv() (*Env, error) {
+	e := &Env{
+		VarCfg:     varmodel.DefaultConfig(),
+		DelayCfg:   delay.DefaultConfig(),
+		Power:      power.DefaultModel(varmodel.DefaultConfig().Tech),
+		ThermalCfg: thermal.DefaultConfig(),
+		NumDies:    12,
+		RunDies:    1,
+		Trials:     3,
+		SimMS:      30,
+		SampleMS:   5,
+		SAnnEvals:  4000,
+		Seed:       2008,
+		BatchSeed:  1,
+	}
+	e.VarCfg.GridRows, e.VarCfg.GridCols = 128, 128
+	return e, e.init()
+}
+
+func (e *Env) init() error {
+	if err := e.VarCfg.Validate(); err != nil {
+		return err
+	}
+	e.fp = floorplan.New20CoreCMP()
+	gen, err := varmodel.NewGenerator(e.VarCfg)
+	if err != nil {
+		return err
+	}
+	e.gen = gen
+	e.pool = workload.SPEC()
+	cpu, err := cpusim.New(cpusim.DefaultCoreConfig(), e.pool)
+	if err != nil {
+		return err
+	}
+	e.cpu = cpu
+	e.chips = make(map[int]*chip.Chip)
+	return nil
+}
+
+// Floorplan returns the shared 20-core floorplan.
+func (e *Env) Floorplan() *floorplan.Floorplan { return e.fp }
+
+// CPU returns the calibrated core model.
+func (e *Env) CPU() *cpusim.Model { return e.cpu }
+
+// Apps returns the SPEC application pool.
+func (e *Env) Apps() []*workload.AppProfile { return e.pool }
+
+// Chip returns (building and caching on first use) the characterised die
+// with the given batch index.
+func (e *Env) Chip(die int) (*chip.Chip, error) {
+	if c, ok := e.chips[die]; ok {
+		return c, nil
+	}
+	maps, err := e.gen.Die(e.BatchSeed, die)
+	if err != nil {
+		return nil, err
+	}
+	c, err := chip.Build(maps, e.fp, e.DelayCfg, e.Power, e.ThermalCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building die %d: %w", die, err)
+	}
+	e.chips[die] = c
+	return c, nil
+}
+
+// Manager instantiates a power manager by paper name, with the Env's SAnn
+// budget and the given objective.
+func (e *Env) Manager(name string, obj pm.Objective) (pm.Manager, error) {
+	switch name {
+	case pm.NameFoxton:
+		return pm.NewFoxton(), nil
+	case pm.NameLinOpt:
+		return pm.LinOpt{FitPoints: 3, Objective: obj}, nil
+	case pm.NameSAnn:
+		return pm.SAnn{MaxEvals: e.SAnnEvals, Objective: obj}, nil
+	case pm.NameExhaustive:
+		return pm.Exhaustive{Objective: obj}, nil
+	case pm.NameOracle:
+		return pm.Exhaustive{UseTrueIPC: true, Objective: obj}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown manager %q", name)
+	}
+}

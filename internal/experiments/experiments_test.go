@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func quickEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() { envVal, envErr = QuickEnv() })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ext-abb", "ext-parallel", "ext-sched",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "sann", "sec74", "table5"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+	if _, err := Run("fig99", quickEnv(t)); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestPowerEnvBudgetScaling(t *testing.T) {
+	b20 := CostPerformance.Budget(20, 20)
+	if b20.PTargetW != 75 {
+		t.Fatalf("full occupancy target = %v", b20.PTargetW)
+	}
+	b4 := CostPerformance.Budget(4, 20)
+	if b4.PTargetW != 15 {
+		t.Fatalf("4-thread target = %v", b4.PTargetW)
+	}
+	if b4.PCoreMaxW != b20.PCoreMaxW {
+		t.Fatal("per-core cap should not scale with occupancy")
+	}
+}
+
+func TestTable5Exact(t *testing.T) {
+	r, err := Table5(quickEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 14 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// The model is calibrated to reproduce Table 5 exactly at the
+		// reference point.
+		if d := row.IPC - row.PaperIPC; d > 1e-9 || d < -1e-9 {
+			t.Errorf("%s: IPC %v vs paper %v", row.App, row.IPC, row.PaperIPC)
+		}
+		if d := row.DynPowerW - row.PaperDynPowerW; d > 1e-9 || d < -1e-9 {
+			t.Errorf("%s: dyn %v vs paper %v", row.App, row.DynPowerW, row.PaperDynPowerW)
+		}
+	}
+}
+
+func TestFig4RatiosInPaperBand(t *testing.T) {
+	r, err := Fig4(quickEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr := r.MeanPowerRatio(); pr < 1.3 || pr > 2.0 {
+		t.Fatalf("mean power ratio %v outside plausible band", pr)
+	}
+	if fr := r.MeanFreqRatio(); fr < 1.15 || fr > 1.5 {
+		t.Fatalf("mean freq ratio %v outside plausible band", fr)
+	}
+	if r.PowerHist.N() != r.NumDies || r.FreqHist.N() != r.NumDies {
+		t.Fatal("histograms missing dies")
+	}
+}
+
+func TestFig5MonotoneInSigma(t *testing.T) {
+	e := quickEnv(t)
+	sub := *e
+	sub.NumDies = 6 // fig5 rebuilds batches per point; keep the test fast
+	r, err := Fig5(&sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].FreqRatio < r.Points[i-1].FreqRatio {
+			t.Fatalf("freq ratio not monotone in sigma/mu: %+v", r.Points)
+		}
+		if r.Points[i].PowerRatio < r.Points[i-1].PowerRatio {
+			t.Fatalf("power ratio not monotone in sigma/mu: %+v", r.Points)
+		}
+	}
+	// Even at sigma/mu=0.06 the variation is significant (paper's claim).
+	if r.Points[1].FreqRatio < 1.05 {
+		t.Fatalf("sigma/mu=0.06 freq ratio %v too small", r.Points[1].FreqRatio)
+	}
+}
+
+func TestFig6CurveShape(t *testing.T) {
+	r, err := Fig6(quickEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxFCore == r.MinFCore {
+		t.Fatal("max and min cores identical")
+	}
+	// Both curves monotone: higher V -> higher f and higher power.
+	for _, curve := range [][]Fig6Point{r.MaxFCurve, r.MinFCurve} {
+		for i := 1; i < len(curve); i++ {
+			if curve[i].FreqNorm < curve[i-1].FreqNorm || curve[i].PowerNorm <= curve[i-1].PowerNorm {
+				t.Fatalf("curve not monotone: %+v", curve)
+			}
+		}
+	}
+	// The MaxF core at nominal V defines the normalisation.
+	last := r.MaxFCurve[len(r.MaxFCurve)-1]
+	if last.FreqNorm != 1 {
+		t.Fatalf("MaxF top point freq = %v, want 1", last.FreqNorm)
+	}
+	// MinF tops out below the MaxF core's frequency.
+	if top := r.MinFCurve[len(r.MinFCurve)-1].FreqNorm; top >= 1 {
+		t.Fatalf("MinF core reaches %v of MaxF", top)
+	}
+}
+
+func TestFig11Ordering(t *testing.T) {
+	r, err := Fig11(quickEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mips := func(c DVFSCell) float64 { return c.MIPS }
+	ed2 := func(c DVFSCell) float64 { return c.EDSquared }
+	for ti := range r.Threads {
+		foxV := r.Rel("VarF&AppIPC+Foxton*", ti, mips)
+		lin := r.Rel("VarF&AppIPC+LinOpt", ti, mips)
+		sann := r.Rel("VarF&AppIPC+SAnn", ti, mips)
+		if foxV < 1.0 {
+			t.Errorf("threads[%d]: VarF&AppIPC+Foxton* below baseline: %v", ti, foxV)
+		}
+		if lin <= foxV {
+			t.Errorf("threads[%d]: LinOpt %v not above Foxton* %v", ti, lin, foxV)
+		}
+		// SAnn and LinOpt should be close (paper: within ~2%).
+		if sann < lin*0.97 || lin < sann*0.95 {
+			t.Errorf("threads[%d]: LinOpt %v vs SAnn %v diverge", ti, lin, sann)
+		}
+		if e := r.Rel("VarF&AppIPC+LinOpt", ti, ed2); e >= 1 {
+			t.Errorf("threads[%d]: LinOpt ED^2 %v not reduced", ti, e)
+		}
+	}
+}
+
+func TestFig12GainLargestAtTightBudget(t *testing.T) {
+	r, err := Fig12(quickEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := r.Rel("VarF&AppIPC+LinOpt", 0)
+	high := r.Rel("VarF&AppIPC+LinOpt", 2)
+	if low <= 1 || high <= 1 {
+		t.Fatalf("LinOpt not above baseline: low %v high %v", low, high)
+	}
+	if low < high-0.02 {
+		t.Fatalf("gain at 50 W (%v) should not be clearly below gain at 100 W (%v)", low, high)
+	}
+}
+
+func TestFig13WeightedNotDegraded(t *testing.T) {
+	r, err := Fig13(quickEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtp := func(c DVFSCell) float64 { return c.WeightedTP }
+	for ti := range r.Threads {
+		if v := r.Rel("VarF&AppIPC+LinOpt", ti, wtp); v < 0.99 {
+			t.Errorf("threads[%d]: weighted-objective LinOpt degrades weighted TP: %v", ti, v)
+		}
+	}
+}
+
+func TestFig14ShortIntervalTracksTarget(t *testing.T) {
+	r, err := Fig14(quickEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{4, 20} {
+		at10 := r.Deviation(10, n)
+		at2s := r.Deviation(2000, n)
+		if at10 < 0 || at2s < 0 {
+			t.Fatalf("missing points for %d threads", n)
+		}
+		if at10 > 1.5 {
+			t.Errorf("%d threads: deviation at 10 ms = %v%%, want ~1%%", n, at10)
+		}
+		if at2s < at10 {
+			t.Errorf("%d threads: 2 s interval (%v%%) should deviate more than 10 ms (%v%%)", n, at2s, at10)
+		}
+	}
+}
+
+func TestFig15GrowsWithThreads(t *testing.T) {
+	r, err := Fig15(quickEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := r.Solve(CostPerformance.Name, 1)
+	twenty := r.Solve(CostPerformance.Name, 20)
+	if one <= 0 || twenty <= 0 {
+		t.Fatal("missing timing points")
+	}
+	if twenty < one {
+		t.Fatalf("20-thread solve (%v) faster than 1-thread (%v)", twenty, one)
+	}
+	// Solves must stay well under the 10 ms re-solve interval.
+	if twenty > 5*time.Millisecond {
+		t.Fatalf("20-thread solve %v too slow to run every 10 ms", twenty)
+	}
+}
+
+func TestSec74Directions(t *testing.T) {
+	r, err := Sec74(quickEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FreqRatio <= 1 {
+		t.Fatalf("NUniFreq frequency ratio %v, want > 1", r.FreqRatio)
+	}
+	if r.PowerRatio <= 1 {
+		t.Fatalf("NUniFreq power ratio %v, want > 1", r.PowerRatio)
+	}
+	if r.ED2Ratio >= 1 {
+		t.Fatalf("NUniFreq ED^2 ratio %v, want < 1", r.ED2Ratio)
+	}
+}
+
+func TestSAnnValidationWithinOnePercent(t *testing.T) {
+	r, err := SAnnVsExhaustive(quickEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.GapPct > 1.0 {
+			t.Errorf("%d threads: SAnn gap %v%% exceeds 1%%", row.Threads, row.GapPct)
+		}
+		if row.LinOptGapPct > 5.0 {
+			t.Errorf("%d threads: LinOpt gap %v%% too large", row.Threads, row.LinOptGapPct)
+		}
+	}
+}
+
+func TestManagerFactory(t *testing.T) {
+	e := quickEnv(t)
+	for _, name := range []string{"Foxton*", "LinOpt", "SAnn", "Exhaustive", "Oracle"} {
+		m, err := e.Manager(name, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("manager %q reports %q", name, m.Name())
+		}
+	}
+	if _, err := e.Manager("Clairvoyant", 0); err == nil {
+		t.Fatal("unknown manager accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vasched/internal/core"
+	"vasched/internal/pm"
+	"vasched/internal/sched"
+	"vasched/internal/stats"
+	"vasched/internal/workload"
+)
+
+// Fig15Point is one (environment, thread-count) timing measurement.
+type Fig15Point struct {
+	Env     PowerEnv
+	Threads int
+	// MeanSolve is the wall-clock time of one LinOpt decision on the host
+	// (the paper reports microseconds on a simulated 4 GHz core; here the
+	// Simplex runs natively, so absolute values differ but the growth
+	// with thread count and budget looseness is the reproduced shape).
+	MeanSolve time.Duration
+}
+
+// Fig15Result reproduces Figure 15: LinOpt execution time vs number of
+// threads in the three power environments.
+type Fig15Result struct {
+	Points []Fig15Point
+}
+
+// Fig15 times LinOpt decisions embedded in real runs (so the platform
+// snapshots and LP shapes are representative), several per configuration.
+func Fig15(e *Env) (*Fig15Result, error) {
+	res := &Fig15Result{}
+	policy, err := sched.New(sched.NameVarFAppIPC)
+	if err != nil {
+		return nil, err
+	}
+	c, err := e.Chip(0)
+	if err != nil {
+		return nil, err
+	}
+	for _, env := range []PowerEnv{HighPerformance, CostPerformance, LowPower} {
+		for _, n := range []int{1, 2, 4, 8, 16, 20} {
+			budget := env.Budget(n, e.Floorplan().NumCores)
+			var total time.Duration
+			var count int
+			for trial := 0; trial < e.Trials; trial++ {
+				seed := e.Seed + int64(trial)*17
+				apps := workload.Mix(stats.NewRNG(seed), n)
+				sys, err := core.New(core.Config{
+					Chip: c, CPU: e.CPU(), Scheduler: policy,
+					Mode: core.ModeDVFS, Manager: pm.NewLinOpt(), Budget: budget,
+					SampleIntervalMS: e.SampleMS, Seed: seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				st, err := sys.Run(apps, e.SimMS)
+				if err != nil {
+					return nil, err
+				}
+				total += st.DecideTime
+				count += st.DecideCount
+			}
+			p := Fig15Point{Env: env, Threads: n}
+			if count > 0 {
+				p.MeanSolve = total / time.Duration(count)
+			}
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res, nil
+}
+
+// Solve returns the measured mean solve time for (envName, threads), or 0.
+func (r *Fig15Result) Solve(envName string, threads int) time.Duration {
+	for _, p := range r.Points {
+		if p.Env.Name == envName && p.Threads == threads {
+			return p.MeanSolve
+		}
+	}
+	return 0
+}
+
+// Render formats the timing sweep.
+func (r *Fig15Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 15: LinOpt execution time (host wall clock)\n")
+	fmt.Fprintf(&b, "%-10s %18s %18s %18s\n", "threads",
+		HighPerformance.Name, CostPerformance.Name, LowPower.Name)
+	for _, n := range []int{1, 2, 4, 8, 16, 20} {
+		fmt.Fprintf(&b, "%-10d %18v %18v %18v\n", n,
+			r.Solve(HighPerformance.Name, n),
+			r.Solve(CostPerformance.Name, n),
+			r.Solve(LowPower.Name, n))
+	}
+	b.WriteString("(paper: microseconds, growing with threads; longest ~6us at 20 threads)\n")
+	return b.String()
+}

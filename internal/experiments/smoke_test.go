@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickSmoke runs every registered experiment on the quick Env and
+// checks the outputs render.
+func TestQuickSmoke(t *testing.T) {
+	e, err := QuickEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := Run(id, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := r.Render()
+			if len(strings.TrimSpace(out)) == 0 {
+				t.Fatal("empty render")
+			}
+			t.Log("\n" + out)
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table5Row is one application's reference characteristics.
+type Table5Row struct {
+	App string
+	// DynPowerW is the average core dynamic power at 4 GHz / 1 V as the
+	// model produces it, and PaperDynPowerW the paper's Table 5 value.
+	DynPowerW      float64
+	PaperDynPowerW float64
+	// IPC is the model's IPC at 4 GHz; PaperIPC the paper's value.
+	IPC      float64
+	PaperIPC float64
+}
+
+// Table5Result reproduces the paper's Table 5.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// Table5 measures per-application dynamic power and IPC at the reference
+// operating point (4 GHz, 1 V) on a variation-free core model, the way the
+// paper characterises its workloads.
+func Table5(e *Env) (*Table5Result, error) {
+	res := &Table5Result{}
+	t := e.VarCfg.Tech
+	for _, app := range e.Apps() {
+		ipc, err := e.CPU().SteadyIPC(app, t.FNominalHz)
+		if err != nil {
+			return nil, err
+		}
+		dyn := e.Power.DynamicCoreW(app.DynPowerW, app.IPCNom, t.VddNominal, t.FNominalHz, ipc)
+		res.Rows = append(res.Rows, Table5Row{
+			App:            app.Name,
+			DynPowerW:      dyn,
+			PaperDynPowerW: app.DynPowerW,
+			IPC:            ipc,
+			PaperIPC:       app.IPCNom,
+		})
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].App < res.Rows[j].App })
+	return res, nil
+}
+
+// Render formats the table.
+func (r *Table5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 5: average dynamic power (W) at 4 GHz / 1 V and IPC per application\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %8s %8s\n", "app", "dynW(model)", "dynW(paper)", "IPC", "IPC(ppr)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %12.2f %12.2f %8.2f %8.2f\n",
+			row.App, row.DynPowerW, row.PaperDynPowerW, row.IPC, row.PaperIPC)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+// Package fft implements radix-2 complex fast Fourier transforms in one and
+// two dimensions. It exists to support circulant-embedding sampling of
+// Gaussian random fields in package grf; the API is therefore minimal but
+// the transforms are exact (up to floating point) and unit-normalised so
+// that Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n. It panics for n <= 0.
+func NextPow2(n int) int {
+	if n <= 0 {
+		panic("fft: NextPow2 of non-positive size")
+	}
+	if IsPow2(n) {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+// Forward computes the in-place forward DFT of x, whose length must be a
+// power of two. The convention is X[k] = sum_j x[j] exp(-2πi jk/n).
+func Forward(x []complex128) error {
+	return transform(x, -1)
+}
+
+// Inverse computes the in-place inverse DFT of x (including the 1/n
+// normalisation), whose length must be a power of two.
+func Inverse(x []complex128) error {
+	if err := transform(x, +1); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+// transform performs the iterative Cooley-Tukey butterfly with the given
+// sign in the twiddle exponent.
+func transform(x []complex128, sign float64) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := 2 * math.Pi / float64(size) * sign
+		wBase := complex(math.Cos(step), math.Sin(step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+	return nil
+}
+
+// Forward2D computes the forward DFT of an rows×cols matrix stored
+// row-major in x. Both dimensions must be powers of two.
+func Forward2D(x []complex128, rows, cols int) error {
+	return transform2D(x, rows, cols, Forward)
+}
+
+// Inverse2D computes the inverse DFT (normalised) of an rows×cols matrix
+// stored row-major in x.
+func Inverse2D(x []complex128, rows, cols int) error {
+	return transform2D(x, rows, cols, Inverse)
+}
+
+func transform2D(x []complex128, rows, cols int, tf func([]complex128) error) error {
+	if len(x) != rows*cols {
+		return fmt.Errorf("fft: matrix buffer has %d elements, want %d", len(x), rows*cols)
+	}
+	if !IsPow2(rows) || !IsPow2(cols) {
+		return fmt.Errorf("fft: dimensions %dx%d are not powers of two", rows, cols)
+	}
+	for r := 0; r < rows; r++ {
+		if err := tf(x[r*cols : (r+1)*cols]); err != nil {
+			return err
+		}
+	}
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = x[r*cols+c]
+		}
+		if err := tf(col); err != nil {
+			return err
+		}
+		for r := 0; r < rows; r++ {
+			x[r*cols+c] = col[r]
+		}
+	}
+	return nil
+}

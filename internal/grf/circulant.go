@@ -1,0 +1,116 @@
+package grf
+
+import (
+	"fmt"
+	"math"
+
+	"vasched/internal/fft"
+	"vasched/internal/stats"
+)
+
+// CirculantSampler draws exact samples of a stationary Gaussian field using
+// circulant embedding (Dietrich & Newsam). The covariance of the field on a
+// doubly-padded torus is diagonalised by the 2-D DFT; sampling is then one
+// FFT of suitably scaled complex white noise. Each FFT yields two
+// independent realisations (real and imaginary parts); the sampler caches
+// the spare one.
+type CirculantSampler struct {
+	cfg          Config
+	prows, pcols int          // padded (embedding) grid dimensions
+	sqrtLambda   []float64    // sqrt of DFT eigenvalues of the base circulant
+	spare        *Field       // second field from the previous FFT, if unused
+	scratch      []complex128 // reusable FFT buffer
+	// ClippedPower reports the fraction of spectral mass discarded when
+	// negative eigenvalues were clipped to zero. Zero means the embedding
+	// was exactly non-negative definite.
+	ClippedPower float64
+}
+
+// NewCirculantSampler builds the spectral decomposition for cfg. The grid
+// is padded to at least twice its size (rounded to powers of two) so the
+// torus wrap-around does not alias correlations back into the chip.
+func NewCirculantSampler(cfg Config) (*CirculantSampler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Pad enough that the correlation range phi (in cells) fits inside the
+	// half-torus in both dimensions.
+	phiCellsR := int(math.Ceil(cfg.Phi*float64(cfg.Rows))) + 1
+	phiCellsC := int(math.Ceil(cfg.Phi*float64(cfg.Cols))) + 1
+	prows := fft.NextPow2(2 * (cfg.Rows + phiCellsR))
+	pcols := fft.NextPow2(2 * (cfg.Cols + phiCellsC))
+
+	s := &CirculantSampler{cfg: cfg, prows: prows, pcols: pcols}
+	base := make([]complex128, prows*pcols)
+	dx := 1.0 / float64(cfg.Cols)
+	dy := 1.0 / float64(cfg.Rows)
+	v := cfg.Sigma * cfg.Sigma
+	for r := 0; r < prows; r++ {
+		wr := r
+		if wr > prows/2 {
+			wr = prows - wr
+		}
+		y := float64(wr) * dy
+		for c := 0; c < pcols; c++ {
+			wc := c
+			if wc > pcols/2 {
+				wc = pcols - wc
+			}
+			x := float64(wc) * dx
+			base[r*pcols+c] = complex(v*SphericalCorrelation(math.Hypot(x, y), cfg.Phi), 0)
+		}
+	}
+	if err := fft.Forward2D(base, prows, pcols); err != nil {
+		return nil, fmt.Errorf("grf: eigenvalue transform: %w", err)
+	}
+	s.sqrtLambda = make([]float64, prows*pcols)
+	var clipped, total float64
+	for i, z := range base {
+		lam := real(z)
+		total += math.Abs(lam)
+		if lam < 0 {
+			clipped += -lam
+			lam = 0
+		}
+		s.sqrtLambda[i] = math.Sqrt(lam)
+	}
+	if total > 0 {
+		s.ClippedPower = clipped / total
+	}
+	s.scratch = make([]complex128, prows*pcols)
+	return s, nil
+}
+
+// Config returns the sampler's configuration.
+func (s *CirculantSampler) Config() Config { return s.cfg }
+
+// Sample draws one realisation of the field.
+func (s *CirculantSampler) Sample(rng *stats.RNG) (*Field, error) {
+	if s.spare != nil {
+		f := s.spare
+		s.spare = nil
+		return f, nil
+	}
+	n := s.prows * s.pcols
+	norm := 1.0 / math.Sqrt(float64(n))
+	for i := 0; i < n; i++ {
+		// Complex white noise scaled by sqrt(lambda)/sqrt(n): after an
+		// unnormalised forward FFT the real and imaginary parts are two
+		// independent fields with the target covariance.
+		s.scratch[i] = complex(rng.Norm()*s.sqrtLambda[i]*norm, rng.Norm()*s.sqrtLambda[i]*norm)
+	}
+	if err := fft.Forward2D(s.scratch, s.prows, s.pcols); err != nil {
+		return nil, fmt.Errorf("grf: sampling transform: %w", err)
+	}
+	a := &Field{Rows: s.cfg.Rows, Cols: s.cfg.Cols, Data: make([]float64, s.cfg.Rows*s.cfg.Cols)}
+	b := &Field{Rows: s.cfg.Rows, Cols: s.cfg.Cols, Data: make([]float64, s.cfg.Rows*s.cfg.Cols)}
+	for r := 0; r < s.cfg.Rows; r++ {
+		for c := 0; c < s.cfg.Cols; c++ {
+			z := s.scratch[r*s.pcols+c]
+			a.Data[r*s.cfg.Cols+c] = real(z)
+			b.Data[r*s.cfg.Cols+c] = imag(z)
+		}
+	}
+	s.spare = b
+	return a, nil
+}

@@ -1,0 +1,241 @@
+// Package grf samples stationary Gaussian random fields on a regular 2-D
+// grid. The variation model (package varmodel) uses it to generate the
+// systematic component of Vth and Leff maps with the spherical spatial
+// correlation structure the VARIUS model prescribes.
+//
+// Two samplers are provided: an exact circulant-embedding sampler built on
+// the package fft transforms (the default, fast enough for the 256x256
+// grids the experiments use), and a dense Cholesky sampler used as a
+// cross-check and for very small grids.
+package grf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vasched/internal/stats"
+)
+
+// SphericalCorrelation returns the spherical correlation function rho(r)
+// with range phi: rho(0)=1, decreasing smoothly, and exactly zero for
+// r >= phi. This is the correlation structure used by VARIUS (and by the
+// geoR package the paper used to generate its maps).
+func SphericalCorrelation(r, phi float64) float64 {
+	if r <= 0 {
+		return 1
+	}
+	if r >= phi {
+		return 0
+	}
+	t := r / phi
+	return 1 - 1.5*t + 0.5*t*t*t
+}
+
+// Config describes the field to sample.
+type Config struct {
+	// Rows and Cols give the grid resolution. The grid covers the unit
+	// square, matching the paper's convention of expressing the
+	// correlation range phi as a fraction of the chip's width.
+	Rows, Cols int
+	// Phi is the correlation range as a fraction of the chip width.
+	Phi float64
+	// Sigma is the standard deviation of the (zero-mean) field.
+	Sigma float64
+}
+
+func (c Config) validate() error {
+	if c.Rows <= 0 || c.Cols <= 0 {
+		return fmt.Errorf("grf: non-positive grid %dx%d", c.Rows, c.Cols)
+	}
+	if c.Phi <= 0 {
+		return errors.New("grf: correlation range phi must be positive")
+	}
+	if c.Sigma < 0 {
+		return errors.New("grf: sigma must be non-negative")
+	}
+	return nil
+}
+
+// Field is one realisation of the random field on a Rows x Cols grid over
+// the unit square, stored row-major.
+type Field struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// At returns the field value at grid cell (r, c).
+func (f *Field) At(r, c int) float64 { return f.Data[r*f.Cols+c] }
+
+// AtPoint returns the field value at normalised chip coordinates
+// (x, y) in [0,1), using the containing grid cell.
+func (f *Field) AtPoint(x, y float64) float64 {
+	c := int(x * float64(f.Cols))
+	r := int(y * float64(f.Rows))
+	if c >= f.Cols {
+		c = f.Cols - 1
+	}
+	if r >= f.Rows {
+		r = f.Rows - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	if r < 0 {
+		r = 0
+	}
+	return f.Data[r*f.Cols+c]
+}
+
+// MeanOverRect returns the mean field value over the axis-aligned rectangle
+// [x0,x1) x [y0,y1) in normalised chip coordinates. Cores sample their
+// systematic parameter values this way.
+func (f *Field) MeanOverRect(x0, y0, x1, y1 float64) float64 {
+	c0 := clampIndex(int(x0*float64(f.Cols)), f.Cols)
+	c1 := clampIndex(int(math.Ceil(x1*float64(f.Cols))), f.Cols)
+	r0 := clampIndex(int(y0*float64(f.Rows)), f.Rows)
+	r1 := clampIndex(int(math.Ceil(y1*float64(f.Rows))), f.Rows)
+	if c1 <= c0 {
+		c1 = c0 + 1
+	}
+	if r1 <= r0 {
+		r1 = r0 + 1
+	}
+	s, n := 0.0, 0
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			s += f.Data[r*f.Cols+c]
+			n++
+		}
+	}
+	return s / float64(n)
+}
+
+// MinOverRect returns the minimum field value over the rectangle, with the
+// same coordinate conventions as MeanOverRect. The critical-path model uses
+// it to find the slowest transistors in a core.
+func (f *Field) MinOverRect(x0, y0, x1, y1 float64) float64 {
+	c0 := clampIndex(int(x0*float64(f.Cols)), f.Cols)
+	c1 := clampIndex(int(math.Ceil(x1*float64(f.Cols))), f.Cols)
+	r0 := clampIndex(int(y0*float64(f.Rows)), f.Rows)
+	r1 := clampIndex(int(math.Ceil(y1*float64(f.Rows))), f.Rows)
+	if c1 <= c0 {
+		c1 = c0 + 1
+	}
+	if r1 <= r0 {
+		r1 = r0 + 1
+	}
+	m := math.Inf(1)
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			if v := f.Data[r*f.Cols+c]; v < m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// MaxOverRect returns the maximum field value over the rectangle.
+func (f *Field) MaxOverRect(x0, y0, x1, y1 float64) float64 {
+	c0 := clampIndex(int(x0*float64(f.Cols)), f.Cols)
+	c1 := clampIndex(int(math.Ceil(x1*float64(f.Cols))), f.Cols)
+	r0 := clampIndex(int(y0*float64(f.Rows)), f.Rows)
+	r1 := clampIndex(int(math.Ceil(y1*float64(f.Rows))), f.Rows)
+	if c1 <= c0 {
+		c1 = c0 + 1
+	}
+	if r1 <= r0 {
+		r1 = r0 + 1
+	}
+	m := math.Inf(-1)
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			if v := f.Data[r*f.Cols+c]; v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+// Sampler draws independent realisations of a configured field.
+type Sampler interface {
+	Sample(rng *stats.RNG) (*Field, error)
+	Config() Config
+}
+
+// NewSampler returns the default sampler for cfg: circulant embedding for
+// grids whose padded size is a power of two (always, since we pad), falling
+// back to Cholesky only for tiny grids where dense sampling is cheaper.
+func NewSampler(cfg Config) (Sampler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rows*cfg.Cols <= 32*32 {
+		return NewCholeskySampler(cfg)
+	}
+	return NewCirculantSampler(cfg)
+}
+
+// EstimateCorrelationRange estimates the spatial-correlation range phi of
+// a batch of fields empirically: it computes the mean lag-r correlation
+// along rows and returns the smallest normalised distance at which it
+// falls below the threshold rho. Validation tooling uses it to confirm
+// generated maps carry the configured range (the paper's geoR maps were
+// validated the same way).
+func EstimateCorrelationRange(fields []*Field, rho float64) (float64, error) {
+	if len(fields) == 0 {
+		return 0, errors.New("grf: no fields to estimate from")
+	}
+	if rho <= 0 || rho >= 1 {
+		return 0, fmt.Errorf("grf: threshold %v outside (0,1)", rho)
+	}
+	cols := fields[0].Cols
+	var norm float64
+	prods := make([]float64, cols)
+	counts := make([]int, cols)
+	for _, f := range fields {
+		if f.Cols != cols {
+			return 0, errors.New("grf: fields differ in width")
+		}
+		for r := 0; r < f.Rows; r++ {
+			for c := 0; c < f.Cols; c++ {
+				v := f.At(r, c)
+				norm += v * v
+				for lag := 1; c+lag < f.Cols; lag++ {
+					prods[lag] += v * f.At(r, c+lag)
+					counts[lag]++
+				}
+			}
+		}
+	}
+	if norm == 0 {
+		return 0, errors.New("grf: fields are identically zero")
+	}
+	cells := 0
+	for _, f := range fields {
+		cells += f.Rows * f.Cols
+	}
+	variance := norm / float64(cells)
+	for lag := 1; lag < cols; lag++ {
+		if counts[lag] == 0 {
+			continue
+		}
+		corr := prods[lag] / float64(counts[lag]) / variance
+		if corr < rho {
+			return float64(lag) / float64(cols), nil
+		}
+	}
+	return 1, nil
+}

@@ -1,0 +1,379 @@
+package grf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vasched/internal/stats"
+)
+
+func TestSphericalCorrelationShape(t *testing.T) {
+	const phi = 0.5
+	if got := SphericalCorrelation(0, phi); got != 1 {
+		t.Fatalf("rho(0) = %v", got)
+	}
+	if got := SphericalCorrelation(phi, phi); got != 0 {
+		t.Fatalf("rho(phi) = %v", got)
+	}
+	if got := SphericalCorrelation(2*phi, phi); got != 0 {
+		t.Fatalf("rho beyond range = %v", got)
+	}
+	// Monotone decreasing on [0, phi].
+	prev := 1.0
+	for r := 0.01; r < phi; r += 0.01 {
+		cur := SphericalCorrelation(r, phi)
+		if cur > prev+1e-12 {
+			t.Fatalf("rho not monotone at r=%v", r)
+		}
+		prev = cur
+	}
+}
+
+func TestSphericalCorrelationPropertyBounds(t *testing.T) {
+	f := func(r, phi float64) bool {
+		r = math.Abs(r)
+		phi = math.Abs(phi)
+		if phi == 0 || math.IsNaN(r) || math.IsNaN(phi) || math.IsInf(r, 0) || math.IsInf(phi, 0) {
+			return true
+		}
+		rho := SphericalCorrelation(r, phi)
+		return rho >= 0 && rho <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Rows: 0, Cols: 4, Phi: 0.5, Sigma: 1},
+		{Rows: 4, Cols: -1, Phi: 0.5, Sigma: 1},
+		{Rows: 4, Cols: 4, Phi: 0, Sigma: 1},
+		{Rows: 4, Cols: 4, Phi: 0.5, Sigma: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSampler(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestFieldAccessors(t *testing.T) {
+	f := &Field{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	if f.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v", f.At(1, 2))
+	}
+	if f.AtPoint(0.99, 0.99) != 6 {
+		t.Fatalf("AtPoint(corner) = %v", f.AtPoint(0.99, 0.99))
+	}
+	if f.AtPoint(0, 0) != 1 {
+		t.Fatalf("AtPoint(origin) = %v", f.AtPoint(0, 0))
+	}
+	// Clamp beyond-edge coordinates rather than panicking.
+	if f.AtPoint(1.5, -0.5) != 3 {
+		t.Fatalf("AtPoint(out of range) = %v", f.AtPoint(1.5, -0.5))
+	}
+	if got := f.MeanOverRect(0, 0, 1, 1); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("MeanOverRect full = %v", got)
+	}
+	if got := f.MinOverRect(0, 0, 1, 1); got != 1 {
+		t.Fatalf("MinOverRect = %v", got)
+	}
+	if got := f.MaxOverRect(0, 0, 1, 1); got != 6 {
+		t.Fatalf("MaxOverRect = %v", got)
+	}
+	// Degenerate (zero-area) rectangle still returns the containing cell.
+	if got := f.MeanOverRect(0.5, 0.5, 0.5, 0.5); math.IsNaN(got) {
+		t.Fatal("degenerate rect produced NaN")
+	}
+}
+
+// fieldMoments samples n fields and returns pooled mean and variance.
+func fieldMoments(t *testing.T, s Sampler, rng *stats.RNG, n int) (mean, variance float64) {
+	t.Helper()
+	var sum, sumSq float64
+	var count int
+	for i := 0; i < n; i++ {
+		f, err := s.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range f.Data {
+			sum += v
+			sumSq += v * v
+			count++
+		}
+	}
+	mean = sum / float64(count)
+	variance = sumSq/float64(count) - mean*mean
+	return mean, variance
+}
+
+func TestCirculantMomentsMatchTarget(t *testing.T) {
+	cfg := Config{Rows: 64, Cols: 64, Phi: 0.5, Sigma: 0.03}
+	s, err := NewCirculantSampler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ClippedPower > 0.01 {
+		t.Fatalf("excessive spectral clipping: %v", s.ClippedPower)
+	}
+	rng := stats.NewRNG(1234)
+	mean, variance := fieldMoments(t, s, rng, 60)
+	if math.Abs(mean) > 0.004 {
+		t.Fatalf("field mean = %v, want ~0", mean)
+	}
+	target := cfg.Sigma * cfg.Sigma
+	if math.Abs(variance-target) > 0.15*target {
+		t.Fatalf("field variance = %v, want ~%v", variance, target)
+	}
+}
+
+func TestCirculantSpatialCorrelation(t *testing.T) {
+	// Empirical correlation at lag r should track the spherical model.
+	cfg := Config{Rows: 64, Cols: 64, Phi: 0.5, Sigma: 1}
+	s, err := NewCirculantSampler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(99)
+	lags := []int{1, 8, 16, 31}
+	// Accumulate products across many fields at horizontal lags.
+	prods := make([]float64, len(lags))
+	var norm float64
+	counts := make([]int, len(lags))
+	const nFields = 120
+	for i := 0; i < nFields; i++ {
+		f, err := s.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < f.Rows; r++ {
+			for c := 0; c < f.Cols; c++ {
+				v := f.At(r, c)
+				norm += v * v
+				for li, lag := range lags {
+					if c+lag < f.Cols {
+						prods[li] += v * f.At(r, c+lag)
+						counts[li]++
+					}
+				}
+			}
+		}
+	}
+	norm /= float64(nFields * cfg.Rows * cfg.Cols)
+	for li, lag := range lags {
+		emp := prods[li] / float64(counts[li]) / norm
+		r := float64(lag) / float64(cfg.Cols)
+		want := SphericalCorrelation(r, cfg.Phi)
+		if math.Abs(emp-want) > 0.08 {
+			t.Errorf("lag %d: empirical rho = %.3f, want %.3f", lag, emp, want)
+		}
+	}
+}
+
+func TestCholeskyMomentsMatchTarget(t *testing.T) {
+	cfg := Config{Rows: 16, Cols: 16, Phi: 0.5, Sigma: 0.5}
+	s, err := NewCholeskySampler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(31)
+	mean, variance := fieldMoments(t, s, rng, 400)
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("field mean = %v", mean)
+	}
+	target := cfg.Sigma * cfg.Sigma
+	if math.Abs(variance-target) > 0.15*target {
+		t.Fatalf("field variance = %v, want ~%v", variance, target)
+	}
+}
+
+func TestCholeskyAndCirculantAgree(t *testing.T) {
+	// The two samplers should produce statistically indistinguishable
+	// correlation at a mid-range lag.
+	cfg := Config{Rows: 16, Cols: 16, Phi: 0.5, Sigma: 1}
+	chol, err := NewCholeskySampler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := NewCirculantSampler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrAtLag := func(s Sampler, seed int64) float64 {
+		rng := stats.NewRNG(seed)
+		var prod, norm float64
+		var n int
+		for i := 0; i < 400; i++ {
+			f, err := s.Sample(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < f.Rows; r++ {
+				for c := 0; c+4 < f.Cols; c++ {
+					prod += f.At(r, c) * f.At(r, c+4)
+					norm += f.At(r, c) * f.At(r, c)
+					n++
+				}
+			}
+		}
+		return prod / norm
+	}
+	a := corrAtLag(chol, 5)
+	b := corrAtLag(circ, 6)
+	if math.Abs(a-b) > 0.06 {
+		t.Fatalf("samplers disagree on lag-4 correlation: %.3f vs %.3f", a, b)
+	}
+}
+
+func TestCholeskySizeLimit(t *testing.T) {
+	if _, err := NewCholeskySampler(Config{Rows: 100, Cols: 100, Phi: 0.5, Sigma: 1}); err == nil {
+		t.Fatal("oversized Cholesky config accepted")
+	}
+}
+
+func TestNewSamplerSelection(t *testing.T) {
+	small, err := NewSampler(Config{Rows: 8, Cols: 8, Phi: 0.5, Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := small.(*CholeskySampler); !ok {
+		t.Fatalf("small grid should use Cholesky, got %T", small)
+	}
+	large, err := NewSampler(Config{Rows: 64, Cols: 64, Phi: 0.5, Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := large.(*CirculantSampler); !ok {
+		t.Fatalf("large grid should use circulant, got %T", large)
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	cfg := Config{Rows: 64, Cols: 64, Phi: 0.5, Sigma: 0.1}
+	s1, _ := NewCirculantSampler(cfg)
+	s2, _ := NewCirculantSampler(cfg)
+	f1, err := s1.Sample(stats.NewRNG(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s2.Sample(stats.NewRNG(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1.Data {
+		if f1.Data[i] != f2.Data[i] {
+			t.Fatal("same seed produced different fields")
+		}
+	}
+}
+
+func BenchmarkCirculantSample64(b *testing.B) {
+	s, err := NewCirculantSampler(Config{Rows: 64, Cols: 64, Phi: 0.5, Sigma: 0.03})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sample(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGRFSamplers compares the circulant and Cholesky samplers on the
+// same small grid (ablation: design decision 4 in DESIGN.md).
+func BenchmarkGRFSamplers(b *testing.B) {
+	cfg := Config{Rows: 16, Cols: 16, Phi: 0.5, Sigma: 1}
+	b.Run("circulant", func(b *testing.B) {
+		s, err := NewCirculantSampler(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := stats.NewRNG(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = s.Sample(rng)
+		}
+	})
+	b.Run("cholesky", func(b *testing.B) {
+		s, err := NewCholeskySampler(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := stats.NewRNG(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = s.Sample(rng)
+		}
+	})
+}
+
+func TestEstimateCorrelationRange(t *testing.T) {
+	// Fields generated with phi = 0.5 should show their correlation
+	// dropping near zero around half the chip width; the spherical model
+	// crosses rho = 0.05 at r ~ 0.47*phi... measured empirically, the
+	// low-threshold crossing lands in a broad band below phi.
+	cfg := Config{Rows: 64, Cols: 64, Phi: 0.5, Sigma: 1}
+	s, err := NewCirculantSampler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(17)
+	var fields []*Field
+	for i := 0; i < 60; i++ {
+		f, err := s.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields = append(fields, f)
+	}
+	r05, err := EstimateCorrelationRange(fields, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r05 < 0.25 || r05 > 0.65 {
+		t.Fatalf("estimated decorrelation distance %v, want near phi=0.5", r05)
+	}
+	// A shorter-range field must estimate shorter.
+	short, err := NewCirculantSampler(Config{Rows: 64, Cols: 64, Phi: 0.2, Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sf []*Field
+	for i := 0; i < 60; i++ {
+		f, err := short.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf = append(sf, f)
+	}
+	rShort, err := EstimateCorrelationRange(sf, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rShort >= r05 {
+		t.Fatalf("phi=0.2 estimate %v not below phi=0.5 estimate %v", rShort, r05)
+	}
+}
+
+func TestEstimateCorrelationRangeValidation(t *testing.T) {
+	if _, err := EstimateCorrelationRange(nil, 0.05); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	f := &Field{Rows: 2, Cols: 4, Data: make([]float64, 8)}
+	if _, err := EstimateCorrelationRange([]*Field{f}, 0.05); err == nil {
+		t.Fatal("zero fields accepted")
+	}
+	g := &Field{Rows: 2, Cols: 4, Data: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	if _, err := EstimateCorrelationRange([]*Field{g}, 2); err == nil {
+		t.Fatal("bad threshold accepted")
+	}
+	h := &Field{Rows: 2, Cols: 8, Data: make([]float64, 16)}
+	if _, err := EstimateCorrelationRange([]*Field{g, h}, 0.05); err == nil {
+		t.Fatal("mismatched widths accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Package linsolve provides the small dense linear-algebra kernel the
+// thermal model needs: LU factorization with partial pivoting and
+// triangular solves. Matrices are stored row-major in flat slices.
+package linsolve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when factorization meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linsolve: singular matrix")
+
+// LU is a factorization P*A = L*U usable for repeated solves against the
+// same matrix (the thermal model re-solves each leakage iteration).
+type LU struct {
+	n    int
+	lu   []float64
+	perm []int
+}
+
+// Factor computes the LU factorization of the n x n matrix a (row-major).
+// The input is not modified.
+func Factor(a []float64, n int) (*LU, error) {
+	if len(a) != n*n {
+		return nil, fmt.Errorf("linsolve: matrix buffer has %d elements, want %d", len(a), n*n)
+	}
+	lu := append([]float64(nil), a...)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivoting: find the largest magnitude in this column.
+		pivot := col
+		maxAbs := math.Abs(lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu[r*n+col]); v > maxAbs {
+				maxAbs, pivot = v, r
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				lu[col*n+c], lu[pivot*n+c] = lu[pivot*n+c], lu[col*n+c]
+			}
+			perm[col], perm[pivot] = perm[pivot], perm[col]
+		}
+		inv := 1 / lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := lu[r*n+col] * inv
+			lu[r*n+col] = f
+			for c := col + 1; c < n; c++ {
+				lu[r*n+c] -= f * lu[col*n+c]
+			}
+		}
+	}
+	return &LU{n: n, lu: lu, perm: perm}, nil
+}
+
+// Solve returns x with A x = b. b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("linsolve: rhs has %d elements, want %d", len(b), f.n)
+	}
+	x := make([]float64, f.n)
+	// Apply permutation and forward-substitute L (unit diagonal).
+	for i := 0; i < f.n; i++ {
+		s := b[f.perm[i]]
+		for j := 0; j < i; j++ {
+			s -= f.lu[i*f.n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute U.
+	for i := f.n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.lu[i*f.n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*f.n+i]
+	}
+	return x, nil
+}
+
+// SolveDense is a convenience one-shot solve of A x = b.
+func SolveDense(a []float64, n int, b []float64) ([]float64, error) {
+	f, err := Factor(a, n)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// MatVec returns A x for an n x n row-major matrix.
+func MatVec(a []float64, n int, x []float64) []float64 {
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		row := a[i*n : (i+1)*n]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

@@ -1,0 +1,370 @@
+// Package lp implements linear programming with the two-phase primal
+// Simplex method (dense tableau, Bland's anti-cycling rule). It is the
+// optimisation engine behind the paper's LinOpt power manager, but the
+// solver is general: maximize c'x subject to a mix of <=, >=, and =
+// constraints with x >= 0.
+//
+// Problems the size LinOpt produces (tens of variables and constraints)
+// solve in microseconds, which is what makes running LinOpt every 10 ms
+// practical (paper Figure 15).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint's comparison operator.
+type Relation int
+
+// Supported constraint relations.
+const (
+	LE Relation = iota // <=
+	GE                 // >=
+	EQ                 // ==
+)
+
+// String returns the operator symbol.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Sentinel errors.
+var (
+	// ErrInfeasible means no point satisfies all constraints.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded means the objective can grow without limit.
+	ErrUnbounded = errors.New("lp: unbounded")
+)
+
+// Constraint is one row: Coeffs . x  Rel  RHS.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a maximisation over non-negative variables.
+type Problem struct {
+	// Objective holds the coefficients of the function to maximize.
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// Solution is the optimum found by Solve.
+type Solution struct {
+	// X is the optimal assignment (same length as Objective).
+	X []float64
+	// Objective is the optimal value.
+	Objective float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+	// Duals holds each constraint's shadow price — the rate at which the
+	// optimum improves per unit of RHS relaxation. Available for <= and
+	// >= constraints (computed from the reduced cost of the slack/surplus
+	// column); NaN for == constraints.
+	Duals []float64
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase Simplex on p. It returns ErrInfeasible or
+// ErrUnbounded for the corresponding outcomes.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.Objective)
+	if n == 0 {
+		return nil, errors.New("lp: empty objective")
+	}
+	m := len(p.Constraints)
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n)
+		}
+	}
+
+	// Normalise rows to non-negative RHS so slack/artificial bookkeeping
+	// is uniform.
+	type row struct {
+		a   []float64
+		rel Relation
+		b   float64
+	}
+	rows := make([]row, m)
+	for i, c := range p.Constraints {
+		a := append([]float64(nil), c.Coeffs...)
+		b := c.RHS
+		rel := c.Rel
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = row{a: a, rel: rel, b: b}
+	}
+
+	// Column layout: [structural n] [slack/surplus s] [artificial r] [rhs].
+	nSlack, nArt := 0, 0
+	for _, r := range rows {
+		switch r.rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	width := total + 1
+	t := make([]float64, m*width)
+	basis := make([]int, m)
+	// slackCol[i] is constraint i's slack/surplus column (with its sign),
+	// used to read shadow prices at the optimum; 0 for == constraints.
+	slackCol := make([]int, m)
+	slackSign := make([]float64, m)
+	slackAt, artAt := n, n+nSlack
+	for i, r := range rows {
+		copy(t[i*width:], r.a)
+		t[i*width+total] = r.b
+		switch r.rel {
+		case LE:
+			t[i*width+slackAt] = 1
+			basis[i] = slackAt
+			slackCol[i], slackSign[i] = slackAt, 1
+			slackAt++
+		case GE:
+			t[i*width+slackAt] = -1
+			slackCol[i], slackSign[i] = slackAt, -1
+			slackAt++
+			t[i*width+artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case EQ:
+			t[i*width+artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+	}
+
+	s := &simplex{t: t, m: m, width: width, total: total, basis: basis}
+
+	// Phase 1: maximize -(sum of artificials).
+	if nArt > 0 {
+		obj := make([]float64, total)
+		for j := n + nSlack; j < total; j++ {
+			obj[j] = -1
+		}
+		val, err := s.optimize(obj, total)
+		if err != nil {
+			return nil, err
+		}
+		if val < -1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Pivot any artificial still (degenerately) in the basis out.
+		for i := 0; i < m; i++ {
+			if s.basis[i] < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(s.t[i*width+j]) > eps {
+					s.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it so it cannot constrain phase 2.
+				for j := 0; j <= total; j++ {
+					s.t[i*width+j] = 0
+				}
+			}
+		}
+		// Forbid artificial columns in phase 2.
+		s.limit = n + nSlack
+	} else {
+		s.limit = total
+	}
+
+	// Phase 2: the real objective (padded with zeros for slack columns).
+	obj := make([]float64, total)
+	copy(obj, p.Objective)
+	val, err := s.optimize(obj, s.limit)
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, b := range s.basis {
+		if b < n {
+			x[b] = s.t[i*width+total]
+		}
+	}
+	// Shadow prices: for a maximisation in this tableau convention, the
+	// dual of a <= constraint equals the final reduced cost (z_j - c_j) of
+	// its slack column; a >= constraint's surplus column carries the
+	// negated dual. The original constraint orientation must be restored
+	// for rows that were sign-flipped during RHS normalisation.
+	duals := make([]float64, m)
+	zRow := s.finalZ(p.Objective)
+	for i := range rows {
+		if slackSign[i] == 0 {
+			duals[i] = math.NaN()
+			continue
+		}
+		d := slackSign[i] * zRow[slackCol[i]]
+		if p.Constraints[i].RHS < 0 {
+			// The row was multiplied by -1 during normalisation; undo the
+			// orientation change for the caller's view.
+			d = -d
+		}
+		duals[i] = d
+	}
+	return &Solution{X: x, Objective: val, Iterations: s.iterations, Duals: duals}, nil
+}
+
+// finalZ recomputes the reduced-cost row for the given objective at the
+// current (optimal) basis.
+func (s *simplex) finalZ(objective []float64) []float64 {
+	obj := make([]float64, s.total)
+	copy(obj, objective)
+	z := make([]float64, s.total+1)
+	for j := 0; j < s.total; j++ {
+		z[j] = -objAt(obj, j)
+	}
+	for i, b := range s.basis {
+		cb := objAt(obj, b)
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= s.total; j++ {
+			z[j] += cb * s.t[i*s.width+j]
+		}
+	}
+	return z
+}
+
+// simplex holds the tableau state shared by the two phases.
+type simplex struct {
+	t          []float64
+	m          int
+	width      int
+	total      int
+	limit      int // columns eligible to enter the basis
+	basis      []int
+	iterations int
+}
+
+// optimize maximises obj over the current tableau, allowing the first
+// `limit` columns to enter the basis. It returns the objective value at the
+// optimum.
+func (s *simplex) optimize(obj []float64, limit int) (float64, error) {
+	// Reduced costs: z_j - c_j computed against the current basis.
+	// We maintain them directly as a working row.
+	z := make([]float64, s.total+1)
+	recompute := func() {
+		for j := 0; j <= s.total; j++ {
+			z[j] = 0
+		}
+		for j := 0; j < s.total; j++ {
+			z[j] = -objAt(obj, j)
+		}
+		for i, b := range s.basis {
+			cb := objAt(obj, b)
+			if cb == 0 {
+				continue
+			}
+			for j := 0; j <= s.total; j++ {
+				z[j] += cb * s.t[i*s.width+j]
+			}
+		}
+	}
+	recompute()
+
+	const maxIter = 10000
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column: Bland's rule (smallest index with negative
+		// reduced cost) to guarantee termination.
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if z[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return z[s.total], nil
+		}
+		// Leaving row: minimum ratio, ties broken by smallest basis index
+		// (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < s.m; i++ {
+			a := s.t[i*s.width+enter]
+			if a <= eps {
+				continue
+			}
+			ratio := s.t[i*s.width+s.total] / a
+			if ratio < best-eps || (ratio < best+eps && (leave < 0 || s.basis[i] < s.basis[leave])) {
+				best = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+		s.pivot(leave, enter)
+		s.iterations++
+		recompute()
+	}
+	return 0, errors.New("lp: iteration limit exceeded")
+}
+
+func objAt(obj []float64, j int) float64 {
+	if j < len(obj) {
+		return obj[j]
+	}
+	return 0
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
+func (s *simplex) pivot(row, col int) {
+	w := s.width
+	p := s.t[row*w+col]
+	inv := 1 / p
+	for j := 0; j <= s.total; j++ {
+		s.t[row*w+j] *= inv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == row {
+			continue
+		}
+		f := s.t[i*w+col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= s.total; j++ {
+			s.t[i*w+j] -= f * s.t[row*w+j]
+		}
+	}
+	s.basis[row] = col
+}

@@ -1,0 +1,428 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vasched/internal/stats"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTextbookMaximisation(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18  => (2, 6), 36.
+	p := &Problem{
+		Objective: []float64{3, 5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Rel: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Rel: LE, RHS: 18},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 36, 1e-7) || !approx(s.X[0], 2, 1e-7) || !approx(s.X[1], 6, 1e-7) {
+		t.Fatalf("solution: %+v", s)
+	}
+}
+
+func TestGEConstraintsTwoPhase(t *testing.T) {
+	// min x + 2y s.t. x + y >= 4; x <= 3; y <= 3  (as max of negation)
+	// => x=3, y=1, cost 5.
+	p := &Problem{
+		Objective: []float64{-1, -2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: GE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 3},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 3},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, -5, 1e-7) {
+		t.Fatalf("objective = %v, want -5 (x=%v)", s.Objective, s.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + y s.t. x + y == 5; x <= 2 => 5 with x<=2.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 5},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 2},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 5, 1e-7) || s.X[0] > 2+1e-7 {
+		t.Fatalf("solution: %+v", s)
+	}
+	if !approx(s.X[0]+s.X[1], 5, 1e-7) {
+		t.Fatalf("equality violated: %v", s.X)
+	}
+}
+
+func TestInfeasibleDetected(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 5},
+			{Coeffs: []float64{1}, Rel: LE, RHS: 3},
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnboundedDetected(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 1},
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHSNormalised(t *testing.T) {
+	// x >= 2 written as -x <= -2; max -x should give x = 2.
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Rel: LE, RHS: -2},
+			{Coeffs: []float64{1}, Rel: LE, RHS: 10},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.X[0], 2, 1e-7) {
+		t.Fatalf("x = %v, want 2", s.X[0])
+	}
+}
+
+func TestDegenerateProblemTerminates(t *testing.T) {
+	// A classic cycling-prone degenerate LP (Beale); Bland's rule must
+	// terminate with the optimum 0.05.
+	p := &Problem{
+		Objective: []float64{0.75, -150, 0.02, -6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Rel: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Rel: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Rel: LE, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 0.05, 1e-7) {
+		t.Fatalf("objective = %v, want 0.05", s.Objective)
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicate equality constraints leave an artificial basic at zero;
+	// the solver must still find the optimum.
+	p := &Problem{
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 4},
+			{Coeffs: []float64{2, 2}, Rel: EQ, RHS: 8},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 3},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 11, 1e-7) { // x=1, y=3
+		t.Fatalf("objective = %v, want 11", s.Objective)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Fatal("empty objective accepted")
+	}
+	p := &Problem{
+		Objective:   []float64{1, 2},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Rel: LE, RHS: 1}},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("mismatched constraint width accepted")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("relation strings wrong")
+	}
+	if Relation(9).String() == "" {
+		t.Fatal("unknown relation should still format")
+	}
+}
+
+// knapsackGreedy solves max c'x, w'x <= B, 0 <= x <= u exactly (fractional
+// knapsack) for cross-checking the simplex on LinOpt-shaped problems.
+func knapsackGreedy(c, w, u []float64, budget float64) float64 {
+	type item struct{ density, weight, cap, value float64 }
+	items := make([]item, len(c))
+	for i := range c {
+		items[i] = item{density: c[i] / w[i], weight: w[i], cap: u[i], value: c[i]}
+	}
+	// Sort by density descending (insertion sort, n is tiny).
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].density > items[j-1].density; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	total := 0.0
+	for _, it := range items {
+		if budget <= 0 {
+			break
+		}
+		take := it.cap
+		if take*it.weight > budget {
+			take = budget / it.weight
+		}
+		total += take * it.value
+		budget -= take * it.weight
+	}
+	return total
+}
+
+// Property: on random LinOpt-shaped problems (single budget constraint plus
+// per-variable upper bounds), simplex matches the exact greedy optimum.
+func TestLinOptShapeMatchesGreedyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(20)
+		c := make([]float64, n)
+		w := make([]float64, n)
+		u := make([]float64, n)
+		for i := 0; i < n; i++ {
+			c[i] = 0.1 + rng.Float64()*5 // throughput per volt
+			w[i] = 0.1 + rng.Float64()*3 // watts per volt
+			u[i] = 0.2 + rng.Float64()   // voltage headroom
+		}
+		budget := rng.Float64() * 10
+		cons := make([]Constraint, 0, n+1)
+		cons = append(cons, Constraint{Coeffs: w, Rel: LE, RHS: budget})
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			row[i] = 1
+			cons = append(cons, Constraint{Coeffs: row, Rel: LE, RHS: u[i]})
+		}
+		s, err := Solve(&Problem{Objective: c, Constraints: cons})
+		if err != nil {
+			return false
+		}
+		want := knapsackGreedy(c, w, u, budget)
+		return approx(s.Objective, want, 1e-6*(1+want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: solutions are always feasible.
+func TestSolutionsFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := &Problem{Objective: make([]float64, n)}
+		for i := range p.Objective {
+			p.Objective[i] = rng.NormMuSigma(0, 2)
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.NormMuSigma(0, 1)
+			}
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Rel: LE, RHS: math.Abs(rng.NormMuSigma(2, 2))})
+		}
+		// Bound the box so the problem cannot be unbounded.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Rel: LE, RHS: 10})
+		}
+		s, err := Solve(p)
+		if errors.Is(err, ErrInfeasible) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		for _, c := range p.Constraints {
+			dot := 0.0
+			for j := range c.Coeffs {
+				dot += c.Coeffs[j] * s.X[j]
+			}
+			switch c.Rel {
+			case LE:
+				if dot > c.RHS+1e-6 {
+					return false
+				}
+			case GE:
+				if dot < c.RHS-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(dot-c.RHS) > 1e-6 {
+					return false
+				}
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolveLinOptShape20(b *testing.B) {
+	rng := stats.NewRNG(1)
+	n := 20
+	c := make([]float64, n)
+	w := make([]float64, n)
+	cons := make([]Constraint, 0, n+1)
+	for i := 0; i < n; i++ {
+		c[i] = 0.5 + rng.Float64()*4
+		w[i] = 0.5 + rng.Float64()*2
+	}
+	cons = append(cons, Constraint{Coeffs: w, Rel: LE, RHS: 8})
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		row[i] = 1
+		cons = append(cons, Constraint{Coeffs: row, Rel: LE, RHS: 0.4})
+	}
+	p := &Problem{Objective: c, Constraints: cons}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDualsTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18 has duals
+	// (0, 3/2, 1): the first constraint is slack at the optimum (2, 6).
+	p := &Problem{
+		Objective: []float64{3, 5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Rel: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Rel: LE, RHS: 18},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1.5, 1}
+	for i, w := range want {
+		if !approx(s.Duals[i], w, 1e-7) {
+			t.Fatalf("dual[%d] = %v, want %v (all: %v)", i, s.Duals[i], w, s.Duals)
+		}
+	}
+}
+
+func TestDualsMatchPerturbation(t *testing.T) {
+	// Property check on LinOpt-shaped problems: the budget constraint's
+	// shadow price must equal the finite-difference sensitivity of the
+	// optimum to the budget.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(8)
+		c := make([]float64, n)
+		w := make([]float64, n)
+		cons := make([]Constraint, 0, n+1)
+		for i := 0; i < n; i++ {
+			c[i] = 0.1 + rng.Float64()*5
+			w[i] = 0.1 + rng.Float64()*3
+		}
+		budget := 1 + rng.Float64()*5
+		cons = append(cons, Constraint{Coeffs: w, Rel: LE, RHS: budget})
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			row[i] = 1
+			cons = append(cons, Constraint{Coeffs: row, Rel: LE, RHS: 0.2 + rng.Float64()})
+		}
+		base, err := Solve(&Problem{Objective: c, Constraints: cons})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const h = 1e-6
+		bumped := make([]Constraint, len(cons))
+		copy(bumped, cons)
+		bumped[0] = Constraint{Coeffs: w, Rel: LE, RHS: budget + h}
+		more, err := Solve(&Problem{Objective: c, Constraints: bumped})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sensitivity := (more.Objective - base.Objective) / h
+		if !approx(base.Duals[0], sensitivity, 1e-4*(1+sensitivity)) {
+			t.Fatalf("seed %d: budget dual %v vs finite-difference %v",
+				seed, base.Duals[0], sensitivity)
+		}
+	}
+}
+
+func TestDualsEqualityNaN(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 5},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 2},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(s.Duals[0]) {
+		t.Fatalf("equality dual = %v, want NaN", s.Duals[0])
+	}
+}
+
+func TestDualsGEConstraint(t *testing.T) {
+	// min x (as max -x) s.t. x >= 2: at the optimum x = 2 the GE
+	// constraint binds; relaxing it (lowering the RHS) improves the
+	// objective at rate 1, so the dual is -1.
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 2},
+			{Coeffs: []float64{1}, Rel: LE, RHS: 10},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Duals[0], -1, 1e-7) {
+		t.Fatalf("GE dual = %v, want -1", s.Duals[0])
+	}
+}

@@ -1,0 +1,151 @@
+// Package metrics implements the paper's evaluation metrics (Section 6.6):
+// throughput in MIPS, weighted throughput (per-thread IPS normalised to the
+// thread's reference IPS, after Snavely & Tullsen), the energy-delay-square
+// product ED^2, and the running power-deviation statistic behind Figure 14.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// MIPS returns total throughput in millions of instructions per second for
+// per-thread IPCs and frequencies.
+func MIPS(ipc, freqHz []float64) float64 {
+	sum := 0.0
+	for i := range ipc {
+		sum += ipc[i] * freqHz[i] / 1e6
+	}
+	return sum
+}
+
+// WeightedThroughput returns the sum of per-thread IPS normalised by each
+// thread's reference IPS (its IPS at reference conditions). A thread
+// running exactly at its reference speed contributes 1.0.
+func WeightedThroughput(ipc, freqHz, refIPS []float64) (float64, error) {
+	if len(ipc) != len(freqHz) || len(ipc) != len(refIPS) {
+		return 0, fmt.Errorf("metrics: mismatched lengths %d/%d/%d", len(ipc), len(freqHz), len(refIPS))
+	}
+	sum := 0.0
+	for i := range ipc {
+		if refIPS[i] <= 0 {
+			return 0, fmt.Errorf("metrics: thread %d has non-positive reference IPS", i)
+		}
+		sum += ipc[i] * freqHz[i] / refIPS[i]
+	}
+	return sum, nil
+}
+
+// EDSquared returns a quantity proportional to the energy-delay-square
+// product of executing a fixed amount of work at average power powerW and
+// throughput tp: E = P*t and D = t with t = W/tp, so ED^2 = P * W^3 / tp^3.
+// With W fixed across compared configurations, P/tp^3 orders them
+// identically; the returned value uses W = 1.
+func EDSquared(powerW, tp float64) float64 {
+	if tp <= 0 {
+		return math.Inf(1)
+	}
+	return powerW / (tp * tp * tp)
+}
+
+// DeviationTracker accumulates the Figure 14 statistic: at every sample
+// (1 ms in the paper), the absolute relative difference between consumed
+// power and the target is recorded; the average over a window is reported.
+type DeviationTracker struct {
+	target float64
+	sum    float64
+	n      int
+}
+
+// NewDeviationTracker tracks deviation from the given power target.
+func NewDeviationTracker(targetW float64) *DeviationTracker {
+	return &DeviationTracker{target: targetW}
+}
+
+// Sample records one power observation.
+func (d *DeviationTracker) Sample(powerW float64) {
+	if d.target <= 0 {
+		return
+	}
+	d.sum += math.Abs(powerW-d.target) / d.target
+	d.n++
+}
+
+// MeanPct returns the average absolute deviation in percent.
+func (d *DeviationTracker) MeanPct() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n) * 100
+}
+
+// N returns the number of samples recorded.
+func (d *DeviationTracker) N() int { return d.n }
+
+// Accumulator averages a time series weighted by sample duration.
+type Accumulator struct {
+	sum    float64
+	weight float64
+}
+
+// Add records value held for duration dt.
+func (a *Accumulator) Add(value, dt float64) {
+	a.sum += value * dt
+	a.weight += dt
+}
+
+// Mean returns the time-weighted average, or 0 with no samples.
+func (a *Accumulator) Mean() float64 {
+	if a.weight == 0 {
+		return 0
+	}
+	return a.sum / a.weight
+}
+
+// Sparkline renders a numeric series as a compact unicode strip chart,
+// downsampling (by bucket mean) to the requested width. An empty or
+// constant series renders as a flat line.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	if width > len(values) {
+		width = len(values)
+	}
+	buckets := make([]float64, width)
+	per := float64(len(values)) / float64(width)
+	for b := 0; b < width; b++ {
+		lo := int(float64(b) * per)
+		hi := int(float64(b+1) * per)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(values) {
+			hi = len(values)
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		buckets[b] = sum / float64(hi-lo)
+	}
+	mn, mx := buckets[0], buckets[0]
+	for _, v := range buckets[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	out := make([]rune, width)
+	for i, v := range buckets {
+		idx := 0
+		if mx > mn {
+			idx = int((v - mn) / (mx - mn) * float64(len(ramp)-1))
+		}
+		out[i] = ramp[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMIPS(t *testing.T) {
+	got := MIPS([]float64{1, 0.5}, []float64{4e9, 2e9})
+	if got != 5000 {
+		t.Fatalf("MIPS = %v, want 5000", got)
+	}
+	if MIPS(nil, nil) != 0 {
+		t.Fatal("empty MIPS should be 0")
+	}
+}
+
+func TestWeightedThroughput(t *testing.T) {
+	// Thread 0 at reference speed, thread 1 at half its reference.
+	got, err := WeightedThroughput(
+		[]float64{1, 0.5},
+		[]float64{4e9, 2e9},
+		[]float64{4e9, 2e9},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("weighted = %v, want 1.5", got)
+	}
+	if _, err := WeightedThroughput([]float64{1}, []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := WeightedThroughput([]float64{1}, []float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero reference accepted")
+	}
+}
+
+func TestEDSquared(t *testing.T) {
+	base := EDSquared(100, 1000)
+	// Doubling throughput at equal power cuts ED^2 by 8x.
+	if got := EDSquared(100, 2000); math.Abs(got-base/8) > 1e-18 {
+		t.Fatalf("ED2 scaling wrong: %v vs %v/8", got, base)
+	}
+	// Halving power at equal throughput halves ED^2.
+	if got := EDSquared(50, 1000); math.Abs(got-base/2) > 1e-18 {
+		t.Fatalf("ED2 power scaling wrong")
+	}
+	if !math.IsInf(EDSquared(10, 0), 1) {
+		t.Fatal("zero throughput should yield +Inf")
+	}
+}
+
+func TestDeviationTracker(t *testing.T) {
+	d := NewDeviationTracker(100)
+	d.Sample(100) // 0%
+	d.Sample(90)  // 10%
+	d.Sample(110) // 10%
+	if got := d.MeanPct(); math.Abs(got-20.0/3) > 1e-9 {
+		t.Fatalf("mean deviation = %v", got)
+	}
+	if d.N() != 3 {
+		t.Fatalf("N = %d", d.N())
+	}
+	// Zero-target tracker is inert.
+	z := NewDeviationTracker(0)
+	z.Sample(50)
+	if z.MeanPct() != 0 || z.N() != 0 {
+		t.Fatal("zero-target tracker should ignore samples")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 {
+		t.Fatal("empty accumulator should be 0")
+	}
+	a.Add(10, 1)
+	a.Add(20, 3)
+	if got := a.Mean(); math.Abs(got-17.5) > 1e-12 {
+		t.Fatalf("weighted mean = %v, want 17.5", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	if Sparkline([]float64{1}, 0) != "" {
+		t.Fatal("zero width should render empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5, 5}, 4)
+	if len([]rune(flat)) != 4 {
+		t.Fatalf("flat sparkline %q wrong length", flat)
+	}
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("constant series rendered %q", flat)
+		}
+	}
+	ramp := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	rs := []rune(ramp)
+	if rs[0] != '▁' || rs[7] != '█' {
+		t.Fatalf("ramp rendered %q", ramp)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i] < rs[i-1] {
+			t.Fatalf("ramp not monotone: %q", ramp)
+		}
+	}
+	// Downsampling: 100 points into width 10.
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = float64(i)
+	}
+	if got := Sparkline(series, 10); len([]rune(got)) != 10 {
+		t.Fatalf("downsampled length %d", len([]rune(got)))
+	}
+	// Width above length clamps to length.
+	if got := Sparkline([]float64{1, 2}, 10); len([]rune(got)) != 2 {
+		t.Fatalf("clamped length %d", len([]rune(got)))
+	}
+}

@@ -1,0 +1,223 @@
+package parallel
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"vasched/internal/chip"
+	"vasched/internal/cpusim"
+	"vasched/internal/delay"
+	"vasched/internal/floorplan"
+	"vasched/internal/pm"
+	"vasched/internal/power"
+	"vasched/internal/thermal"
+	"vasched/internal/varmodel"
+	"vasched/internal/workload"
+)
+
+var (
+	once    sync.Once
+	theChip *chip.Chip
+	theCPU  *cpusim.Model
+	bErr    error
+)
+
+func parts(t *testing.T) (*chip.Chip, *cpusim.Model) {
+	t.Helper()
+	once.Do(func() {
+		cfg := varmodel.DefaultConfig()
+		cfg.GridRows, cfg.GridCols = 128, 128
+		g, err := varmodel.NewGenerator(cfg)
+		if err != nil {
+			bErr = err
+			return
+		}
+		maps, err := g.Die(1, 0)
+		if err != nil {
+			bErr = err
+			return
+		}
+		theChip, bErr = chip.Build(maps, floorplan.New20CoreCMP(), delay.DefaultConfig(),
+			power.DefaultModel(cfg.Tech), thermal.DefaultConfig())
+		if bErr != nil {
+			return
+		}
+		theCPU, bErr = cpusim.New(cpusim.DefaultCoreConfig(), workload.SPEC())
+	})
+	if bErr != nil {
+		t.Fatal(bErr)
+	}
+	return theChip, theCPU
+}
+
+func testJob(t *testing.T, threads int) Job {
+	t.Helper()
+	app, err := workload.ByName("swim") // classic barrier-parallel FP code
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{App: app, Threads: threads, SectionInstr: 1e7, Sections: 10}
+}
+
+func TestJobValidation(t *testing.T) {
+	app, _ := workload.ByName("swim")
+	bad := []Job{
+		{},
+		{App: app, Threads: 0, SectionInstr: 1, Sections: 1},
+		{App: app, Threads: 2, SectionInstr: 0, Sections: 1},
+		{App: app, Threads: 2, SectionInstr: 1, Sections: 0},
+	}
+	for i, j := range bad {
+		if j.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	c, cpu := parts(t)
+	job := testJob(t, 4)
+	cores, err := PickSimilarCores(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := len(c.Levels) - 1
+	levels := []int{top, top, top, top}
+	res, err := Run(c, cpu, job, cores, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeMS <= 0 || res.AvgPowerW <= 0 || res.EnergyJ <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if len(res.SpeedThreads) != 4 {
+		t.Fatalf("speeds: %v", res.SpeedThreads)
+	}
+	if res.BarrierWastePct < 0 || res.BarrierWastePct > 60 {
+		t.Fatalf("barrier waste %v%% implausible", res.BarrierWastePct)
+	}
+}
+
+func TestSimilarCoresWasteLessThanFastest(t *testing.T) {
+	// At full voltage, a frequency-matched core set must waste less
+	// barrier time than the set of outright fastest cores, which spans a
+	// wider frequency range on a variation-affected die... unless the
+	// fastest cores happen to be tightly matched; assert non-strictly.
+	c, cpu := parts(t)
+	job := testJob(t, 6)
+	top := len(c.Levels) - 1
+	levels := []int{top, top, top, top, top, top}
+
+	similar, err := PickSimilarCores(c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastest, err := PickFastestCores(c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := Run(c, cpu, job, similar, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastRes, err := Run(c, cpu, job, fastest, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.BarrierWastePct > fastRes.BarrierWastePct+1e-9 {
+		t.Fatalf("similar cores waste %v%% > fastest cores %v%%",
+			simRes.BarrierWastePct, fastRes.BarrierWastePct)
+	}
+}
+
+func TestPickersValidate(t *testing.T) {
+	c, _ := parts(t)
+	if _, err := PickSimilarCores(c, 0); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := PickFastestCores(c, 21); err == nil {
+		t.Fatal("too many cores accepted")
+	}
+	fast, err := PickFastestCores(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fastest set must be sorted fastest-first and genuinely fastest.
+	for i := 1; i < 3; i++ {
+		if c.FmaxNominal(fast[i]) > c.FmaxNominal(fast[i-1]) {
+			t.Fatal("fastest cores not sorted")
+		}
+	}
+}
+
+func TestMinSpeedObjectiveBeatsMIPSForBarriers(t *testing.T) {
+	// Under a tight budget, LinOpt maximising total MIPS starves some
+	// thread (barrier time suffers); the ObjMinSpeed variant lifts the
+	// slowest thread and finishes the job sooner.
+	c, cpu := parts(t)
+	job := testJob(t, 8)
+	cores, err := PickFastestCores(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := pm.Budget{PTargetW: 22, PCoreMaxW: 7}
+	mips, err := Budgeted(c, cpu, job, cores, pm.NewLinOpt(), budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSpeed, err := Budgeted(c, cpu, job, cores,
+		pm.LinOpt{FitPoints: 3, Objective: pm.ObjMinSpeed}, budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minSpeed.TimeMS > mips.TimeMS*1.001 {
+		t.Fatalf("min-speed objective slower for barriers: %v ms vs %v ms",
+			minSpeed.TimeMS, mips.TimeMS)
+	}
+	if minSpeed.AvgPowerW > budget.PTargetW*1.05 {
+		t.Fatalf("min-speed run power %v exceeds budget %v", minSpeed.AvgPowerW, budget.PTargetW)
+	}
+}
+
+func TestMinSpeedObjectiveEqualisesSpeeds(t *testing.T) {
+	c, cpu := parts(t)
+	job := testJob(t, 8)
+	cores, err := PickFastestCores(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := pm.Budget{PTargetW: 22, PCoreMaxW: 7}
+	spread := func(res *Result) float64 {
+		lo, hi := math.Inf(1), 0.0
+		for _, s := range res.SpeedThreads {
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+		}
+		return hi / lo
+	}
+	mips, err := Budgeted(c, cpu, job, cores, pm.NewLinOpt(), budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSpeed, err := Budgeted(c, cpu, job, cores,
+		pm.LinOpt{FitPoints: 3, Objective: pm.ObjMinSpeed}, budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread(minSpeed) > spread(mips)+1e-9 {
+		t.Fatalf("min-speed spread %v not tighter than MIPS spread %v",
+			spread(minSpeed), spread(mips))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c, cpu := parts(t)
+	job := testJob(t, 4)
+	if _, err := Run(c, cpu, job, []int{0, 1}, []int{8, 8}); err == nil {
+		t.Fatal("mismatched cores accepted")
+	}
+	if _, err := NewJobPlatform(c, cpu, job, []int{1}); err == nil {
+		t.Fatal("mismatched platform cores accepted")
+	}
+}

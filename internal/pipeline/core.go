@@ -1,0 +1,308 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"vasched/internal/bpred"
+	"vasched/internal/cache"
+	"vasched/internal/workload"
+)
+
+// Config describes the simulated core (paper Table 4 defaults).
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	ROBEntries  int
+	// IntLatency/FPLatency are execute latencies in cycles.
+	IntLatency int
+	FPLatency  int
+	// L1Latency/L2Latency are hit latencies in cycles.
+	L1Latency int
+	L2Latency int
+	// MemLatencySec is main memory latency in seconds; its cycle cost
+	// scales with the simulated clock.
+	MemLatencySec float64
+	// BranchPenalty is the misprediction flush cost in cycles.
+	BranchPenalty int
+	// MSHRs bounds outstanding misses (memory-level parallelism).
+	MSHRs int
+	// Predictor sizes the branch predictor.
+	Predictor bpred.Config
+}
+
+// DefaultConfig returns the Table 4 core.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:    4,
+		IssueWidth:    2,
+		CommitWidth:   2,
+		ROBEntries:    80,
+		IntLatency:    1,
+		FPLatency:     4,
+		L1Latency:     2,
+		L2Latency:     10,
+		MemLatencySec: 100e-9,
+		BranchPenalty: 7,
+		MSHRs:         8,
+		Predictor:     bpred.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 || c.ROBEntries <= 0 {
+		return fmt.Errorf("pipeline: non-positive width/ROB in %+v", c)
+	}
+	if c.IntLatency <= 0 || c.FPLatency <= 0 || c.L1Latency <= 0 || c.L2Latency <= 0 {
+		return fmt.Errorf("pipeline: non-positive latency in %+v", c)
+	}
+	if c.MemLatencySec <= 0 || c.BranchPenalty < 0 || c.MSHRs <= 0 {
+		return fmt.Errorf("pipeline: invalid memory/branch parameters in %+v", c)
+	}
+	return c.Predictor.Validate()
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	in     Instr
+	issued bool
+	done   bool
+	doneAt int64 // cycle the result is available
+	isMiss bool  // occupies an MSHR until doneAt
+}
+
+// Stats summarises a simulation window.
+type Stats struct {
+	Cycles       int64
+	Instructions int64
+	IPC          float64
+	// BranchMispredicts counts flushes; MispredictRate is per branch.
+	BranchMispredicts int64
+	MispredictRate    float64
+	// L1MPKI/L2MPKI are data-cache misses per kilo-instruction.
+	L1MPKI float64
+	L2MPKI float64
+}
+
+// Core is one cycle-level simulated core.
+type Core struct {
+	cfg  Config
+	pred *bpred.Predictor
+	hier *cache.Hierarchy
+	// ROB as a ring buffer.
+	rob        []robEntry
+	head, tail int
+	occupancy  int
+	// regReady[r] is the cycle register r's latest value is available.
+	regReady [32]int64
+	cycle    int64
+	// fetchStallUntil blocks fetch after a mispredicted branch until the
+	// flush resolves.
+	fetchStallUntil int64
+	outstanding     int // busy MSHRs
+	branches        int64
+	mispredicts     int64
+}
+
+// NewCore builds a core with a fresh cache hierarchy.
+func NewCore(cfg Config) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pred, err := bpred.New(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		cfg:  cfg,
+		pred: pred,
+		hier: hier,
+		rob:  make([]robEntry, cfg.ROBEntries),
+	}, nil
+}
+
+// WarmCaches streams n memory references from the generator's address
+// stream through the core's cache hierarchy without simulating timing.
+// Real workloads run billions of instructions; a timing window that starts
+// on cold caches would be dominated by compulsory misses, so callers warm
+// the resident footprint first (the cycle-accurate equivalent of the
+// paper's simulation-point methodology).
+func (c *Core) WarmCaches(gen *TraceGen, n int) {
+	for i := 0; i < n; i++ {
+		acc := gen.mem.Next()
+		c.hier.L1.Access(acc.Addr, acc.Kind)
+	}
+	c.hier.L1.ResetStats()
+	c.hier.L2.ResetStats()
+}
+
+// Run simulates nInstrs instructions from gen at clock frequency fHz and
+// returns the window's statistics. The core's caches and predictor retain
+// state across calls, so a warmup window can precede measurement.
+func (c *Core) Run(gen *TraceGen, nInstrs int64, fHz float64) (*Stats, error) {
+	if nInstrs <= 0 || fHz <= 0 {
+		return nil, fmt.Errorf("pipeline: invalid run parameters n=%d f=%v", nInstrs, fHz)
+	}
+	memCycles := int64(c.cfg.MemLatencySec * fHz)
+	if memCycles < 1 {
+		memCycles = 1
+	}
+	startCycle := c.cycle
+	startL1 := c.hier.L1.Stats
+	startL2 := c.hier.L2.Stats
+	branches0, misp0 := c.branches, c.mispredicts
+
+	var fetched, committed int64
+	const safety = 1 << 40
+	for committed < nInstrs && c.cycle < startCycle+safety {
+		c.commit(&committed)
+		c.issue(memCycles)
+		c.fetch(gen, &fetched, nInstrs)
+		c.cycle++
+	}
+
+	s := &Stats{
+		Cycles:            c.cycle - startCycle,
+		Instructions:      committed,
+		BranchMispredicts: c.mispredicts - misp0,
+	}
+	if s.Cycles > 0 {
+		s.IPC = float64(s.Instructions) / float64(s.Cycles)
+	}
+	if b := c.branches - branches0; b > 0 {
+		s.MispredictRate = float64(s.BranchMispredicts) / float64(b)
+	}
+	l1m := c.hier.L1.Stats.Misses - startL1.Misses
+	l2m := c.hier.L2.Stats.Misses - startL2.Misses
+	s.L1MPKI = float64(l1m) / float64(committed) * 1000
+	s.L2MPKI = float64(l2m) / float64(committed) * 1000
+	return s, nil
+}
+
+// fetch brings up to FetchWidth instructions into the ROB, stopping at a
+// predicted-taken branch (fetch break) and while a misprediction flush is
+// pending.
+func (c *Core) fetch(gen *TraceGen, fetched *int64, limit int64) {
+	if c.cycle < c.fetchStallUntil {
+		return
+	}
+	for w := 0; w < c.cfg.FetchWidth; w++ {
+		if c.occupancy == c.cfg.ROBEntries || *fetched >= limit {
+			return
+		}
+		in := gen.Next()
+		*fetched++
+		c.rob[c.tail] = robEntry{in: in}
+		c.tail = (c.tail + 1) % c.cfg.ROBEntries
+		c.occupancy++
+		if in.Class == OpBranch {
+			pred := c.pred.Predict(in.PC)
+			if pred.Taken {
+				// Taken-branch fetch break: the front end redirects next
+				// cycle.
+				return
+			}
+		}
+	}
+}
+
+// issue scans the ROB oldest-first and starts up to IssueWidth ready
+// instructions.
+func (c *Core) issue(memCycles int64) {
+	issued := 0
+	for i, idx := 0, c.head; i < c.occupancy && issued < c.cfg.IssueWidth; i, idx = i+1, (idx+1)%c.cfg.ROBEntries {
+		e := &c.rob[idx]
+		if e.issued {
+			continue
+		}
+		if !c.ready(e.in) {
+			continue
+		}
+		lat, isMiss := c.execLatency(e.in, memCycles)
+		if isMiss && c.outstanding >= c.cfg.MSHRs {
+			// No MSHR free: the load must wait; nothing younger may issue
+			// to memory either, but independent ALU work may proceed.
+			continue
+		}
+		if isMiss {
+			c.outstanding++
+			e.isMiss = true
+		}
+		e.issued = true
+		e.doneAt = c.cycle + lat
+		if e.in.Dest >= 0 {
+			c.regReady[e.in.Dest] = e.doneAt
+		}
+		if e.in.Class == OpBranch {
+			c.branches++
+			if c.pred.Update(e.in.PC, e.in.Taken, e.in.Target) {
+				c.mispredicts++
+				c.fetchStallUntil = e.doneAt + int64(c.cfg.BranchPenalty)
+			}
+		}
+		issued++
+	}
+}
+
+// ready reports whether the instruction's sources are available this
+// cycle.
+func (c *Core) ready(in Instr) bool {
+	if in.Src1 >= 0 && c.regReady[in.Src1] > c.cycle {
+		return false
+	}
+	if in.Src2 >= 0 && c.regReady[in.Src2] > c.cycle {
+		return false
+	}
+	return true
+}
+
+// execLatency returns the instruction's latency and whether it occupies an
+// MSHR (off-L1 miss).
+func (c *Core) execLatency(in Instr, memCycles int64) (int64, bool) {
+	switch in.Class {
+	case OpInt, OpBranch:
+		return int64(c.cfg.IntLatency), false
+	case OpFP:
+		return int64(c.cfg.FPLatency), false
+	case OpStore:
+		// Stores retire from a store buffer; address generation only.
+		c.hier.L1.Access(in.Addr, workload.Write)
+		return int64(c.cfg.IntLatency), false
+	case OpLoad:
+		l2Before := c.hier.L2.Stats
+		hitL1 := c.hier.L1.Access(in.Addr, workload.Read)
+		if hitL1 {
+			return int64(c.cfg.L1Latency), false
+		}
+		if c.hier.L2.Stats.Misses > l2Before.Misses {
+			return memCycles, true
+		}
+		return int64(c.cfg.L2Latency), true
+	default:
+		return 1, false
+	}
+}
+
+// commit retires up to CommitWidth finished instructions in order.
+func (c *Core) commit(committed *int64) {
+	for w := 0; w < c.cfg.CommitWidth && c.occupancy > 0; w++ {
+		e := &c.rob[c.head]
+		if !e.issued || c.cycle < e.doneAt {
+			return
+		}
+		if !e.done {
+			e.done = true
+			if e.isMiss {
+				c.outstanding--
+			}
+		}
+		c.head = (c.head + 1) % c.cfg.ROBEntries
+		c.occupancy--
+		*committed++
+	}
+}

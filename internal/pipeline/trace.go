@@ -1,0 +1,192 @@
+// Package pipeline is a cycle-level out-of-order core simulator: fetch
+// through a gshare+BTB front end, a reorder buffer with register
+// dependency tracking, latency-accurate execution through the cache
+// hierarchy, and in-order commit. It is the repository's stand-in for the
+// paper's SESC substrate at the microarchitectural level, and serves as a
+// cross-check for the calibrated interval model in package cpusim: both
+// must agree on how applications rank and on how IPC responds to clock
+// frequency (see the validation tests).
+package pipeline
+
+import (
+	"vasched/internal/stats"
+	"vasched/internal/workload"
+)
+
+// OpClass is an instruction's functional class.
+type OpClass uint8
+
+// Instruction classes.
+const (
+	OpInt OpClass = iota
+	OpFP
+	OpLoad
+	OpStore
+	OpBranch
+)
+
+// Instr is one dynamic instruction of a synthetic trace.
+type Instr struct {
+	PC    uint64
+	Class OpClass
+	// Dest, Src1, Src2 are architectural registers in [0,32), or -1.
+	Dest, Src1, Src2 int8
+	// Addr is the effective address for loads/stores.
+	Addr uint64
+	// Taken and Target describe the actual branch outcome.
+	Taken  bool
+	Target uint64
+}
+
+// TraceGen synthesizes a dynamic instruction stream matching an
+// application profile: its instruction mix, its memory reference stream
+// (via workload.StreamGen, so spatial locality matches the cache-measured
+// behaviour), its branch predictability, and a register dependency
+// structure whose tightness scales with the profile's intrinsic ILP.
+type TraceGen struct {
+	prof   *workload.AppProfile
+	rng    *stats.RNG
+	mem    *workload.StreamGen
+	pc     uint64
+	nextRd int
+	// lastWriter[r] is the instruction index that last wrote register r.
+	lastWriter [32]int64
+	count      int64
+	// depMean is the mean dependency distance in instructions.
+	depMean float64
+	// sites is the static branch footprint: programs execute the same
+	// static branches over and over, which is what lets a BTB and a
+	// gshare predictor learn them. A site is either "easy" (a loop-style
+	// branch, strongly biased taken) or "hard" (a data-dependent coin
+	// flip, which no history predictor beats); the hard share is chosen
+	// so the aggregate misprediction rate lands near the profile's.
+	sites []branchSite
+}
+
+// branchSite is one static branch of the synthetic program.
+type branchSite struct {
+	pc     uint64
+	target uint64
+	hard   bool
+}
+
+// NewTraceGen builds a generator for prof.
+func NewTraceGen(prof *workload.AppProfile, rng *stats.RNG) *TraceGen {
+	// Higher-IPC codes have looser dependency chains.
+	dep := 2 + 6*prof.IPCNom
+	g := &TraceGen{
+		prof:    prof,
+		rng:     rng,
+		mem:     workload.NewStreamGen(prof, rng.Derive(1)),
+		pc:      0x10000,
+		depMean: dep,
+	}
+	// Static branch footprint: 128 sites with fixed PCs and targets.
+	hardFrac := 2 * prof.BranchMispredRate
+	const nSites = 128
+	for i := 0; i < nSites; i++ {
+		// 16-byte spacing keeps every site in its own BTB entry (the BTB
+		// indexes pc>>2 over 4096 entries).
+		pc := uint64(0x20000 + i*16)
+		g.sites = append(g.sites, branchSite{
+			pc:     pc,
+			target: pc - uint64(64+(i%32)*8),
+			hard:   g.rng.Float64() < hardFrac,
+		})
+	}
+	return g
+}
+
+// Next returns the next dynamic instruction.
+func (g *TraceGen) Next() Instr {
+	in := Instr{PC: g.pc, Dest: -1, Src1: -1, Src2: -1}
+	r := g.rng.Float64()
+	memF := g.prof.MemAccessFrac
+	brF := g.prof.BranchFrac
+	fpF := 0.0
+	if g.prof.FP {
+		fpF = 0.3
+	}
+	switch {
+	case r < memF*0.7: // loads (roughly 70/30 load/store split)
+		in.Class = OpLoad
+		acc := g.mem.Next()
+		in.Addr = acc.Addr
+		in.Dest = g.allocReg()
+		in.Src1 = g.depReg()
+	case r < memF:
+		in.Class = OpStore
+		acc := g.mem.Next()
+		in.Addr = acc.Addr
+		in.Src1 = g.depReg()
+		in.Src2 = g.depReg()
+	case r < memF+brF:
+		in.Class = OpBranch
+		in.Src1 = g.depReg()
+		site := g.sites[g.rng.Intn(len(g.sites))]
+		in.PC = site.pc
+		in.Target = site.target
+		if site.hard {
+			in.Taken = g.rng.Float64() < 0.5
+		} else {
+			// Loop-style: strongly biased taken; predictors learn it.
+			in.Taken = g.rng.Float64() < 0.97
+		}
+	case r < memF+brF+fpF:
+		in.Class = OpFP
+		in.Dest = g.allocReg()
+		in.Src1 = g.depReg()
+		in.Src2 = g.depReg()
+	default:
+		in.Class = OpInt
+		in.Dest = g.allocReg()
+		in.Src1 = g.depReg()
+		in.Src2 = g.depReg()
+	}
+	g.count++
+	g.pc += 4
+	if g.pc > 0x1FF00 {
+		g.pc = 0x10000 // wrap the straight-line region
+	}
+	if in.Dest >= 0 {
+		g.lastWriter[in.Dest] = g.count
+	}
+	return in
+}
+
+// allocReg picks a destination register round-robin (reuses the
+// architectural space the way compiled code does).
+func (g *TraceGen) allocReg() int8 {
+	g.nextRd = (g.nextRd + 1) % 32
+	return int8(g.nextRd)
+}
+
+// depReg picks a source register whose last write was a geometrically
+// distributed distance ago, giving the profile's dependency tightness.
+func (g *TraceGen) depReg() int8 {
+	// Sample a target distance, then find the register whose last write
+	// is closest to it. Cheap approximation: pick among recent writers.
+	want := int64(1)
+	for g.rng.Float64() > 1/g.depMean {
+		want++
+		if want > 64 {
+			break
+		}
+	}
+	bestReg, bestDiff := int8(0), int64(1<<62)
+	for r := 0; r < 32; r++ {
+		if g.lastWriter[r] == 0 {
+			continue
+		}
+		dist := g.count - g.lastWriter[r]
+		diff := dist - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			bestDiff = diff
+			bestReg = int8(r)
+		}
+	}
+	return bestReg
+}

@@ -1,0 +1,103 @@
+package pm
+
+import (
+	"fmt"
+
+	"vasched/internal/stats"
+)
+
+// maxExhaustiveStates bounds the enumeration; beyond this the search is
+// rejected (the paper could only run it for up to 4 threads either).
+const maxExhaustiveStates = 50_000_000
+
+// Exhaustive enumerates every per-core level combination and returns the
+// feasible one with the highest throughput. It exists to validate SAnn and
+// LinOpt on small configurations (paper Section 6.5) and as the Oracle's
+// search engine; it does not scale (M^N states).
+type Exhaustive struct {
+	// UseTrueIPC makes the search optimise the platform's
+	// frequency-dependent IPC if available, turning the manager into the
+	// Oracle of DESIGN.md ablation 2.
+	UseTrueIPC bool
+	// Objective selects raw-MIPS or weighted-throughput maximisation.
+	Objective Objective
+}
+
+// NewExhaustive returns the enumerator.
+func NewExhaustive() Exhaustive { return Exhaustive{} }
+
+// NewOracle returns an exhaustive search over true (frequency-dependent)
+// IPC. Decide falls back to sensor IPC if the platform cannot supply it.
+func NewOracle() Exhaustive { return Exhaustive{UseTrueIPC: true} }
+
+// Name implements Manager.
+func (m Exhaustive) Name() string {
+	if m.UseTrueIPC {
+		return NameOracle
+	}
+	return NameExhaustive
+}
+
+// Decide implements Manager.
+func (m Exhaustive) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
+	if err := validatePlatform(p); err != nil {
+		return nil, err
+	}
+	n := p.NumCores()
+	mins := make([]int, n)
+	total := 1
+	for c := 0; c < n; c++ {
+		mins[c] = minLevel(p, c)
+		span := p.NumLevels() - mins[c]
+		if total > maxExhaustiveStates/span {
+			return nil, fmt.Errorf("pm: exhaustive search space exceeds %d states", maxExhaustiveStates)
+		}
+		total *= span
+	}
+
+	tip, hasTrue := p.(TrueIPCPlatform)
+	objective := func(levels []int) float64 {
+		if m.UseTrueIPC && hasTrue {
+			sum := 0.0
+			for c, l := range levels {
+				sum += m.Objective.weight(p, c) * tip.TrueIPCAt(c, l) * p.FreqAt(c, l) / 1e6
+			}
+			return sum
+		}
+		return objectiveValue(p, levels, m.Objective)
+	}
+
+	levels := append([]int(nil), mins...)
+	best := append([]int(nil), mins...)
+	bestVal := -1.0
+	for {
+		if totalPower(p, levels) <= b.PTargetW {
+			ok := true
+			for c, l := range levels {
+				if p.PowerAt(c, l) > b.PCoreMaxW {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if v := objective(levels); v > bestVal {
+					bestVal = v
+					copy(best, levels)
+				}
+			}
+		}
+		// Odometer increment.
+		c := 0
+		for ; c < n; c++ {
+			levels[c]++
+			if levels[c] < p.NumLevels() {
+				break
+			}
+			levels[c] = mins[c]
+		}
+		if c == n {
+			break
+		}
+	}
+	return best, nil
+}

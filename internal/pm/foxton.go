@@ -1,0 +1,65 @@
+package pm
+
+import "vasched/internal/stats"
+
+// Foxton is the paper's baseline power manager: a small extension of the
+// Itanium II Foxton controller to per-core (V, f) pairs. Starting from
+// every core at its maximum level, it walks the active cores round-robin,
+// stepping each visited core's level down by one, until both the chip-wide
+// Ptarget and the per-core Pcoremax constraints hold (or every core sits
+// at its minimum level).
+type Foxton struct{}
+
+// NewFoxton returns the baseline manager.
+func NewFoxton() Foxton { return Foxton{} }
+
+// Name implements Manager.
+func (Foxton) Name() string { return NameFoxton }
+
+// Decide implements Manager.
+func (Foxton) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
+	if err := validatePlatform(p); err != nil {
+		return nil, err
+	}
+	n := p.NumCores()
+	top := p.NumLevels() - 1
+	levels := make([]int, n)
+	mins := make([]int, n)
+	for c := 0; c < n; c++ {
+		levels[c] = top
+		mins[c] = minLevel(p, c)
+	}
+
+	satisfied := func() bool {
+		if totalPower(p, levels) > b.PTargetW {
+			return false
+		}
+		for c, l := range levels {
+			if p.PowerAt(c, l) > b.PCoreMaxW {
+				return false
+			}
+		}
+		return true
+	}
+
+	cursor := 0
+	for steps := 0; !satisfied(); steps++ {
+		// Find the next core that can still step down.
+		moved := false
+		for probe := 0; probe < n; probe++ {
+			c := (cursor + probe) % n
+			if levels[c] > mins[c] {
+				levels[c]--
+				cursor = (c + 1) % n
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			// Everything is at the floor; the budget is simply
+			// unattainable and the controller holds the lowest point.
+			break
+		}
+	}
+	return levels, nil
+}

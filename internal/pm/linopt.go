@@ -1,0 +1,424 @@
+package pm
+
+import (
+	"errors"
+	"fmt"
+
+	"vasched/internal/lp"
+	"vasched/internal/stats"
+)
+
+// LinOpt is the paper's linear-programming power manager (Section 4.3.1).
+// For each active core it:
+//
+//  1. measures the thread-core pair's total power at FitPoints voltage
+//     levels and least-squares fits p_i(v) = b_i*v + c_i (Figure 1);
+//
+//  2. fits the manufacturer V/f table as f_i(v) = g_i*v + h_i, so the
+//     throughput objective becomes sum of ipc_i*g_i*v_i (the constant
+//     term does not affect the argmax);
+//
+//  3. solves, with the Simplex method:
+//
+//     maximize   sum a_i v_i
+//     subject to sum b_i v_i <= Ptarget - Puncore - sum c_i
+//     b_i v_i + c_i <= Pcoremax            (per core)
+//     Vmin_i <= v_i <= Vmax                (per core)
+//
+//  4. quantises each optimal v_i down to the ladder.
+//
+// If the budget is below the chip's floor power the LP is infeasible and
+// LinOpt parks every core at its minimum level, as Foxton* would.
+type LinOpt struct {
+	// FitPoints is how many voltage levels the power fit samples (the
+	// paper uses 3, or at the very least 2 — Table 3).
+	FitPoints int
+	// Objective selects raw-MIPS or weighted-throughput maximisation.
+	Objective Objective
+}
+
+// NewLinOpt returns the manager with the paper's 3-point power fit.
+func NewLinOpt() LinOpt { return LinOpt{FitPoints: 3} }
+
+// Name implements Manager.
+func (LinOpt) Name() string { return NameLinOpt }
+
+// Decide implements Manager.
+func (m LinOpt) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
+	if err := validatePlatform(p); err != nil {
+		return nil, err
+	}
+	fitPoints := m.FitPoints
+	if fitPoints < 2 {
+		fitPoints = 3
+	}
+	n := p.NumCores()
+	top := p.NumLevels() - 1
+	vmax := p.VoltageAt(top)
+
+	aCoef := make([]float64, n) // throughput per volt
+	bCoef := make([]float64, n) // watts per volt
+	cCoef := make([]float64, n) // watts offset
+	vmin := make([]float64, n)  // per-core minimum feasible voltage
+	minLev := make([]int, n)
+
+	for c := 0; c < n; c++ {
+		minLev[c] = minLevel(p, c)
+		vmin[c] = p.VoltageAt(minLev[c])
+
+		// Sample levels spread evenly across the core's feasible range.
+		lo, hi := minLev[c], top
+		span := hi - lo
+		pts := fitPoints
+		if span+1 < pts {
+			pts = span + 1
+		}
+		vs := make([]float64, 0, pts)
+		ps := make([]float64, 0, pts)
+		fs := make([]float64, 0, pts)
+		for k := 0; k < pts; k++ {
+			l := lo
+			if pts > 1 {
+				l = lo + k*span/(pts-1)
+			}
+			vs = append(vs, p.VoltageAt(l))
+			ps = append(ps, p.PowerAt(c, l))
+			fs = append(fs, p.FreqAt(c, l))
+		}
+		bi, ci, err := fitLine(vs, ps)
+		if err != nil {
+			return nil, fmt.Errorf("pm: power fit for core %d: %w", c, err)
+		}
+		gi, _, err := fitLine(vs, fs)
+		if err != nil {
+			return nil, fmt.Errorf("pm: frequency fit for core %d: %w", c, err)
+		}
+		bCoef[c], cCoef[c] = bi, ci
+		aCoef[c] = m.Objective.weight(p, c) * p.IPC(c) * gi / 1e6 // objective per volt
+		if aCoef[c] <= 0 {
+			// A degenerate fit (flat frequency) still deserves a positive
+			// objective weight so the LP prefers higher voltage.
+			aCoef[c] = 1e-9
+		}
+	}
+
+	prob := &lp.Problem{Objective: aCoef}
+	// Chip budget: sum b_i v_i <= Ptarget - uncore - sum c_i.
+	rhs := b.PTargetW - p.UncorePowerW()
+	for c := 0; c < n; c++ {
+		rhs -= cCoef[c]
+	}
+	prob.Constraints = append(prob.Constraints, lp.Constraint{
+		Coeffs: append([]float64(nil), bCoef...), Rel: lp.LE, RHS: rhs,
+	})
+	for c := 0; c < n; c++ {
+		row := make([]float64, n)
+		row[c] = bCoef[c]
+		prob.Constraints = append(prob.Constraints, lp.Constraint{
+			Coeffs: row, Rel: lp.LE, RHS: b.PCoreMaxW - cCoef[c],
+		})
+		lowRow := make([]float64, n)
+		lowRow[c] = 1
+		prob.Constraints = append(prob.Constraints, lp.Constraint{
+			Coeffs: lowRow, Rel: lp.GE, RHS: vmin[c],
+		})
+		hiRow := make([]float64, n)
+		hiRow[c] = 1
+		prob.Constraints = append(prob.Constraints, lp.Constraint{
+			Coeffs: hiRow, Rel: lp.LE, RHS: vmax,
+		})
+	}
+
+	if m.Objective == ObjMinSpeed {
+		// Epigraph reformulation: variables (v_1..v_n, z), maximize z
+		// subject to a_i*v_i - z >= 0 plus the same power and bound
+		// constraints. The per-core speed weight replaces the (unit)
+		// summed-objective weight in a_i.
+		for c := 0; c < n; c++ {
+			aCoef[c] *= minSpeedWeight(p, c)
+		}
+		return m.decideMinSpeed(p, b, aCoef, bCoef, cCoef, vmin, minLev, vmax)
+	}
+
+	sol, err := lp.Solve(prob)
+	if errors.Is(err, lp.ErrInfeasible) {
+		// Budget below the chip's floor: park at the minimum point.
+		return append([]int(nil), minLev...), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pm: LinOpt simplex: %w", err)
+	}
+
+	levels := make([]int, n)
+	for c := 0; c < n; c++ {
+		levels[c] = quantizeDown(p, c, sol.X[c], minLev[c])
+	}
+	trim(p, b, levels, minLev, aCoef)
+	refine(p, b, levels, minLev, m.Objective)
+	return levels, nil
+}
+
+// refine polishes the quantised LP point against the *measured* per-level
+// powers: the LP's linear power model drives voltages to their bounds
+// (with one coupling constraint, at most one variable is interior), but
+// the true power curves are convex, so the real optimum grades voltages by
+// marginal throughput per watt. Single up-steps and paired up/down moves
+// that raise modelled throughput within the budget are applied greedily.
+// Each candidate move is O(1) on the sensor tables, so the polish costs
+// microseconds — it is the same class of feedback loop Foxton* runs, just
+// seeded from the LP point.
+func refine(p Platform, b Budget, levels, minLev []int, obj Objective) {
+	n := p.NumCores()
+	top := p.NumLevels() - 1
+	gain := func(c int) float64 {
+		return obj.weight(p, c) * p.IPC(c) * (p.FreqAt(c, levels[c]+1) - p.FreqAt(c, levels[c])) / 1e6
+	}
+	loss := func(c int) float64 {
+		return obj.weight(p, c) * p.IPC(c) * (p.FreqAt(c, levels[c]) - p.FreqAt(c, levels[c]-1)) / 1e6
+	}
+	for iter := 0; iter < 4*n*p.NumLevels(); iter++ {
+		cur := totalPower(p, levels)
+		// First try free up-steps (headroom without trading).
+		bestUp, bestGain := -1, 0.0
+		for c := 0; c < n; c++ {
+			if levels[c] >= top {
+				continue
+			}
+			dp := p.PowerAt(c, levels[c]+1) - p.PowerAt(c, levels[c])
+			if cur+dp > b.PTargetW || p.PowerAt(c, levels[c]+1) > b.PCoreMaxW {
+				continue
+			}
+			if g := gain(c); g > bestGain {
+				bestUp, bestGain = c, g
+			}
+		}
+		if bestUp >= 0 {
+			levels[bestUp]++
+			continue
+		}
+		// Then paired moves: step one core up, another down, if the swap
+		// nets throughput and stays within budget.
+		type move struct {
+			up, down int
+			net      float64
+		}
+		best := move{up: -1}
+		for up := 0; up < n; up++ {
+			if levels[up] >= top {
+				continue
+			}
+			dpUp := p.PowerAt(up, levels[up]+1) - p.PowerAt(up, levels[up])
+			if p.PowerAt(up, levels[up]+1) > b.PCoreMaxW {
+				continue
+			}
+			g := gain(up)
+			for down := 0; down < n; down++ {
+				if down == up || levels[down] <= minLev[down] {
+					continue
+				}
+				dpDown := p.PowerAt(down, levels[down]) - p.PowerAt(down, levels[down]-1)
+				if cur+dpUp-dpDown > b.PTargetW {
+					continue
+				}
+				if net := g - loss(down); net > best.net+1e-9 {
+					best = move{up: up, down: down, net: net}
+				}
+			}
+		}
+		if best.up < 0 {
+			return
+		}
+		levels[best.up]++
+		levels[best.down]--
+	}
+}
+
+// trim enforces the budget against the *measured* powers after the linear
+// approximation and quantisation: the always-on power monitor of the
+// paper's Section 5.2. While a constraint is violated, it lowers the level
+// of the core whose next step down costs the least throughput per watt
+// saved.
+func trim(p Platform, b Budget, levels, minLev []int, aCoef []float64) {
+	overCap := func() int {
+		for c, l := range levels {
+			if p.PowerAt(c, l) > b.PCoreMaxW && l > minLev[c] {
+				return c
+			}
+		}
+		return -1
+	}
+	for {
+		if c := overCap(); c >= 0 {
+			levels[c]--
+			continue
+		}
+		if totalPower(p, levels) <= b.PTargetW {
+			return
+		}
+		best, bestCost := -1, 0.0
+		for c, l := range levels {
+			if l <= minLev[c] {
+				continue
+			}
+			dp := p.PowerAt(c, l) - p.PowerAt(c, l-1)
+			dtp := aCoef[c] * (p.VoltageAt(l) - p.VoltageAt(l-1))
+			cost := dtp
+			if dp > 0 {
+				cost = dtp / dp
+			}
+			if best < 0 || cost < bestCost {
+				best, bestCost = c, cost
+			}
+		}
+		if best < 0 {
+			return // everything at the floor; budget unattainable
+		}
+		levels[best]--
+	}
+}
+
+// decideMinSpeed solves the max-min LP: maximize z subject to
+// z <= a_i*v_i, the chip and per-core power constraints, and the voltage
+// bounds. aCoef here carries the min-speed weights.
+func (m LinOpt) decideMinSpeed(p Platform, b Budget, aCoef, bCoef, cCoef, vmin []float64, minLev []int, vmax float64) ([]int, error) {
+	n := p.NumCores()
+	nv := n + 1 // v_1..v_n, z
+	obj := make([]float64, nv)
+	obj[n] = 1 // maximize z
+	prob := &lp.Problem{Objective: obj}
+
+	// z <= a_i v_i  ->  a_i v_i - z >= 0.
+	for c := 0; c < n; c++ {
+		row := make([]float64, nv)
+		row[c] = aCoef[c]
+		row[n] = -1
+		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Rel: lp.GE, RHS: 0})
+	}
+	rhs := b.PTargetW - p.UncorePowerW()
+	budgetRow := make([]float64, nv)
+	for c := 0; c < n; c++ {
+		budgetRow[c] = bCoef[c]
+		rhs -= cCoef[c]
+	}
+	prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: budgetRow, Rel: lp.LE, RHS: rhs})
+	for c := 0; c < n; c++ {
+		capRow := make([]float64, nv)
+		capRow[c] = bCoef[c]
+		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: capRow, Rel: lp.LE, RHS: b.PCoreMaxW - cCoef[c]})
+		loRow := make([]float64, nv)
+		loRow[c] = 1
+		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: loRow, Rel: lp.GE, RHS: vmin[c]})
+		hiRow := make([]float64, nv)
+		hiRow[c] = 1
+		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: hiRow, Rel: lp.LE, RHS: vmax})
+	}
+
+	sol, err := lp.Solve(prob)
+	if errors.Is(err, lp.ErrInfeasible) {
+		return append([]int(nil), minLev...), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pm: LinOpt max-min simplex: %w", err)
+	}
+	levels := make([]int, n)
+	for c := 0; c < n; c++ {
+		levels[c] = quantizeDown(p, c, sol.X[c], minLev[c])
+	}
+	trim(p, b, levels, minLev, aCoef)
+	refineMinSpeed(p, b, levels, minLev)
+	return levels, nil
+}
+
+// refineMinSpeed greedily raises the slowest thread while the budget
+// allows, compensating by lowering the thread with the most slack if
+// necessary.
+func refineMinSpeed(p Platform, b Budget, levels, minLev []int) {
+	speed := func(c int) float64 {
+		return minSpeedWeight(p, c) * p.IPC(c) * p.FreqAt(c, levels[c]) / 1e6
+	}
+	top := p.NumLevels() - 1
+	for iter := 0; iter < 4*p.NumCores()*p.NumLevels(); iter++ {
+		slow, fast := 0, 0
+		for c := 1; c < p.NumCores(); c++ {
+			if speed(c) < speed(slow) {
+				slow = c
+			}
+			if speed(c) > speed(fast) {
+				fast = c
+			}
+		}
+		if levels[slow] >= top {
+			return
+		}
+		if p.PowerAt(slow, levels[slow]+1) > b.PCoreMaxW {
+			return
+		}
+		cur := totalPower(p, levels)
+		dp := p.PowerAt(slow, levels[slow]+1) - p.PowerAt(slow, levels[slow])
+		if cur+dp <= b.PTargetW {
+			levels[slow]++
+			continue
+		}
+		// Fund the slow thread from the fastest one's slack.
+		if fast == slow || levels[fast] <= minLev[fast] {
+			return
+		}
+		dpDown := p.PowerAt(fast, levels[fast]) - p.PowerAt(fast, levels[fast]-1)
+		if cur+dp-dpDown > b.PTargetW {
+			return
+		}
+		// Only worth it if the donor stays faster than the recipient.
+		was := speed(slow)
+		levels[slow]++
+		levels[fast]--
+		if speed(fast) < was {
+			levels[slow]--
+			levels[fast]++
+			return
+		}
+	}
+}
+
+// fitLine least-squares fits y = b*x + c.
+func fitLine(xs, ys []float64) (bCoef, cCoef float64, err error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, 0, errors.New("pm: empty or mismatched fit input")
+	}
+	if len(xs) == 1 {
+		return 0, ys[0], nil
+	}
+	mx, my := statsMean(xs), statsMean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0, errors.New("pm: degenerate fit abscissae")
+	}
+	bCoef = sxy / sxx
+	cCoef = my - bCoef*mx
+	return bCoef, cCoef, nil
+}
+
+func statsMean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// quantizeDown returns the highest ladder level whose voltage does not
+// exceed v, clamped to the core's feasible range.
+func quantizeDown(p Platform, core int, v float64, min int) int {
+	best := min
+	for l := min; l < p.NumLevels(); l++ {
+		if p.VoltageAt(l) <= v+1e-9 {
+			best = l
+		}
+	}
+	_ = core
+	return best
+}

@@ -1,0 +1,190 @@
+// Package pm implements the paper's power-management algorithms for the
+// NUniFreq+DVFS configuration (Section 4.3): given a set of active cores
+// with threads already placed by the scheduler, choose a per-core
+// (voltage, frequency) operating point that maximises throughput subject
+// to a chip-wide power budget (Ptarget) and a per-core cap (Pcoremax).
+//
+// Four algorithms are provided:
+//
+//   - Foxton*:    round-robin single-step (V,f) reduction until the budget
+//     is met — a small extension of the Itanium II controller
+//     (the paper's baseline).
+//   - LinOpt:     the paper's contribution — linearise throughput and
+//     power in voltage and solve with the Simplex method.
+//   - SAnn:       simulated annealing over the exact (per-level) powers;
+//     near-optimal but orders of magnitude slower.
+//   - Exhaustive: full enumeration, feasible only for few threads; used to
+//     validate SAnn as in the paper's Section 6.5.
+//
+// All algorithms see the platform only through the observables the paper's
+// Table 3 grants them (manufacturer V/f tables, power sensors, IPC
+// counters).
+package pm
+
+import (
+	"errors"
+	"fmt"
+
+	"vasched/internal/stats"
+)
+
+// Platform exposes the Table 3 observables for the currently active cores.
+// Core indices here are *active-core* indices (0..NumCores-1), not die
+// positions; the runtime maintains the mapping.
+type Platform interface {
+	// NumCores returns the number of active cores (threads).
+	NumCores() int
+	// NumLevels returns the ladder size shared by all cores.
+	NumLevels() int
+	// VoltageAt returns the supply voltage of a ladder level.
+	VoltageAt(level int) float64
+	// FreqAt returns the rated frequency of the core at a ladder level,
+	// or 0 if the core cannot operate there.
+	FreqAt(core, level int) float64
+	// PowerAt returns the measured total power (dynamic + static) of the
+	// thread-core pair at a ladder level.
+	PowerAt(core, level int) float64
+	// IPC returns the thread's measured IPC on its core.
+	IPC(core int) float64
+	// UncorePowerW returns the power of the shared structures (L2) that
+	// count against Ptarget but are not per-core scalable.
+	UncorePowerW() float64
+	// RefIPS returns the thread's reference instructions-per-second (its
+	// IPS at reference conditions), the normalisation the weighted-
+	// throughput objective divides by (paper Section 6.6 / Figure 13).
+	RefIPS(core int) float64
+}
+
+// Objective selects what the optimising managers maximise: raw MIPS
+// (Figure 11) or weighted throughput (Figure 13, where the paper re-runs
+// the same experiments "with weighted throughput as the optimization
+// goal").
+type Objective int
+
+// Supported objectives.
+const (
+	ObjMIPS Objective = iota
+	ObjWeighted
+	// ObjMinSpeed maximises the *slowest* thread's normalised speed — the
+	// right goal for barrier-synchronised parallel applications, where
+	// every section ends when the last thread arrives (the paper's third
+	// future-work extension). LinOpt handles it with an epigraph variable
+	// (maximize z subject to z <= a_i*v_i), which stays a pure LP.
+	ObjMinSpeed
+)
+
+// weight returns the per-core objective weight: 1 for MIPS, 1/refIPS for
+// weighted throughput (scaled by 1e9 to keep LP coefficients well
+// conditioned).
+func (o Objective) weight(p Platform, core int) float64 {
+	if o == ObjWeighted {
+		if ref := p.RefIPS(core); ref > 0 {
+			return 1e9 / ref
+		}
+	}
+	return 1
+}
+
+// TrueIPCPlatform optionally exposes frequency-dependent IPC. No paper
+// algorithm uses it; the Oracle manager does, to quantify what LinOpt's
+// frequency-independent-IPC approximation costs (DESIGN.md ablation 2).
+type TrueIPCPlatform interface {
+	Platform
+	// TrueIPCAt returns the thread's actual IPC at the given level.
+	TrueIPCAt(core, level int) float64
+}
+
+// Budget is the power envelope.
+type Budget struct {
+	// PTargetW is the chip-wide power target.
+	PTargetW float64
+	// PCoreMaxW is the per-core cap.
+	PCoreMaxW float64
+}
+
+// Manager chooses per-core ladder levels.
+type Manager interface {
+	// Name returns the paper's name for the algorithm.
+	Name() string
+	// Decide returns one ladder level per active core.
+	Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error)
+}
+
+// Algorithm names used across the experiment harness.
+const (
+	NameFoxton     = "Foxton*"
+	NameLinOpt     = "LinOpt"
+	NameSAnn       = "SAnn"
+	NameExhaustive = "Exhaustive"
+	NameOracle     = "Oracle"
+)
+
+// minLevel returns the lowest feasible ladder level for the core.
+func minLevel(p Platform, core int) int {
+	for l := 0; l < p.NumLevels(); l++ {
+		if p.FreqAt(core, l) > 0 {
+			return l
+		}
+	}
+	return p.NumLevels() - 1
+}
+
+// totalPower returns chip power for a level assignment.
+func totalPower(p Platform, levels []int) float64 {
+	sum := p.UncorePowerW()
+	for c, l := range levels {
+		sum += p.PowerAt(c, l)
+	}
+	return sum
+}
+
+// throughput returns the MIPS objective for a level assignment using the
+// sensor IPCs (the frequency-independence approximation all the paper's
+// managers share).
+func throughput(p Platform, levels []int) float64 {
+	return objectiveValue(p, levels, ObjMIPS)
+}
+
+// objectiveValue evaluates the chosen objective for a level assignment.
+func objectiveValue(p Platform, levels []int, obj Objective) float64 {
+	if obj == ObjMinSpeed {
+		min := 0.0
+		for c, l := range levels {
+			v := minSpeedWeight(p, c) * p.IPC(c) * p.FreqAt(c, l) / 1e6
+			if c == 0 || v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	sum := 0.0
+	for c, l := range levels {
+		sum += obj.weight(p, c) * p.IPC(c) * p.FreqAt(c, l) / 1e6
+	}
+	return sum
+}
+
+// minSpeedWeight normalises per-thread speed by the thread's reference IPS
+// so "slowest" compares progress, not raw instruction rate.
+func minSpeedWeight(p Platform, core int) float64 {
+	if ref := p.RefIPS(core); ref > 0 {
+		return 1e9 / ref
+	}
+	return 1
+}
+
+// validatePlatform rejects degenerate platforms early with a clear error.
+func validatePlatform(p Platform) error {
+	if p.NumCores() <= 0 {
+		return errors.New("pm: no active cores")
+	}
+	if p.NumLevels() <= 0 {
+		return errors.New("pm: empty voltage ladder")
+	}
+	for c := 0; c < p.NumCores(); c++ {
+		if p.FreqAt(c, p.NumLevels()-1) <= 0 {
+			return fmt.Errorf("pm: active core %d infeasible even at the top level", c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package pm
+
+import (
+	"fmt"
+
+	"vasched/internal/anneal"
+	"vasched/internal/stats"
+)
+
+// SAnn is the paper's simulated-annealing power manager (Section 4.3.2).
+// Unlike LinOpt it evaluates power exactly at each candidate level (no
+// linear approximation), so it can find slightly better points — at a
+// computation cost orders of magnitude higher. The paper ran it with 1e6
+// objective evaluations; the default budget here is smaller because the
+// sweeps invoke it thousands of times (EXPERIMENTS.md documents the
+// scaling).
+type SAnn struct {
+	// MaxEvals overrides the annealing budget; 0 uses the default.
+	MaxEvals int
+	// Objective selects raw-MIPS or weighted-throughput maximisation.
+	Objective Objective
+}
+
+// NewSAnn returns the manager with the default evaluation budget.
+func NewSAnn() SAnn { return SAnn{} }
+
+// Name implements Manager.
+func (SAnn) Name() string { return NameSAnn }
+
+// Decide implements Manager.
+func (m SAnn) Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error) {
+	if err := validatePlatform(p); err != nil {
+		return nil, err
+	}
+	n := p.NumCores()
+	mins := make([]int, n)
+	card := make([]int, n)
+	for c := 0; c < n; c++ {
+		mins[c] = minLevel(p, c)
+		card[c] = p.NumLevels() - mins[c]
+	}
+
+	toLevels := func(x []int) []int {
+		levels := make([]int, n)
+		for c := range x {
+			levels[c] = mins[c] + x[c]
+		}
+		return levels
+	}
+	feasible := func(x []int) bool {
+		levels := toLevels(x)
+		if totalPower(p, levels) > b.PTargetW {
+			return false
+		}
+		for c, l := range levels {
+			if p.PowerAt(c, l) > b.PCoreMaxW {
+				return false
+			}
+		}
+		return true
+	}
+	objective := func(x []int) float64 {
+		return objectiveValue(p, toLevels(x), m.Objective)
+	}
+
+	init := greedyInit(p, b, mins, m.Objective)
+	initX := make([]int, n)
+	for c := range initX {
+		initX[c] = init[c] - mins[c]
+	}
+	if !feasible(initX) {
+		// Budget below the floor: hold the minimum point, like the other
+		// managers.
+		return toLevels(make([]int, n)), nil
+	}
+
+	cfg := anneal.DefaultConfig(n)
+	// The paper scales the initial annealing temperature with problem
+	// size: "for a large number of threads, more randomness is needed".
+	cfg.InitialTemp = 1 + float64(n)/4
+	if m.MaxEvals > 0 {
+		cfg.MaxEvals = m.MaxEvals
+	}
+	res, err := anneal.Solve(&anneal.Problem{
+		Card:      card,
+		Objective: objective,
+		Feasible:  feasible,
+		Init:      initX,
+	}, cfg, rng)
+	if err != nil {
+		return nil, fmt.Errorf("pm: SAnn: %w", err)
+	}
+	return toLevels(res.X), nil
+}
+
+// greedyInit builds SAnn's starting point: from the all-minimum
+// assignment, repeatedly raise by one level the core with the best
+// throughput-gain-per-watt, while the budget holds.
+func greedyInit(p Platform, b Budget, mins []int, obj Objective) []int {
+	n := p.NumCores()
+	levels := append([]int(nil), mins...)
+	top := p.NumLevels() - 1
+	for {
+		bestCore := -1
+		bestRatio := 0.0
+		curPower := totalPower(p, levels)
+		for c := 0; c < n; c++ {
+			if levels[c] >= top {
+				continue
+			}
+			dp := p.PowerAt(c, levels[c]+1) - p.PowerAt(c, levels[c])
+			if p.PowerAt(c, levels[c]+1) > b.PCoreMaxW {
+				continue
+			}
+			if curPower+dp > b.PTargetW {
+				continue
+			}
+			dtp := obj.weight(p, c) * p.IPC(c) * (p.FreqAt(c, levels[c]+1) - p.FreqAt(c, levels[c])) / 1e6
+			ratio := dtp
+			if dp > 0 {
+				ratio = dtp / dp
+			}
+			if bestCore < 0 || ratio > bestRatio {
+				bestCore, bestRatio = c, ratio
+			}
+		}
+		if bestCore < 0 {
+			return levels
+		}
+		levels[bestCore]++
+	}
+}

@@ -1,0 +1,249 @@
+// Package sched implements the paper's variation-aware application
+// scheduling algorithms (Table 1):
+//
+//   - Random:      threads on cores uniformly at random (the baseline)
+//   - VarP:        threads randomly on the N lowest-static-power cores
+//   - VarP&AppP:   highest-dynamic-power threads on lowest-static-power cores
+//   - VarF:        threads randomly on the N highest-frequency cores
+//   - VarF&AppIPC: highest-IPC threads on highest-frequency cores
+//
+// Schedulers consume only the profile information the paper's Table 3
+// grants them: per-core static power and maximum frequency from the
+// manufacturer, and per-thread dynamic power and IPC measured on one
+// (arbitrary) core each.
+package sched
+
+import (
+	"fmt"
+
+	"vasched/internal/stats"
+)
+
+// CoreInfo is the manufacturer-profiled description of one core.
+type CoreInfo struct {
+	// ID is the core index on the die.
+	ID int
+	// StaticPowerW is the static power at the maximum voltage (the VarP
+	// ranking key).
+	StaticPowerW float64
+	// FmaxHz is the maximum frequency at the maximum voltage (the VarF
+	// ranking key).
+	FmaxHz float64
+	// TempC is the core's current temperature from the on-chip sensors
+	// (the TempAware ranking key). Zero means "not measured yet"; the
+	// TempAware policy then behaves like VarP&AppP on a cold chip.
+	TempC float64
+}
+
+// ThreadInfo is the runtime-profiled description of one thread.
+type ThreadInfo struct {
+	// ID is the thread index in the workload.
+	ID int
+	// DynPowerW is the thread's dynamic power measured on one core and
+	// scaled to reference conditions (the VarP&AppP ranking key).
+	DynPowerW float64
+	// IPC is the thread's IPC measured on one core (the VarF&AppIPC
+	// ranking key).
+	IPC float64
+}
+
+// Assignment maps thread index -> core ID. Threads not present run nowhere
+// (there are never more threads than cores in the paper's experiments).
+type Assignment []int
+
+// Validate checks that the assignment is a well-formed injection into the
+// core set.
+func (a Assignment) Validate(numCores int) error {
+	seen := make(map[int]bool, len(a))
+	for t, c := range a {
+		if c < 0 || c >= numCores {
+			return fmt.Errorf("sched: thread %d assigned to invalid core %d", t, c)
+		}
+		if seen[c] {
+			return fmt.Errorf("sched: core %d assigned twice", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// Algorithm names used across the experiment harness.
+const (
+	NameRandom     = "Random"
+	NameVarP       = "VarP"
+	NameVarPAppP   = "VarP&AppP"
+	NameVarF       = "VarF"
+	NameVarFAppIPC = "VarF&AppIPC"
+	// NameTempAware is this repository's implementation of the paper's
+	// first future-work extension: temperature-aware mapping that keeps
+	// the die as thermally uniform as possible.
+	NameTempAware = "TempAware"
+)
+
+// Policy is a scheduling algorithm.
+type Policy interface {
+	// Name returns the paper's name for the algorithm.
+	Name() string
+	// Assign maps each thread to a distinct core.
+	Assign(cores []CoreInfo, threads []ThreadInfo, rng *stats.RNG) (Assignment, error)
+}
+
+// New returns the policy with the given paper name.
+func New(name string) (Policy, error) {
+	switch name {
+	case NameRandom:
+		return RandomPolicy{}, nil
+	case NameVarP:
+		return VarPPolicy{}, nil
+	case NameVarPAppP:
+		return VarPAppPPolicy{}, nil
+	case NameVarF:
+		return VarFPolicy{}, nil
+	case NameVarFAppIPC:
+		return VarFAppIPCPolicy{}, nil
+	case NameTempAware:
+		return TempAwarePolicy{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	}
+}
+
+func checkSizes(cores []CoreInfo, threads []ThreadInfo) error {
+	if len(threads) == 0 {
+		return fmt.Errorf("sched: no threads to schedule")
+	}
+	if len(threads) > len(cores) {
+		return fmt.Errorf("sched: %d threads exceed %d cores", len(threads), len(cores))
+	}
+	return nil
+}
+
+// RandomPolicy maps threads to cores uniformly at random (baseline).
+type RandomPolicy struct{}
+
+// Name implements Policy.
+func (RandomPolicy) Name() string { return NameRandom }
+
+// Assign implements Policy.
+func (RandomPolicy) Assign(cores []CoreInfo, threads []ThreadInfo, rng *stats.RNG) (Assignment, error) {
+	if err := checkSizes(cores, threads); err != nil {
+		return nil, err
+	}
+	perm := rng.Perm(len(cores))
+	out := make(Assignment, len(threads))
+	for t := range threads {
+		out[t] = cores[perm[t]].ID
+	}
+	return out, nil
+}
+
+// topCoresBy returns the first n cores of the ranking induced by key
+// (smallest first if ascending, largest first otherwise).
+func topCoresBy(cores []CoreInfo, n int, key func(CoreInfo) float64, ascending bool) []CoreInfo {
+	vals := make([]float64, len(cores))
+	for i, c := range cores {
+		vals[i] = key(c)
+	}
+	var order []int
+	if ascending {
+		order = stats.RankAscending(vals)
+	} else {
+		order = stats.RankDescending(vals)
+	}
+	out := make([]CoreInfo, n)
+	for i := 0; i < n; i++ {
+		out[i] = cores[order[i]]
+	}
+	return out
+}
+
+// VarPPolicy maps threads randomly onto the lowest-static-power cores.
+type VarPPolicy struct{}
+
+// Name implements Policy.
+func (VarPPolicy) Name() string { return NameVarP }
+
+// Assign implements Policy.
+func (VarPPolicy) Assign(cores []CoreInfo, threads []ThreadInfo, rng *stats.RNG) (Assignment, error) {
+	if err := checkSizes(cores, threads); err != nil {
+		return nil, err
+	}
+	top := topCoresBy(cores, len(threads), func(c CoreInfo) float64 { return c.StaticPowerW }, true)
+	perm := rng.Perm(len(top))
+	out := make(Assignment, len(threads))
+	for t := range threads {
+		out[t] = top[perm[t]].ID
+	}
+	return out, nil
+}
+
+// VarPAppPPolicy maps the highest-dynamic-power threads onto the
+// lowest-static-power cores, evening out per-core power.
+type VarPAppPPolicy struct{}
+
+// Name implements Policy.
+func (VarPAppPPolicy) Name() string { return NameVarPAppP }
+
+// Assign implements Policy.
+func (VarPAppPPolicy) Assign(cores []CoreInfo, threads []ThreadInfo, _ *stats.RNG) (Assignment, error) {
+	if err := checkSizes(cores, threads); err != nil {
+		return nil, err
+	}
+	top := topCoresBy(cores, len(threads), func(c CoreInfo) float64 { return c.StaticPowerW }, true)
+	powers := make([]float64, len(threads))
+	for i, th := range threads {
+		powers[i] = th.DynPowerW
+	}
+	order := stats.RankDescending(powers)
+	out := make(Assignment, len(threads))
+	for rank, t := range order {
+		out[t] = top[rank].ID
+	}
+	return out, nil
+}
+
+// VarFPolicy maps threads randomly onto the highest-frequency cores.
+type VarFPolicy struct{}
+
+// Name implements Policy.
+func (VarFPolicy) Name() string { return NameVarF }
+
+// Assign implements Policy.
+func (VarFPolicy) Assign(cores []CoreInfo, threads []ThreadInfo, rng *stats.RNG) (Assignment, error) {
+	if err := checkSizes(cores, threads); err != nil {
+		return nil, err
+	}
+	top := topCoresBy(cores, len(threads), func(c CoreInfo) float64 { return c.FmaxHz }, false)
+	perm := rng.Perm(len(top))
+	out := make(Assignment, len(threads))
+	for t := range threads {
+		out[t] = top[perm[t]].ID
+	}
+	return out, nil
+}
+
+// VarFAppIPCPolicy maps the highest-IPC threads onto the highest-frequency
+// cores (low-IPC threads are usually memory-bound and benefit less from
+// frequency).
+type VarFAppIPCPolicy struct{}
+
+// Name implements Policy.
+func (VarFAppIPCPolicy) Name() string { return NameVarFAppIPC }
+
+// Assign implements Policy.
+func (VarFAppIPCPolicy) Assign(cores []CoreInfo, threads []ThreadInfo, _ *stats.RNG) (Assignment, error) {
+	if err := checkSizes(cores, threads); err != nil {
+		return nil, err
+	}
+	top := topCoresBy(cores, len(threads), func(c CoreInfo) float64 { return c.FmaxHz }, false)
+	ipcs := make([]float64, len(threads))
+	for i, th := range threads {
+		ipcs[i] = th.IPC
+	}
+	order := stats.RankDescending(ipcs)
+	out := make(Assignment, len(threads))
+	for rank, t := range order {
+		out[t] = top[rank].ID
+	}
+	return out, nil
+}

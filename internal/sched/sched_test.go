@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vasched/internal/stats"
+)
+
+func testCores() []CoreInfo {
+	// Core 0: slow and leaky. Core 1: fast and frugal. Core 2: middling.
+	// Core 3: fastest but leakiest.
+	return []CoreInfo{
+		{ID: 0, StaticPowerW: 3.0, FmaxHz: 3.0e9},
+		{ID: 1, StaticPowerW: 1.0, FmaxHz: 3.8e9},
+		{ID: 2, StaticPowerW: 2.0, FmaxHz: 3.5e9},
+		{ID: 3, StaticPowerW: 4.0, FmaxHz: 4.0e9},
+	}
+}
+
+func testThreads(n int) []ThreadInfo {
+	all := []ThreadInfo{
+		{ID: 0, DynPowerW: 4.4, IPC: 1.2},
+		{ID: 1, DynPowerW: 1.5, IPC: 0.1},
+		{ID: 2, DynPowerW: 2.8, IPC: 0.7},
+		{ID: 3, DynPowerW: 3.7, IPC: 1.1},
+	}
+	return all[:n]
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{NameRandom, NameVarP, NameVarPAppP, NameVarF, NameVarFAppIPC} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := New("Oracle"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestAllPoliciesProduceValidAssignments(t *testing.T) {
+	for _, name := range []string{NameRandom, NameVarP, NameVarPAppP, NameVarF, NameVarFAppIPC} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 1; n <= 4; n++ {
+			a, err := p.Assign(testCores(), testThreads(n), stats.NewRNG(1))
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			if len(a) != n {
+				t.Fatalf("%s n=%d: assignment length %d", name, n, len(a))
+			}
+			if err := a.Validate(4); err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+		}
+	}
+}
+
+func TestVarPSelectsLowestPowerCores(t *testing.T) {
+	p := VarPPolicy{}
+	a, err := p.Assign(testCores(), testThreads(2), stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two threads must land on cores 1 and 2 (static 1.0 and 2.0).
+	used := map[int]bool{a[0]: true, a[1]: true}
+	if !used[1] || !used[2] {
+		t.Fatalf("VarP used cores %v, want {1,2}", a)
+	}
+}
+
+func TestVarPAppPPairsHighPowerThreadWithLowPowerCore(t *testing.T) {
+	p := VarPAppPPolicy{}
+	a, err := p.Assign(testCores(), testThreads(4), stats.NewRNG(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 0 (4.4 W, hottest) must go to core 1 (least leaky); thread 1
+	// (1.5 W, coolest) to core 3 (leakiest).
+	if a[0] != 1 {
+		t.Fatalf("hottest thread on core %d, want 1 (assignment %v)", a[0], a)
+	}
+	if a[1] != 3 {
+		t.Fatalf("coolest thread on core %d, want 3 (assignment %v)", a[1], a)
+	}
+}
+
+func TestVarFSelectsFastestCores(t *testing.T) {
+	p := VarFPolicy{}
+	a, err := p.Assign(testCores(), testThreads(2), stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{a[0]: true, a[1]: true}
+	if !used[3] || !used[1] {
+		t.Fatalf("VarF used cores %v, want {3,1}", a)
+	}
+}
+
+func TestVarFAppIPCPairsHighIPCWithFastCore(t *testing.T) {
+	p := VarFAppIPCPolicy{}
+	a, err := p.Assign(testCores(), testThreads(4), stats.NewRNG(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 0 (IPC 1.2) -> core 3 (4.0 GHz); thread 1 (IPC 0.1) -> core 0
+	// (3.0 GHz, slowest).
+	if a[0] != 3 {
+		t.Fatalf("highest-IPC thread on core %d, want 3 (%v)", a[0], a)
+	}
+	if a[1] != 0 {
+		t.Fatalf("lowest-IPC thread on core %d, want 0 (%v)", a[1], a)
+	}
+}
+
+func TestRandomCoversAllCoresEventually(t *testing.T) {
+	p := RandomPolicy{}
+	rng := stats.NewRNG(7)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		a, err := p.Assign(testCores(), testThreads(1), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[a[0]] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("random policy only used cores %v", seen)
+	}
+}
+
+func TestDeterministicPoliciesIgnoreRNG(t *testing.T) {
+	for _, name := range []string{NameVarPAppP, NameVarFAppIPC} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := p.Assign(testCores(), testThreads(3), stats.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.Assign(testCores(), testThreads(3), stats.NewRNG(999))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s depends on RNG", name)
+			}
+		}
+	}
+}
+
+func TestSizeErrors(t *testing.T) {
+	p := RandomPolicy{}
+	if _, err := p.Assign(testCores(), nil, stats.NewRNG(1)); err == nil {
+		t.Fatal("empty thread set accepted")
+	}
+	if _, err := p.Assign(testCores()[:1], testThreads(2), stats.NewRNG(1)); err == nil {
+		t.Fatal("more threads than cores accepted")
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	if err := (Assignment{0, 1}).Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Assignment{0, 0}).Validate(2); err == nil {
+		t.Fatal("duplicate core accepted")
+	}
+	if err := (Assignment{5}).Validate(2); err == nil {
+		t.Fatal("out-of-range core accepted")
+	}
+	if err := (Assignment{-1}).Validate(2); err == nil {
+		t.Fatal("negative core accepted")
+	}
+}
+
+// Property: every policy returns a valid injective assignment for random
+// core/thread populations of any feasible size.
+func TestPoliciesValidAssignmentProperty(t *testing.T) {
+	policies := []Policy{RandomPolicy{}, VarPPolicy{}, VarPAppPPolicy{},
+		VarFPolicy{}, VarFAppIPCPolicy{}, TempAwarePolicy{}}
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		nc := 1 + rng.Intn(20)
+		nt := 1 + rng.Intn(nc)
+		cores := make([]CoreInfo, nc)
+		for i := range cores {
+			cores[i] = CoreInfo{
+				ID:           i,
+				StaticPowerW: 0.5 + rng.Float64()*3,
+				FmaxHz:       (2 + rng.Float64()*2) * 1e9,
+				TempC:        45 + rng.Float64()*50,
+			}
+		}
+		threads := make([]ThreadInfo, nt)
+		for i := range threads {
+			threads[i] = ThreadInfo{ID: i, DynPowerW: 1 + rng.Float64()*3, IPC: 0.1 + rng.Float64()}
+		}
+		for _, p := range policies {
+			a, err := p.Assign(cores, threads, rng)
+			if err != nil {
+				return false
+			}
+			if len(a) != nt || a.Validate(nc) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

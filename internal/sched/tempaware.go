@@ -1,0 +1,38 @@
+package sched
+
+import "vasched/internal/stats"
+
+// TempAwarePolicy implements the paper's first future-work extension:
+// scheduling with "the additional goal of keeping the temperature of the
+// CMP as uniform as possible" (Section 8). The highest-dynamic-power
+// threads are mapped onto the currently coolest cores, so each OS interval
+// migrates heat producers away from hot spots. Because leakage grows
+// exponentially with temperature, evening out the thermal map also saves
+// power — the same intuition as VarP&AppP, but driven by live sensor
+// temperatures instead of static manufacturer data.
+type TempAwarePolicy struct{}
+
+// Name implements Policy.
+func (TempAwarePolicy) Name() string { return NameTempAware }
+
+// Assign implements Policy.
+func (TempAwarePolicy) Assign(cores []CoreInfo, threads []ThreadInfo, _ *stats.RNG) (Assignment, error) {
+	if err := checkSizes(cores, threads); err != nil {
+		return nil, err
+	}
+	// Coolest cores first; cold-chip ties fall back to the static power
+	// ranking (the block below is stable, so secondary order is the input
+	// order after this pre-sort).
+	pre := topCoresBy(cores, len(cores), func(c CoreInfo) float64 { return c.StaticPowerW }, true)
+	top := topCoresBy(pre, len(threads), func(c CoreInfo) float64 { return c.TempC }, true)
+	powers := make([]float64, len(threads))
+	for i, th := range threads {
+		powers[i] = th.DynPowerW
+	}
+	order := stats.RankDescending(powers)
+	out := make(Assignment, len(threads))
+	for rank, t := range order {
+		out[t] = top[rank].ID
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"testing"
+
+	"vasched/internal/stats"
+)
+
+func TestTempAwareByName(t *testing.T) {
+	p, err := New(NameTempAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != NameTempAware {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestTempAwareMapsHotThreadToCoolCore(t *testing.T) {
+	cores := []CoreInfo{
+		{ID: 0, StaticPowerW: 2, FmaxHz: 3.5e9, TempC: 95}, // hottest
+		{ID: 1, StaticPowerW: 2, FmaxHz: 3.5e9, TempC: 60}, // coolest
+		{ID: 2, StaticPowerW: 2, FmaxHz: 3.5e9, TempC: 75},
+	}
+	threads := []ThreadInfo{
+		{ID: 0, DynPowerW: 4.4, IPC: 1.2}, // hottest thread
+		{ID: 1, DynPowerW: 1.5, IPC: 0.1},
+		{ID: 2, DynPowerW: 2.8, IPC: 0.7},
+	}
+	a, err := (TempAwarePolicy{}).Assign(cores, threads, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 1 {
+		t.Fatalf("hottest thread on core %d, want coolest core 1 (%v)", a[0], a)
+	}
+	if a[1] != 0 {
+		t.Fatalf("coolest thread on core %d, want hottest core 0 (%v)", a[1], a)
+	}
+}
+
+func TestTempAwareColdChipFallsBackToStaticPower(t *testing.T) {
+	// All temps equal (cold chip): ties break on static power, recovering
+	// VarP&AppP behaviour.
+	cores := []CoreInfo{
+		{ID: 0, StaticPowerW: 3.0, TempC: 45},
+		{ID: 1, StaticPowerW: 1.0, TempC: 45},
+		{ID: 2, StaticPowerW: 2.0, TempC: 45},
+	}
+	threads := []ThreadInfo{
+		{ID: 0, DynPowerW: 4.0},
+		{ID: 1, DynPowerW: 1.0},
+	}
+	a, err := (TempAwarePolicy{}).Assign(cores, threads, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 1 {
+		t.Fatalf("hot thread on core %d, want least-leaky core 1 (%v)", a[0], a)
+	}
+}
+
+func TestTempAwareSubsetUsesCoolestCores(t *testing.T) {
+	cores := []CoreInfo{
+		{ID: 0, TempC: 90}, {ID: 1, TempC: 50}, {ID: 2, TempC: 70}, {ID: 3, TempC: 60},
+	}
+	threads := []ThreadInfo{{ID: 0, DynPowerW: 2}, {ID: 1, DynPowerW: 3}}
+	a, err := (TempAwarePolicy{}).Assign(cores, threads, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{a[0]: true, a[1]: true}
+	if !used[1] || !used[3] {
+		t.Fatalf("TempAware used cores %v, want the two coolest {1,3}", a)
+	}
+}
+
+func TestTempAwareValidation(t *testing.T) {
+	if _, err := (TempAwarePolicy{}).Assign(nil, []ThreadInfo{{}}, stats.NewRNG(1)); err == nil {
+		t.Fatal("more threads than cores accepted")
+	}
+}

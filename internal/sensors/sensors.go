@@ -1,0 +1,90 @@
+// Package sensors implements the profiling support of the paper's
+// Table 3: the manufacturer-provided per-core data (static power ranking,
+// maximum frequencies, V/f tables) and the runtime measurements (per-thread
+// dynamic power and IPC, observed through on-chip sensors with optional
+// measurement noise).
+package sensors
+
+import (
+	"fmt"
+
+	"vasched/internal/chip"
+	"vasched/internal/cpusim"
+	"vasched/internal/sched"
+	"vasched/internal/stats"
+	"vasched/internal/workload"
+)
+
+// Noise models sensor measurement error as multiplicative Gaussian noise
+// with the given relative sigma. A zero-sigma Noise is exact.
+type Noise struct {
+	Sigma float64
+	rng   *stats.RNG
+}
+
+// NewNoise returns a noise source; rng may be nil when sigma is 0.
+func NewNoise(sigma float64, rng *stats.RNG) Noise {
+	return Noise{Sigma: sigma, rng: rng}
+}
+
+// Read perturbs a true value with the sensor's noise.
+func (n Noise) Read(v float64) float64 {
+	if n.Sigma <= 0 || n.rng == nil {
+		return v
+	}
+	return v * (1 + n.rng.Norm()*n.Sigma)
+}
+
+// CoreInfos extracts the manufacturer profile the schedulers need: static
+// power at the maximum voltage and maximum frequency at the maximum
+// voltage, for every core (Table 3 rows for VarP and VarF).
+func CoreInfos(c *chip.Chip) []sched.CoreInfo {
+	out := make([]sched.CoreInfo, c.NumCores())
+	topLevel := len(c.Levels) - 1
+	for core := range out {
+		out[core] = sched.CoreInfo{
+			ID:           core,
+			StaticPowerW: c.StaticAtLevel[core][topLevel],
+			FmaxHz:       c.FmaxNominal(core),
+		}
+	}
+	return out
+}
+
+// ProfileThreads measures each thread's dynamic power and IPC by running it
+// briefly on one random core, as the paper prescribes: "each thread is
+// profiled on a potentially different core", with the measured values
+// scaled to reference conditions so the ranking is core-independent.
+func ProfileThreads(c *chip.Chip, cpu *cpusim.Model, apps []*workload.AppProfile, elapsedMS []float64, noise Noise, rng *stats.RNG) ([]sched.ThreadInfo, error) {
+	if len(elapsedMS) != 0 && len(elapsedMS) != len(apps) {
+		return nil, fmt.Errorf("sensors: %d elapsed entries for %d threads", len(elapsedMS), len(apps))
+	}
+	out := make([]sched.ThreadInfo, len(apps))
+	for i, app := range apps {
+		core := rng.Intn(c.NumCores())
+		f := c.FmaxNominal(core)
+		elapsed := 0.0
+		if len(elapsedMS) > 0 {
+			elapsed = elapsedMS[i]
+		}
+		phase := app.PhaseAt(elapsed)
+		ipc, err := cpu.IPC(app, phase, f)
+		if err != nil {
+			return nil, fmt.Errorf("sensors: profiling thread %d: %w", i, err)
+		}
+		// The dynamic-power sensor reading is scaled by the profiling
+		// core's (V, f) back to reference conditions; what survives is
+		// the thread's intrinsic activity (its Table 5 number modulated
+		// by the current phase).
+		dyn := app.DynPowerW * phase.PowerScale
+		// IPC is likewise treated as core-independent for ranking; the
+		// frequency at which it was measured adds a small methodical
+		// error that the noise term models on top of.
+		out[i] = sched.ThreadInfo{
+			ID:        i,
+			DynPowerW: noise.Read(dyn),
+			IPC:       noise.Read(ipc),
+		}
+	}
+	return out, nil
+}

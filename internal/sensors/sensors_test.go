@@ -1,0 +1,161 @@
+package sensors
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"vasched/internal/chip"
+	"vasched/internal/cpusim"
+	"vasched/internal/delay"
+	"vasched/internal/floorplan"
+	"vasched/internal/power"
+	"vasched/internal/stats"
+	"vasched/internal/thermal"
+	"vasched/internal/varmodel"
+	"vasched/internal/workload"
+)
+
+var (
+	once    sync.Once
+	theChip *chip.Chip
+	theCPU  *cpusim.Model
+	bErr    error
+)
+
+func build(t *testing.T) (*chip.Chip, *cpusim.Model) {
+	t.Helper()
+	once.Do(func() {
+		cfg := varmodel.DefaultConfig()
+		cfg.GridRows, cfg.GridCols = 64, 64
+		g, err := varmodel.NewGenerator(cfg)
+		if err != nil {
+			bErr = err
+			return
+		}
+		maps, err := g.Die(5, 0)
+		if err != nil {
+			bErr = err
+			return
+		}
+		theChip, bErr = chip.Build(maps, floorplan.New20CoreCMP(), delay.DefaultConfig(),
+			power.DefaultModel(cfg.Tech), thermal.DefaultConfig())
+		if bErr != nil {
+			return
+		}
+		theCPU, bErr = cpusim.New(cpusim.DefaultCoreConfig(), workload.SPEC())
+	})
+	if bErr != nil {
+		t.Fatal(bErr)
+	}
+	return theChip, theCPU
+}
+
+func TestNoiseExactWhenZero(t *testing.T) {
+	n := NewNoise(0, nil)
+	if n.Read(42) != 42 {
+		t.Fatal("zero noise must be exact")
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	n := NewNoise(0.05, stats.NewRNG(1))
+	var readings []float64
+	for i := 0; i < 20000; i++ {
+		readings = append(readings, n.Read(100))
+	}
+	if m := stats.Mean(readings); math.Abs(m-100) > 0.5 {
+		t.Fatalf("noisy mean = %v", m)
+	}
+	if s := stats.StdDev(readings); math.Abs(s-5) > 0.5 {
+		t.Fatalf("noisy std = %v, want ~5", s)
+	}
+}
+
+func TestCoreInfos(t *testing.T) {
+	c, _ := build(t)
+	infos := CoreInfos(c)
+	if len(infos) != 20 {
+		t.Fatalf("infos = %d", len(infos))
+	}
+	for i, ci := range infos {
+		if ci.ID != i {
+			t.Fatalf("info %d has ID %d", i, ci.ID)
+		}
+		if ci.StaticPowerW <= 0 || ci.FmaxHz <= 0 {
+			t.Fatalf("info %d has non-positive profile: %+v", i, ci)
+		}
+	}
+	// Variation must be visible through the profile.
+	lo, hi := infos[0].FmaxHz, infos[0].FmaxHz
+	for _, ci := range infos {
+		lo = math.Min(lo, ci.FmaxHz)
+		hi = math.Max(hi, ci.FmaxHz)
+	}
+	if hi/lo < 1.05 {
+		t.Fatalf("frequency spread %v invisible in manufacturer profile", hi/lo)
+	}
+}
+
+func TestProfileThreads(t *testing.T) {
+	c, cpu := build(t)
+	apps := workload.SPEC()[:6]
+	infos, err := ProfileThreads(c, cpu, apps, nil, Noise{}, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 6 {
+		t.Fatalf("infos = %d", len(infos))
+	}
+	for i, ti := range infos {
+		if ti.ID != i || ti.DynPowerW <= 0 || ti.IPC <= 0 {
+			t.Fatalf("thread %d: %+v", i, ti)
+		}
+	}
+	// Noise-free profiling must preserve the Table 5 dynamic-power
+	// ranking (vortex > mcf).
+	var vortexP, mcfP float64
+	for i, a := range apps {
+		switch a.Name {
+		case "vortex":
+			vortexP = infos[i].DynPowerW
+		case "mcf":
+			mcfP = infos[i].DynPowerW
+		}
+	}
+	if vortexP != 0 && mcfP != 0 && vortexP <= mcfP {
+		t.Fatal("profiling lost the dynamic-power ranking")
+	}
+}
+
+func TestProfileThreadsElapsedValidation(t *testing.T) {
+	c, cpu := build(t)
+	apps := workload.SPEC()[:3]
+	if _, err := ProfileThreads(c, cpu, apps, []float64{1}, Noise{}, stats.NewRNG(1)); err == nil {
+		t.Fatal("mismatched elapsed slice accepted")
+	}
+	if _, err := ProfileThreads(c, cpu, apps, []float64{1, 2, 3}, Noise{}, stats.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileThreadsPhaseSensitive(t *testing.T) {
+	c, cpu := build(t)
+	app, err := workload.ByName("bzip2") // has phases
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []*workload.AppProfile{app}
+	hi, err := ProfileThreads(c, cpu, apps, []float64{0}, Noise{}, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := ProfileThreads(c, cpu, apps, []float64{300}, Noise{}, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bzip2's first (high) phase scales IPC by 1.15, its second by 0.8.
+	if hi[0].IPC <= lo[0].IPC {
+		t.Fatalf("phase change invisible to profiling: %v vs %v", hi[0].IPC, lo[0].IPC)
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram bins samples over a fixed range. It is used to reproduce the
+// paper's Figure 4 histograms of die-to-die power and frequency ratios.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+	n      int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo,hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram configuration")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample. Samples outside [lo,hi) are tallied in the
+// underflow/overflow counters rather than dropped.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		w := (h.Hi - h.Lo) / float64(len(h.Counts))
+		i := int((x - h.Lo) / w)
+		if i == len(h.Counts) { // guard against floating-point edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// N returns the total number of samples recorded, including out-of-range.
+func (h *Histogram) N() int { return h.n }
+
+// Underflow returns the count of samples below the histogram range.
+func (h *Histogram) Underflow() int { return h.under }
+
+// Overflow returns the count of samples at or above the histogram range.
+func (h *Histogram) Overflow() int { return h.over }
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Render draws the histogram as an ASCII bar chart with the given label,
+// one row per bin, suitable for experiment reports.
+func (h *Histogram) Render(label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d", label, h.n)
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&b, ", under=%d, over=%d", h.under, h.over)
+	}
+	b.WriteString(")\n")
+	maxCount := 1
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	const width = 40
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", int(math.Round(float64(c)/float64(maxCount)*width)))
+		fmt.Fprintf(&b, "  %6.3f |%-*s %d\n", h.BinCenter(i), width, bar, c)
+	}
+	return b.String()
+}

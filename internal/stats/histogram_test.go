@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5.5, 9.99} {
+		h.Add(x)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bin %d = %d, want %d (all: %v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-0.5)
+	h.Add(1.0) // hi is exclusive
+	h.Add(2.0)
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Fatalf("under=%d over=%d", h.Underflow(), h.Overflow())
+	}
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistogramBinCenterAndMode(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Fatalf("BinCenter(4) = %v", got)
+	}
+	h.Add(5)
+	h.Add(5.5)
+	h.Add(1)
+	if got := h.Mode(); got != 5 {
+		t.Fatalf("Mode = %v", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(1.0, 2.0, 4)
+	for _, x := range []float64{1.1, 1.15, 1.6, 1.9} {
+		h.Add(x)
+	}
+	out := h.Render("power ratio")
+	if !strings.Contains(out, "power ratio") || !strings.Contains(out, "#") {
+		t.Fatalf("Render output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "n=4") {
+		t.Fatalf("Render output missing count:\n%s", out)
+	}
+}
+
+func TestHistogramInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid config")
+		}
+	}()
+	NewHistogram(1, 1, 3)
+}

@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Variance(nil); got != 0 {
+		t.Fatalf("Variance(nil) = %v, want 0", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 4, 1.5}
+	if got := Min(xs); got != -1 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); got != 4 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := Sum(xs); got != 7.5 {
+		t.Fatalf("Sum = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("odd Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even Median = %v", got)
+	}
+	// Median must not modify its input.
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("perfect correlation = %v", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, err = Correlation(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation = %v", r)
+	}
+	if _, err := Correlation(xs, ys[:2]); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("constant input not detected")
+	}
+}
+
+func TestNormCDFQuantileInverse(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		x := NormQuantile(p)
+		if got := NormCDF(x); !almostEqual(got, p, 1e-8) {
+			t.Errorf("NormCDF(NormQuantile(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(NormQuantile(0), -1) || !math.IsInf(NormQuantile(1), 1) {
+		t.Fatal("quantile boundary behaviour wrong")
+	}
+}
+
+func TestNormQuantileKnownValues(t *testing.T) {
+	// 97.5th percentile of the standard normal.
+	if got := NormQuantile(0.975); !almostEqual(got, 1.959963985, 1e-6) {
+		t.Fatalf("NormQuantile(0.975) = %v", got)
+	}
+	if got := NormQuantile(0.5); !almostEqual(got, 0, 1e-12) {
+		t.Fatalf("NormQuantile(0.5) = %v", got)
+	}
+}
+
+func TestRanking(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	desc := RankDescending(xs)
+	if desc[0] != 0 || desc[1] != 2 || desc[2] != 1 {
+		t.Fatalf("RankDescending = %v", desc)
+	}
+	asc := RankAscending(xs)
+	if asc[0] != 1 || asc[1] != 2 || asc[2] != 0 {
+		t.Fatalf("RankAscending = %v", asc)
+	}
+}
+
+func TestRankStability(t *testing.T) {
+	xs := []float64{1, 1, 1}
+	desc := RankDescending(xs)
+	for i, v := range desc {
+		if v != i {
+			t.Fatalf("ties must preserve order, got %v", desc)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGDeriveIndependence(t *testing.T) {
+	// Derived streams with different labels must differ from each other.
+	parent1 := NewRNG(7)
+	parent2 := NewRNG(7)
+	c1 := parent1.Derive(1)
+	c2 := parent2.Derive(2)
+	same := true
+	for i := 0; i < 16; i++ {
+		if c1.Float64() != c2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("derived streams with different labels are identical")
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(1)
+	n := 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.NormMuSigma(3, 2)
+	}
+	if m := Mean(xs); !almostEqual(m, 3, 0.05) {
+		t.Fatalf("sample mean = %v, want ~3", m)
+	}
+	if s := StdDev(xs); !almostEqual(s, 2, 0.05) {
+		t.Fatalf("sample std = %v, want ~2", s)
+	}
+}
+
+// Property: quantile is monotone non-decreasing in q for any sample set.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RankDescending returns a permutation that actually sorts.
+func TestRankDescendingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		idx := RankDescending(xs)
+		if len(idx) != len(xs) {
+			return false
+		}
+		seen := make(map[int]bool, len(idx))
+		for _, i := range idx {
+			if i < 0 || i >= len(xs) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return sort.SliceIsSorted(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] }) ||
+			isNonIncreasing(xs, idx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isNonIncreasing(xs []float64, idx []int) bool {
+	for i := 1; i < len(idx); i++ {
+		if xs[idx[i-1]] < xs[idx[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := NewRNG(5)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormMuSigma(10, 2)
+	}
+	lo, hi := BootstrapCI(xs, 0.95, 2000, NewRNG(6))
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%v, %v]", lo, hi)
+	}
+	m := Mean(xs)
+	if m < lo || m > hi {
+		t.Fatalf("sample mean %v outside its own CI [%v, %v]", m, lo, hi)
+	}
+	// For n=200, sigma=2: the 95%% CI should be roughly +-0.28 wide.
+	if width := hi - lo; width < 0.2 || width > 1.5 {
+		t.Fatalf("CI width %v implausible", width)
+	}
+	// Degenerate inputs.
+	if lo, hi := BootstrapCI(nil, 0.95, 100, NewRNG(1)); lo != 0 || hi != 0 {
+		t.Fatal("empty input should give zero interval")
+	}
+	if lo, hi := BootstrapCI([]float64{7}, 0.95, 100, NewRNG(1)); lo != 7 || hi != 7 {
+		t.Fatal("single sample should give point interval")
+	}
+	// Defaults kick in for bad parameters.
+	lo2, hi2 := BootstrapCI(xs, -1, -1, NewRNG(6))
+	if lo2 >= hi2 {
+		t.Fatal("default parameters produced a degenerate interval")
+	}
+}

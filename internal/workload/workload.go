@@ -1,0 +1,221 @@
+// Package workload provides the application models the evaluation runs on.
+// The paper uses 14 SPEC CPU2000 applications (8 SPECint + 6 SPECfp) run
+// under the SESC simulator; here each application is a profile whose
+// headline numbers — dynamic core power at 4 GHz/1 V and average IPC —
+// are calibrated to the paper's Table 5, together with the
+// microarchitectural characteristics (memory intensity, branch behaviour,
+// working set, phase structure) that the core and cache models need to
+// reproduce frequency- and time-dependent behaviour.
+package workload
+
+import (
+	"fmt"
+
+	"vasched/internal/stats"
+)
+
+// Phase is one program phase: a stretch of execution with scaled IPC and
+// activity. Phases are what make periodic LinOpt re-solving worthwhile
+// (paper Figure 14).
+type Phase struct {
+	// DurationMS is the phase length in milliseconds of execution at
+	// nominal frequency.
+	DurationMS float64
+	// IPCScale multiplies the application's base IPC during this phase.
+	IPCScale float64
+	// PowerScale multiplies the application's base dynamic power.
+	PowerScale float64
+}
+
+// AppProfile describes one application.
+type AppProfile struct {
+	// Name is the SPEC benchmark name.
+	Name string
+	// FP reports whether this is a SPECfp benchmark.
+	FP bool
+	// DynPowerW is the average dynamic core power (core + L1, paper
+	// Table 5) at 4 GHz and 1 V.
+	DynPowerW float64
+	// IPCNom is the average IPC at the 4 GHz reference (paper Table 5).
+	IPCNom float64
+	// L1MPKI and L2MPKI are misses per kilo-instruction at the reference
+	// cache configuration. L2MPKI sets how strongly IPC degrades as
+	// frequency rises (memory latency is constant in nanoseconds);
+	// L1MPKI sets the L2 access rate for L2 dynamic power.
+	L1MPKI float64
+	L2MPKI float64
+	// MLP is the memory-level parallelism: the average number of
+	// overlapping outstanding misses.
+	MLP float64
+	// MemAccessFrac is the fraction of instructions that access memory.
+	MemAccessFrac float64
+	// BranchFrac and BranchMispredRate drive the pipeline-flush term.
+	BranchFrac        float64
+	BranchMispredRate float64
+	// WorkingSetKB and StridedFrac shape the synthetic address stream the
+	// cache simulator consumes.
+	WorkingSetKB float64
+	StridedFrac  float64
+	// Phases describes time-varying behaviour; an empty slice means the
+	// application is steady.
+	Phases []Phase
+}
+
+// Validate reports profile inconsistencies.
+func (a *AppProfile) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("workload: unnamed profile")
+	}
+	if a.DynPowerW <= 0 || a.IPCNom <= 0 {
+		return fmt.Errorf("workload: %s: non-positive Table 5 numbers", a.Name)
+	}
+	if a.L1MPKI < 0 || a.L2MPKI < 0 || a.L2MPKI > a.L1MPKI || a.MLP < 1 {
+		return fmt.Errorf("workload: %s: invalid memory behaviour", a.Name)
+	}
+	if a.MemAccessFrac < 0 || a.MemAccessFrac > 1 ||
+		a.BranchFrac < 0 || a.BranchFrac > 1 ||
+		a.BranchMispredRate < 0 || a.BranchMispredRate > 1 ||
+		a.StridedFrac < 0 || a.StridedFrac > 1 {
+		return fmt.Errorf("workload: %s: fraction out of range", a.Name)
+	}
+	for i, p := range a.Phases {
+		if p.DurationMS <= 0 || p.IPCScale <= 0 || p.PowerScale <= 0 {
+			return fmt.Errorf("workload: %s: invalid phase %d", a.Name, i)
+		}
+	}
+	return nil
+}
+
+// PhaseAt returns the phase active after elapsedMS milliseconds of
+// execution, cycling through the phase list. Steady applications return a
+// neutral phase.
+func (a *AppProfile) PhaseAt(elapsedMS float64) Phase {
+	if len(a.Phases) == 0 {
+		return Phase{DurationMS: 1, IPCScale: 1, PowerScale: 1}
+	}
+	total := 0.0
+	for _, p := range a.Phases {
+		total += p.DurationMS
+	}
+	t := elapsedMS
+	for t >= total {
+		t -= total
+	}
+	for _, p := range a.Phases {
+		if t < p.DurationMS {
+			return p
+		}
+		t -= p.DurationMS
+	}
+	return a.Phases[len(a.Phases)-1]
+}
+
+// SPEC returns the paper's 14-application pool. DynPowerW and IPCNom are
+// Table 5 verbatim; the microarchitectural fields are set to widely
+// reported SPEC CPU2000 characteristics consistent with those numbers
+// (memory-bound codes get high MPKI, control codes get misprediction
+// pressure).
+func SPEC() []*AppProfile {
+	apps := []*AppProfile{
+		// SPECint
+		{Name: "bzip2", DynPowerW: 3.7, IPCNom: 1.1, L1MPKI: 14, L2MPKI: 1.2, MLP: 2.0,
+			MemAccessFrac: 0.33, BranchFrac: 0.13, BranchMispredRate: 0.06,
+			WorkingSetKB: 5000, StridedFrac: 0.65,
+			Phases: []Phase{{DurationMS: 240, IPCScale: 1.15, PowerScale: 1.15},
+				{DurationMS: 150, IPCScale: 0.8, PowerScale: 0.8}}},
+		{Name: "crafty", DynPowerW: 3.9, IPCNom: 1.1, L1MPKI: 9, L2MPKI: 0.3, MLP: 1.5,
+			MemAccessFrac: 0.36, BranchFrac: 0.11, BranchMispredRate: 0.08,
+			WorkingSetKB: 2000, StridedFrac: 0.4},
+		{Name: "gap", DynPowerW: 3.5, IPCNom: 1.0, L1MPKI: 6, L2MPKI: 0.8, MLP: 1.8,
+			MemAccessFrac: 0.36, BranchFrac: 0.16, BranchMispredRate: 0.04,
+			WorkingSetKB: 4000, StridedFrac: 0.55},
+		{Name: "gzip", DynPowerW: 2.7, IPCNom: 0.7, L1MPKI: 20, L2MPKI: 1.0, MLP: 1.6,
+			MemAccessFrac: 0.30, BranchFrac: 0.16, BranchMispredRate: 0.07,
+			WorkingSetKB: 4000, StridedFrac: 0.6,
+			Phases: []Phase{{DurationMS: 180, IPCScale: 1.2, PowerScale: 1.2},
+				{DurationMS: 180, IPCScale: 0.85, PowerScale: 0.8}}},
+		{Name: "mcf", DynPowerW: 1.5, IPCNom: 0.1, L1MPKI: 85, L2MPKI: 33.0, MLP: 2.4,
+			MemAccessFrac: 0.39, BranchFrac: 0.19, BranchMispredRate: 0.09,
+			WorkingSetKB: 96000, StridedFrac: 0.1,
+			Phases: []Phase{{DurationMS: 400, IPCScale: 1.2, PowerScale: 1.1},
+				{DurationMS: 200, IPCScale: 0.8, PowerScale: 0.9}}},
+		{Name: "parser", DynPowerW: 2.8, IPCNom: 0.7, L1MPKI: 18, L2MPKI: 2.0, MLP: 1.6,
+			MemAccessFrac: 0.35, BranchFrac: 0.17, BranchMispredRate: 0.08,
+			WorkingSetKB: 10000, StridedFrac: 0.3,
+			Phases: []Phase{{DurationMS: 220, IPCScale: 1.1, PowerScale: 1.1},
+				{DurationMS: 180, IPCScale: 0.9, PowerScale: 0.9}}},
+		{Name: "twolf", DynPowerW: 2.3, IPCNom: 0.4, L1MPKI: 25, L2MPKI: 3.5, MLP: 1.4,
+			MemAccessFrac: 0.31, BranchFrac: 0.14, BranchMispredRate: 0.11,
+			WorkingSetKB: 12000, StridedFrac: 0.2},
+		{Name: "vortex", DynPowerW: 4.4, IPCNom: 1.2, L1MPKI: 10, L2MPKI: 0.8, MLP: 1.9,
+			MemAccessFrac: 0.40, BranchFrac: 0.15, BranchMispredRate: 0.02,
+			WorkingSetKB: 4000, StridedFrac: 0.5},
+		// SPECfp
+		{Name: "applu", FP: true, DynPowerW: 4.3, IPCNom: 1.1, L1MPKI: 22, L2MPKI: 2.5, MLP: 3.5,
+			MemAccessFrac: 0.40, BranchFrac: 0.03, BranchMispredRate: 0.02,
+			WorkingSetKB: 16000, StridedFrac: 0.9,
+			Phases: []Phase{{DurationMS: 300, IPCScale: 1.1, PowerScale: 1.1},
+				{DurationMS: 120, IPCScale: 0.75, PowerScale: 0.8}}},
+		{Name: "apsi", FP: true, DynPowerW: 1.6, IPCNom: 0.1, L1MPKI: 40, L2MPKI: 18.0, MLP: 1.8,
+			MemAccessFrac: 0.40, BranchFrac: 0.04, BranchMispredRate: 0.03,
+			WorkingSetKB: 60000, StridedFrac: 0.7},
+		{Name: "art", FP: true, DynPowerW: 2.4, IPCNom: 0.2, L1MPKI: 55, L2MPKI: 16.0, MLP: 2.8,
+			MemAccessFrac: 0.36, BranchFrac: 0.09, BranchMispredRate: 0.02,
+			WorkingSetKB: 48000, StridedFrac: 0.8,
+			Phases: []Phase{{DurationMS: 250, IPCScale: 1.3, PowerScale: 1.2},
+				{DurationMS: 250, IPCScale: 0.7, PowerScale: 0.8}}},
+		{Name: "equake", FP: true, DynPowerW: 2.1, IPCNom: 0.3, L1MPKI: 30, L2MPKI: 9.0, MLP: 2.2,
+			MemAccessFrac: 0.42, BranchFrac: 0.07, BranchMispredRate: 0.03,
+			WorkingSetKB: 30000, StridedFrac: 0.7,
+			Phases: []Phase{{DurationMS: 150, IPCScale: 1.15, PowerScale: 1.1},
+				{DurationMS: 150, IPCScale: 0.85, PowerScale: 0.9}}},
+		{Name: "mgrid", FP: true, DynPowerW: 2.2, IPCNom: 0.4, L1MPKI: 19, L2MPKI: 5.5, MLP: 3.2,
+			MemAccessFrac: 0.45, BranchFrac: 0.02, BranchMispredRate: 0.02,
+			WorkingSetKB: 20000, StridedFrac: 0.95},
+		{Name: "swim", FP: true, DynPowerW: 2.2, IPCNom: 0.3, L1MPKI: 28, L2MPKI: 10.0, MLP: 3.8,
+			MemAccessFrac: 0.41, BranchFrac: 0.02, BranchMispredRate: 0.01,
+			WorkingSetKB: 40000, StridedFrac: 0.95,
+			Phases: []Phase{{DurationMS: 210, IPCScale: 1.2, PowerScale: 1.15},
+				{DurationMS: 210, IPCScale: 0.8, PowerScale: 0.85}}},
+	}
+	return apps
+}
+
+// ByName returns the profile with the given name from SPEC(), or an error.
+func ByName(name string) (*AppProfile, error) {
+	for _, a := range SPEC() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// Mix draws n applications (with replacement once the pool is exhausted,
+// without replacement before) to build one multiprogrammed workload, the
+// way the paper constructs its 1-20 thread experiments.
+func Mix(rng *stats.RNG, n int) []*AppProfile {
+	pool := SPEC()
+	out := make([]*AppProfile, 0, n)
+	perm := rng.Perm(len(pool))
+	for i := 0; i < n; i++ {
+		if i < len(pool) {
+			out = append(out, pool[perm[i]])
+		} else {
+			out = append(out, pool[rng.Intn(len(pool))])
+		}
+	}
+	return out
+}
+
+// Trials builds the paper's experiment structure: trials independent
+// workloads of n threads each (the paper repeats each experiment 20 times
+// with different application sets and reports the average).
+func Trials(seed int64, trials, n int) [][]*AppProfile {
+	rng := stats.NewRNG(seed)
+	out := make([][]*AppProfile, trials)
+	for t := range out {
+		out[t] = Mix(rng.Derive(int64(t)), n)
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vasched/internal/stats"
+)
+
+func TestSPECPoolMatchesTable5(t *testing.T) {
+	// The paper's Table 5 numbers, verbatim.
+	table5 := map[string][2]float64{
+		"applu": {4.3, 1.1}, "apsi": {1.6, 0.1}, "art": {2.4, 0.2},
+		"bzip2": {3.7, 1.1}, "crafty": {3.9, 1.1}, "equake": {2.1, 0.3},
+		"gap": {3.5, 1.0}, "gzip": {2.7, 0.7}, "mcf": {1.5, 0.1},
+		"mgrid": {2.2, 0.4}, "parser": {2.8, 0.7}, "swim": {2.2, 0.3},
+		"twolf": {2.3, 0.4}, "vortex": {4.4, 1.2},
+	}
+	pool := SPEC()
+	if len(pool) != len(table5) {
+		t.Fatalf("pool has %d apps, want %d", len(pool), len(table5))
+	}
+	for _, a := range pool {
+		want, ok := table5[a.Name]
+		if !ok {
+			t.Fatalf("unexpected app %q", a.Name)
+		}
+		if a.DynPowerW != want[0] || a.IPCNom != want[1] {
+			t.Fatalf("%s: (%v, %v), want (%v, %v)", a.Name, a.DynPowerW, a.IPCNom, want[0], want[1])
+		}
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, a := range SPEC() {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	good, err := ByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := []func(*AppProfile){
+		func(a *AppProfile) { a.Name = "" },
+		func(a *AppProfile) { a.DynPowerW = 0 },
+		func(a *AppProfile) { a.IPCNom = -1 },
+		func(a *AppProfile) { a.L2MPKI = a.L1MPKI + 1 },
+		func(a *AppProfile) { a.MLP = 0.5 },
+		func(a *AppProfile) { a.MemAccessFrac = 1.2 },
+		func(a *AppProfile) { a.BranchMispredRate = -0.1 },
+		func(a *AppProfile) { a.Phases = []Phase{{DurationMS: 0, IPCScale: 1, PowerScale: 1}} },
+	}
+	for i, f := range mut {
+		a := *good
+		f(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("mcf")
+	if err != nil || a.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %v, %v", a, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestPhaseAtSteadyApp(t *testing.T) {
+	a, err := ByName("crafty") // no phases
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.PhaseAt(123.4)
+	if p.IPCScale != 1 || p.PowerScale != 1 {
+		t.Fatalf("steady app phase = %+v", p)
+	}
+}
+
+func TestPhaseAtCycles(t *testing.T) {
+	a := &AppProfile{
+		Name: "x", DynPowerW: 1, IPCNom: 1, MLP: 1, L1MPKI: 1, L2MPKI: 1,
+		Phases: []Phase{
+			{DurationMS: 10, IPCScale: 2, PowerScale: 1},
+			{DurationMS: 5, IPCScale: 0.5, PowerScale: 1},
+		},
+	}
+	cases := []struct {
+		at   float64
+		want float64
+	}{
+		{0, 2}, {9.99, 2}, {10, 0.5}, {14.9, 0.5},
+		{15, 2},     // wrapped
+		{25.5, 0.5}, // wrapped into second phase
+		{30, 2},     // two full cycles
+	}
+	for _, c := range cases {
+		if got := a.PhaseAt(c.at); got.IPCScale != c.want {
+			t.Errorf("PhaseAt(%v).IPCScale = %v, want %v", c.at, got.IPCScale, c.want)
+		}
+	}
+}
+
+func TestMixSmallDrawsDistinct(t *testing.T) {
+	rng := stats.NewRNG(5)
+	mix := Mix(rng, 8)
+	if len(mix) != 8 {
+		t.Fatalf("mix size = %d", len(mix))
+	}
+	seen := map[string]bool{}
+	for _, a := range mix {
+		if seen[a.Name] {
+			t.Fatalf("duplicate %s in 8-app mix (pool has 14)", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestMixLargeAllowsRepeats(t *testing.T) {
+	rng := stats.NewRNG(5)
+	mix := Mix(rng, 20)
+	if len(mix) != 20 {
+		t.Fatalf("mix size = %d", len(mix))
+	}
+	// First 14 must be the full pool.
+	seen := map[string]bool{}
+	for _, a := range mix[:14] {
+		seen[a.Name] = true
+	}
+	if len(seen) != 14 {
+		t.Fatalf("first 14 draws covered %d distinct apps", len(seen))
+	}
+}
+
+func TestTrialsDeterministicAndVaried(t *testing.T) {
+	a := Trials(9, 5, 4)
+	b := Trials(9, 5, 4)
+	if len(a) != 5 {
+		t.Fatalf("trials = %d", len(a))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j].Name != b[i][j].Name {
+				t.Fatal("same seed produced different trials")
+			}
+		}
+	}
+	// Different trials should not all be identical.
+	same := true
+	for j := range a[0] {
+		if a[0][j].Name != a[1][j].Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("trial 0 and 1 drew identical workloads")
+	}
+}
+
+func TestStreamGenStaysInWorkingSet(t *testing.T) {
+	a, err := ByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewStreamGen(a, stats.NewRNG(1))
+	ws := uint64(a.WorkingSetKB * 1024)
+	reads, writes := 0, 0
+	for i := 0; i < 20000; i++ {
+		acc := g.Next()
+		if acc.Addr >= ws {
+			t.Fatalf("access %d at %d outside working set %d", i, acc.Addr, ws)
+		}
+		if acc.Kind == Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	frac := float64(writes) / float64(reads+writes)
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Fatalf("write fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestStreamGenLocalityDiffers(t *testing.T) {
+	// A strided app's stream must have far more sequential (64-byte line
+	// reuse/adjacency) behaviour than a pointer-chasing app's.
+	seqScore := func(name string) float64 {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewStreamGen(a, stats.NewRNG(2))
+		prev := uint64(0)
+		seq := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			acc := g.Next()
+			if acc.Addr >= prev && acc.Addr-prev <= 64 {
+				seq++
+			}
+			prev = acc.Addr
+		}
+		return float64(seq) / n
+	}
+	if seqScore("mgrid") <= seqScore("mcf")+0.2 {
+		t.Fatal("strided app stream not more sequential than pointer-chasing app")
+	}
+}
+
+func TestStreamGenFill(t *testing.T) {
+	a, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewStreamGen(a, stats.NewRNG(3))
+	buf := g.Fill(nil, 100)
+	if len(buf) != 100 {
+		t.Fatalf("Fill returned %d accesses", len(buf))
+	}
+	buf = g.Fill(buf, 50)
+	if len(buf) != 150 {
+		t.Fatalf("Fill append returned %d accesses", len(buf))
+	}
+}
+
+func TestStreamGenTinyWorkingSetFloor(t *testing.T) {
+	a := &AppProfile{Name: "tiny", DynPowerW: 1, IPCNom: 1, MLP: 1,
+		L1MPKI: 1, L2MPKI: 0.5, MemAccessFrac: 0.3, WorkingSetKB: 1}
+	g := NewStreamGen(a, stats.NewRNG(4))
+	for i := 0; i < 1000; i++ {
+		if acc := g.Next(); acc.Addr >= 4096 {
+			t.Fatalf("access outside floored working set: %d", acc.Addr)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package vasched_test
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"vasched"
+)
+
+var (
+	platOnce sync.Once
+	platVal  *vasched.Platform
+	platErr  error
+)
+
+func testPlatform(t *testing.T) *vasched.Platform {
+	t.Helper()
+	platOnce.Do(func() {
+		opt := vasched.DefaultOptions()
+		opt.GridSize = 128 // keep façade tests fast
+		platVal, platErr = vasched.NewPlatform(opt)
+	})
+	if platErr != nil {
+		t.Fatal(platErr)
+	}
+	return platVal
+}
+
+func TestDefaultOptionsBuild(t *testing.T) {
+	p := testPlatform(t)
+	if p.NumCores() != 20 {
+		t.Fatalf("cores = %d", p.NumCores())
+	}
+	levels := p.VoltageLevels()
+	if len(levels) != 9 || levels[0] != 0.6 || levels[len(levels)-1] != 1.0 {
+		t.Fatalf("ladder = %v", levels)
+	}
+	for core := 0; core < p.NumCores(); core++ {
+		if f := p.CoreFmaxGHz(core); f < 2.5 || f > 4.2 {
+			t.Fatalf("core %d Fmax %v GHz implausible", core, f)
+		}
+		if w := p.CoreStaticPowerW(core); w <= 0 || w > 10 {
+			t.Fatalf("core %d static %v W implausible", core, w)
+		}
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	bad := vasched.DefaultOptions()
+	bad.Cores = 0
+	if _, err := vasched.NewPlatform(bad); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	bad = vasched.DefaultOptions()
+	bad.DieAreaMM2 = -1
+	if _, err := vasched.NewPlatform(bad); err == nil {
+		t.Fatal("negative area accepted")
+	}
+	bad = vasched.DefaultOptions()
+	bad.VthSigmaOverMu = 3
+	if _, err := vasched.NewPlatform(bad); err == nil {
+		t.Fatal("absurd sigma accepted")
+	}
+}
+
+func TestSPECApps(t *testing.T) {
+	apps := vasched.SPECApps()
+	if len(apps) != 14 {
+		t.Fatalf("pool = %v", apps)
+	}
+}
+
+func TestSystemConfigValidation(t *testing.T) {
+	p := testPlatform(t)
+	if _, err := p.NewSystem(vasched.SystemConfig{Scheduler: "LIFO"}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := p.NewSystem(vasched.SystemConfig{Mode: "TurboFreq"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := p.NewSystem(vasched.SystemConfig{Mode: vasched.ModeDVFS, Manager: "PID"}); err == nil {
+		t.Fatal("unknown manager accepted")
+	}
+	if _, err := p.NewSystem(vasched.SystemConfig{Mode: vasched.ModeDVFS}); err == nil {
+		t.Fatal("DVFS without budget accepted")
+	}
+}
+
+func TestRunNUniFreq(t *testing.T) {
+	p := testPlatform(t)
+	sys, err := p.NewSystem(vasched.SystemConfig{
+		Scheduler: vasched.SchedVarFAppIPC,
+		Mode:      vasched.ModeNUniFreq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.Run([]string{"bzip2", "mcf", "vortex"}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MIPS <= 0 || st.AvgPowerW <= 0 || st.AvgFrequencyGHz <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if len(st.InstructionsM) != 3 {
+		t.Fatalf("instructions = %v", st.InstructionsM)
+	}
+	// vortex (IPC 1.2) must out-retire mcf (IPC 0.1) on any schedule.
+	if st.InstructionsM[2] <= st.InstructionsM[1] {
+		t.Fatalf("vortex (%v M) should retire more than mcf (%v M)",
+			st.InstructionsM[2], st.InstructionsM[1])
+	}
+	if st.MaxTempC <= 45 {
+		t.Fatalf("max temp %v C at ambient?", st.MaxTempC)
+	}
+}
+
+func TestRunDVFSHoldsBudget(t *testing.T) {
+	p := testPlatform(t)
+	sys, err := p.NewSystem(vasched.SystemConfig{
+		Scheduler: vasched.SchedVarFAppIPC,
+		Mode:      vasched.ModeDVFS,
+		Manager:   vasched.ManagerLinOpt,
+		PTargetW:  45,
+		PCoreMaxW: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := vasched.SPECApps()[:10]
+	st, err := sys.Run(apps, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AvgPowerW > 45*1.05 {
+		t.Fatalf("power %v W far above 45 W budget", st.AvgPowerW)
+	}
+	if st.PowerDeviationPct <= 0 {
+		t.Fatal("no deviation tracking in DVFS mode")
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	p := testPlatform(t)
+	sys, err := p.NewSystem(vasched.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run([]string{"doom"}, 10); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestDefaultManagerIsLinOpt(t *testing.T) {
+	p := testPlatform(t)
+	// Empty manager in DVFS mode defaults to LinOpt; empty PCoreMaxW gets
+	// a sensible default.
+	sys, err := p.NewSystem(vasched.SystemConfig{
+		Mode:     vasched.ModeDVFS,
+		PTargetW: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(vasched.SPECApps()[:4], 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentAPI(t *testing.T) {
+	ids := vasched.ExperimentIDs()
+	if len(ids) != 18 {
+		t.Fatalf("ids = %v", ids)
+	}
+	out, err := vasched.RunExperiment("table5", vasched.ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bzip2") {
+		t.Fatalf("table5 output missing apps:\n%s", out)
+	}
+	if _, err := vasched.RunExperiment("fig99", vasched.ScaleQuick); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := vasched.RunExperiment("table5", "huge"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestDieToDieVariation(t *testing.T) {
+	// Two die indices from the same batch are different chips.
+	a := testPlatform(t)
+	opt := vasched.DefaultOptions()
+	opt.GridSize = 128
+	opt.DieIndex = 5
+	b, err := vasched.NewPlatform(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for core := 0; core < a.NumCores(); core++ {
+		if a.CoreFmaxGHz(core) != b.CoreFmaxGHz(core) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different die indices produced identical chips")
+	}
+}
+
+func TestRunExperimentResultMarshals(t *testing.T) {
+	res, err := vasched.RunExperimentResult("sec74", vasched.ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"FreqRatio", "PowerRatio", "ED2Ratio"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("JSON missing %s: %s", key, blob)
+		}
+	}
+	if res.Render() == "" {
+		t.Fatal("typed result does not render")
+	}
+}
+
+func TestCaptureTraceAndSparkline(t *testing.T) {
+	p := testPlatform(t)
+	sys, err := p.NewSystem(vasched.SystemConfig{
+		Scheduler:    vasched.SchedVarFAppIPC,
+		Mode:         vasched.ModeNUniFreq,
+		CaptureTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.Run([]string{"bzip2", "swim", "art", "gzip"}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Trace) == 0 {
+		t.Fatal("no trace captured")
+	}
+	spark := vasched.Sparkline(st.Trace, func(p vasched.TracePoint) float64 { return p.PowerW }, 20)
+	if spark == "" {
+		t.Fatal("empty sparkline")
+	}
+	if n := len([]rune(spark)); n > 20 {
+		t.Fatalf("sparkline width %d", n)
+	}
+}
