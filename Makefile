@@ -1,0 +1,34 @@
+# Development targets for the vasched repository. The repo is pure Go
+# with no dependencies outside the standard library, so everything here
+# is just the go tool.
+
+GO ?= go
+
+.PHONY: all build test vet check race bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector; internal/farm and
+# cmd/vaschedd are the concurrency-heavy packages this exists for.
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1+ gate: vet, build, and the race-enabled test suite.
+check: vet build race
+
+# bench runs the paper-artefact benchmarks (quick scale) including the
+# farm serial-vs-parallel comparison.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

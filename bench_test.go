@@ -7,6 +7,7 @@
 package vasched_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -99,6 +100,41 @@ func BenchmarkFig15(b *testing.B) {
 }
 
 func BenchmarkSec74(b *testing.B) { benchExperiment(b, "sec74") }
+
+// BenchmarkFarmFig4 compares the farm engine's serial path against the
+// parallel one on the same workload (fig4 at quick scale). Both variants
+// share the process-wide die cache, so after the first iteration they
+// measure the experiment body, not die characterisation; on a multi-core
+// host the parallel variant should approach a GOMAXPROCS-fold speedup,
+// and its output is bit-identical either way (see
+// experiments.TestParallelMatchesSerial).
+func BenchmarkFarmFig4(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			e, err := experiments.QuickEnv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Workers = bc.workers
+			if _, err := experiments.Run("fig4", e); err != nil { // warm the die cache
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run("fig4", e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkSAnnVsExhaustive(b *testing.B) {
 	r := benchExperiment(b, "sann").(*experiments.SAnnValidationResult)

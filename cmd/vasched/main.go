@@ -5,7 +5,7 @@
 // Usage:
 //
 //	vasched -list
-//	vasched -experiment fig11 [-scale quick|default] [-json]
+//	vasched -experiment fig11 [-scale quick|default] [-json] [-parallel N]
 //	vasched -experiment all -scale quick
 //	vasched -run -sched "VarF&AppIPC" -manager LinOpt -threads 16 -budget 60
 package main
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,6 +28,7 @@ func main() {
 		expID   = flag.String("experiment", "", "experiment id to run, or 'all'")
 		scale   = flag.String("scale", "default", "experiment scale: quick or default")
 		asJSON  = flag.Bool("json", false, "emit experiment results as JSON instead of text")
+		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "die-farm worker goroutines (1 = serial; output is identical at any setting)")
 		run     = flag.Bool("run", false, "run a custom scenario instead of a paper experiment")
 		schedF  = flag.String("sched", vasched.SchedVarFAppIPC, "scheduling policy for -run")
 		manager = flag.String("manager", vasched.ManagerLinOpt, "power manager for -run (DVFS mode)")
@@ -51,7 +53,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *expID != "":
-		if err := runExperiments(*expID, *scale, *asJSON); err != nil {
+		if err := runExperiments(*expID, *scale, *asJSON, *par); err != nil {
 			fmt.Fprintln(os.Stderr, "vasched:", err)
 			os.Exit(1)
 		}
@@ -61,7 +63,7 @@ func main() {
 	}
 }
 
-func runExperiments(expID, scale string, asJSON bool) error {
+func runExperiments(expID, scale string, asJSON bool, workers int) error {
 	ids := []string{expID}
 	if expID == "all" {
 		ids = vasched.ExperimentIDs()
@@ -69,7 +71,7 @@ func runExperiments(expID, scale string, asJSON bool) error {
 	for _, id := range ids {
 		start := time.Now()
 		if asJSON {
-			res, err := vasched.RunExperimentResult(id, vasched.Scale(scale))
+			res, err := vasched.RunExperimentResult(id, vasched.Scale(scale), vasched.WithWorkers(workers))
 			if err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
@@ -80,7 +82,7 @@ func runExperiments(expID, scale string, asJSON bool) error {
 			fmt.Println(string(blob))
 			continue
 		}
-		out, err := vasched.RunExperiment(id, vasched.Scale(scale))
+		out, err := vasched.RunExperiment(id, vasched.Scale(scale), vasched.WithWorkers(workers))
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

@@ -1,0 +1,77 @@
+// Command vaschedd serves the paper's experiments as a long-running HTTP
+// service on top of the internal/farm execution engine: clients submit
+// experiment jobs, poll their status, and fetch typed JSON results, while
+// the farm's shared die cache amortises die characterisation across jobs.
+//
+// Usage:
+//
+//	vaschedd [-addr :8080] [-max-jobs N] [-parallel N]
+//
+// API:
+//
+//	POST   /v1/jobs         {"experiment":"fig4","scale":"quick"}  → 202 + job
+//	GET    /v1/jobs         → all jobs, newest first
+//	GET    /v1/jobs/{id}    → job status + typed result when done
+//	DELETE /v1/jobs/{id}    → cancel a queued/running job
+//	GET    /v1/experiments  → runnable experiment ids
+//	GET    /healthz         → liveness
+//	GET    /metrics         → Prometheus-style counters & latency histograms
+//
+// Quick start:
+//
+//	vaschedd &
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"experiment":"fig4","scale":"quick"}'
+//	curl -s localhost:8080/v1/jobs/1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		maxJobs = flag.Int("max-jobs", 2, "experiment jobs allowed to run concurrently (others queue)")
+		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "die-farm worker goroutines per job")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := newServer(ctx, *maxJobs, *par)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "vaschedd: listening on %s (max-jobs %d, parallel %d)\n", *addr, *maxJobs, *par)
+
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting requests, cancel in-flight
+		// jobs (their contexts thread through farm into the die loops),
+		// then wait briefly for both to drain.
+		fmt.Fprintln(os.Stderr, "vaschedd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.cancelAll()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "vaschedd: shutdown:", err)
+		}
+		srv.wait(shutCtx)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "vaschedd:", err)
+			os.Exit(1)
+		}
+	}
+}

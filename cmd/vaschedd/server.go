@@ -1,0 +1,367 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"vasched"
+	"vasched/internal/experiments"
+	"vasched/internal/metrics"
+)
+
+// jobStatus is a job's lifecycle state.
+type jobStatus string
+
+const (
+	statusQueued    jobStatus = "queued"
+	statusRunning   jobStatus = "running"
+	statusDone      jobStatus = "done"
+	statusFailed    jobStatus = "failed"
+	statusCancelled jobStatus = "cancelled"
+)
+
+// job is one submitted experiment run. Mutable fields are guarded by the
+// owning server's mu.
+type job struct {
+	ID         int
+	Experiment string
+	Scale      vasched.Scale
+	Workers    int
+	Status     jobStatus
+	Error      string
+	Submitted  time.Time
+	Started    time.Time
+	Finished   time.Time
+	Result     vasched.ExperimentResult
+	Rendered   string
+	cancel     context.CancelFunc
+}
+
+// jobView is the JSON shape served for a job.
+type jobView struct {
+	ID         int                      `json:"id"`
+	Experiment string                   `json:"experiment"`
+	Scale      string                   `json:"scale"`
+	Workers    int                      `json:"workers"`
+	Status     string                   `json:"status"`
+	Error      string                   `json:"error,omitempty"`
+	Submitted  time.Time                `json:"submitted"`
+	Started    *time.Time               `json:"started,omitempty"`
+	Finished   *time.Time               `json:"finished,omitempty"`
+	ElapsedSec float64                  `json:"elapsed_seconds,omitempty"`
+	Result     vasched.ExperimentResult `json:"result,omitempty"`
+	Rendered   string                   `json:"rendered,omitempty"`
+}
+
+// server is the job manager: it bounds experiment concurrency with a
+// semaphore, threads per-job cancellation contexts through the farm
+// engine, and keeps job history in memory.
+type server struct {
+	baseCtx context.Context
+	workers int
+	sem     chan struct{}
+	reg     *metrics.Registry
+
+	mu     sync.Mutex
+	jobs   map[int]*job
+	nextID int
+	wg     sync.WaitGroup
+}
+
+func newServer(ctx context.Context, maxJobs, workers int) *server {
+	if maxJobs <= 0 {
+		maxJobs = 1
+	}
+	return &server{
+		baseCtx: ctx,
+		workers: workers,
+		sem:     make(chan struct{}, maxJobs),
+		reg:     metrics.NewRegistry(),
+		jobs:    make(map[int]*job),
+		nextID:  1,
+	}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+type submitRequest struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	known := false
+	for _, id := range vasched.ExperimentIDs() {
+		if id == req.Experiment {
+			known = true
+			break
+		}
+	}
+	if !known {
+		httpError(w, http.StatusBadRequest, "unknown experiment %q (see /v1/experiments)", req.Experiment)
+		return
+	}
+	scale := vasched.Scale(req.Scale)
+	if scale == "" {
+		scale = vasched.ScaleQuick
+	}
+	if scale != vasched.ScaleQuick && scale != vasched.ScaleDefault {
+		httpError(w, http.StatusBadRequest, "unknown scale %q (quick or default)", req.Scale)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.workers
+	}
+
+	jobCtx, cancel := context.WithCancel(s.baseCtx)
+	s.mu.Lock()
+	j := &job{
+		ID:         s.nextID,
+		Experiment: req.Experiment,
+		Scale:      scale,
+		Workers:    workers,
+		Status:     statusQueued,
+		Submitted:  time.Now(),
+		cancel:     cancel,
+	}
+	s.nextID++
+	s.jobs[j.ID] = j
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.reg.Counter(`vaschedd_jobs_submitted_total`).Inc()
+
+	go s.run(jobCtx, j)
+
+	v, _ := s.view(j.ID)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(v)
+}
+
+// run executes one job: it waits for a concurrency slot, runs the
+// experiment with the job's context threaded through the farm engine,
+// and records the outcome plus latency metrics.
+func (s *server) run(ctx context.Context, j *job) {
+	defer s.wg.Done()
+	defer j.cancel()
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.finish(j, nil, "", ctx.Err())
+		return
+	}
+	s.mu.Lock()
+	j.Status = statusRunning
+	j.Started = time.Now()
+	s.mu.Unlock()
+
+	res, err := vasched.RunExperimentResult(j.Experiment, j.Scale,
+		vasched.WithWorkers(j.Workers), vasched.WithContext(ctx))
+	rendered := ""
+	if err == nil {
+		rendered = res.Render()
+	}
+	s.finish(j, res, rendered, err)
+}
+
+// finish records a job outcome and its metrics.
+func (s *server) finish(j *job, res vasched.ExperimentResult, rendered string, err error) {
+	s.mu.Lock()
+	j.Finished = time.Now()
+	switch {
+	case err == nil:
+		j.Status = statusDone
+		j.Result = res
+		j.Rendered = rendered
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.Status = statusCancelled
+		j.Error = err.Error()
+	default:
+		j.Status = statusFailed
+		j.Error = err.Error()
+	}
+	status := j.Status
+	var elapsed time.Duration
+	if !j.Started.IsZero() {
+		elapsed = j.Finished.Sub(j.Started)
+	}
+	exp := j.Experiment
+	s.mu.Unlock()
+
+	s.reg.Counter(fmt.Sprintf("vaschedd_jobs_total{status=%q}", status)).Inc()
+	if status == statusDone {
+		s.reg.Histogram(fmt.Sprintf("vaschedd_job_seconds{experiment=%q}", exp)).Observe(elapsed.Seconds())
+	}
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]int, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Sort(sort.Reverse(sort.IntSlice(ids)))
+	views := make([]jobView, 0, len(ids))
+	for _, id := range ids {
+		if v, ok := s.view(id); ok {
+			views = append(views, v)
+		}
+	}
+	writeJSON(w, views)
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return
+	}
+	v, ok := s.view(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	writeJSON(w, v)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var cancel context.CancelFunc
+	if ok && (j.Status == statusQueued || j.Status == statusRunning) {
+		cancel = j.cancel
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	if cancel != nil {
+		cancel()
+	}
+	v, _ := s.view(id)
+	writeJSON(w, v)
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"experiments": vasched.ExperimentIDs()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := experiments.SharedDieCacheStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "vaschedd_die_cache_hits_total %d\nvaschedd_die_cache_misses_total %d\n", hits, misses)
+	fmt.Fprint(w, s.reg.Render())
+}
+
+// view snapshots a job for serialisation.
+func (s *server) view(id int) (jobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return jobView{}, false
+	}
+	v := jobView{
+		ID:         j.ID,
+		Experiment: j.Experiment,
+		Scale:      string(j.Scale),
+		Workers:    j.Workers,
+		Status:     string(j.Status),
+		Error:      j.Error,
+		Submitted:  j.Submitted,
+		Result:     j.Result,
+		Rendered:   j.Rendered,
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		v.Started = &t
+		end := j.Finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v.ElapsedSec = end.Sub(t).Seconds()
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		v.Finished = &t
+	}
+	return v, true
+}
+
+// cancelAll cancels every queued or running job (graceful shutdown).
+func (s *server) cancelAll() {
+	s.mu.Lock()
+	var cancels []context.CancelFunc
+	for _, j := range s.jobs {
+		if j.Status == statusQueued || j.Status == statusRunning {
+			cancels = append(cancels, j.cancel)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// wait blocks until every job goroutine has exited or ctx expires.
+func (s *server) wait(ctx context.Context) {
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are already out; nothing useful left to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

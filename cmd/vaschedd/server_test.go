@@ -1,0 +1,246 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(context.Background(), 2, 2)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) jobView {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get job %d status = %d", id, resp.StatusCode)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func waitStatus(t *testing.T, ts *httptest.Server, id int, want string, timeout time.Duration) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		m := getJob(t, ts, id)
+		switch m["status"] {
+		case want:
+			return m
+		case "failed":
+			t.Fatalf("job %d failed: %v", id, m["error"])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %d did not reach %q within %v", id, want, timeout)
+	return nil
+}
+
+// TestConcurrentJobsEndToEnd is the acceptance flow: two experiment jobs
+// submitted together run concurrently, and both polls resolve to typed
+// JSON results.
+func TestConcurrentJobsEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	j1 := postJob(t, ts, `{"experiment":"table5","scale":"quick"}`)
+	j2 := postJob(t, ts, `{"experiment":"fig6","scale":"quick"}`)
+	if j1.ID == j2.ID {
+		t.Fatal("duplicate job ids")
+	}
+
+	m1 := waitStatus(t, ts, j1.ID, "done", 5*time.Minute)
+	m2 := waitStatus(t, ts, j2.ID, "done", 5*time.Minute)
+
+	res1, ok := m1["result"].(map[string]any)
+	if !ok || res1["Rows"] == nil {
+		t.Fatalf("table5 result not typed JSON: %v", m1["result"])
+	}
+	if res2, ok := m2["result"].(map[string]any); !ok || res2["MaxFCurve"] == nil {
+		t.Fatalf("fig6 result not typed JSON: %v", m2["result"])
+	}
+	if s, _ := m1["rendered"].(string); !strings.Contains(s, "Table 5") {
+		t.Fatalf("rendered report missing: %q", s)
+	}
+
+	// The job list shows both, newest first.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || int(list[0]["id"].(float64)) != j2.ID || int(list[1]["id"].(float64)) != j1.ID {
+		t.Fatalf("job list = %+v", list)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{
+		`{"experiment":"fig99"}`,
+		`{"experiment":"fig4","scale":"huge"}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHealthzAndExperiments(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range m["experiments"] {
+		if id == "fig4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("experiments list missing fig4: %v", m)
+	}
+}
+
+// TestCancelStopsInFlightWork cancels a running paper-scale job and
+// checks the job reaches the cancelled state promptly — the context
+// threads through farm into the die loops, so a 200-die characterisation
+// is abandoned between dies rather than run to completion.
+func TestCancelStopsInFlightWork(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Default scale: 200 dies, far more work than the cancel window.
+	j := postJob(t, ts, `{"experiment":"fig4","scale":"default"}`)
+	waitStatus(t, ts, j.ID, "running", time.Minute)
+	time.Sleep(200 * time.Millisecond) // let some die work start
+
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, j.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	m := waitStatus(t, ts, j.ID, "cancelled", time.Minute)
+	if elapsed := time.Since(start); elapsed > 45*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if m["result"] != nil {
+		t.Fatal("cancelled job must not carry a result")
+	}
+}
+
+// TestGracefulShutdownCancelsJobs exercises the signal path: cancelling
+// the base context (what SIGTERM does) aborts queued and running jobs.
+func TestGracefulShutdownCancelsJobs(t *testing.T) {
+	ctx, stop := context.WithCancel(context.Background())
+	srv := newServer(ctx, 1, 2) // max-jobs 1: the second job queues
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	j1 := postJob(t, ts, `{"experiment":"fig4","scale":"default"}`)
+	j2 := postJob(t, ts, `{"experiment":"fig7","scale":"default"}`)
+	waitStatus(t, ts, j1.ID, "running", time.Minute)
+
+	stop()
+	srv.cancelAll()
+	waitCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	srv.wait(waitCtx)
+
+	m1 := getJob(t, ts, j1.ID)
+	m2 := getJob(t, ts, j2.ID)
+	if m1["status"] != "cancelled" {
+		t.Fatalf("running job status = %v", m1["status"])
+	}
+	if m2["status"] != "cancelled" {
+		t.Fatalf("queued job status = %v", m2["status"])
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	j := postJob(t, ts, `{"experiment":"table5","scale":"quick"}`)
+	waitStatus(t, ts, j.ID, "done", 5*time.Minute)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"vaschedd_jobs_submitted_total 1",
+		`vaschedd_jobs_total{status="done"} 1`,
+		`vaschedd_job_seconds{experiment="table5"}_count 1`,
+		"vaschedd_die_cache_hits_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

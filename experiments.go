@@ -1,6 +1,7 @@
 package vasched
 
 import (
+	"context"
 	"fmt"
 
 	"vasched/internal/experiments"
@@ -23,9 +24,31 @@ const (
 // section 3 for the mapping.
 func ExperimentIDs() []string { return experiments.IDs() }
 
+// RunOption adjusts how RunExperimentResult executes an experiment.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	workers int
+	ctx     context.Context
+}
+
+// WithWorkers bounds the die-level parallelism of the farm engine: n
+// worker goroutines fan the experiment's die batch (0 means GOMAXPROCS,
+// 1 reproduces the serial path). Results are bit-identical at every
+// setting (see internal/farm).
+func WithWorkers(n int) RunOption {
+	return func(c *runConfig) { c.workers = n }
+}
+
+// WithContext attaches a cancellation context: cancelling it stops
+// in-flight die work between farm tasks and aborts the experiment.
+func WithContext(ctx context.Context) RunOption {
+	return func(c *runConfig) { c.ctx = ctx }
+}
+
 // RunExperiment executes one experiment and returns its rendered report.
-func RunExperiment(id string, scale Scale) (string, error) {
-	res, err := RunExperimentResult(id, scale)
+func RunExperiment(id string, scale Scale, opts ...RunOption) (string, error) {
+	res, err := RunExperimentResult(id, scale, opts...)
 	if err != nil {
 		return "", err
 	}
@@ -41,7 +64,13 @@ type ExperimentResult interface {
 
 // RunExperimentResult executes one experiment and returns its typed
 // result, for callers that want the numbers rather than the rendering.
-func RunExperimentResult(id string, scale Scale) (ExperimentResult, error) {
+// Every result is a plain exported struct that marshals to JSON and back
+// without loss (the cmd/vaschedd job API relies on this).
+func RunExperimentResult(id string, scale Scale, opts ...RunOption) (ExperimentResult, error) {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	var (
 		env *experiments.Env
 		err error
@@ -56,6 +85,10 @@ func RunExperimentResult(id string, scale Scale) (ExperimentResult, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	env.Workers = cfg.workers
+	if cfg.ctx != nil {
+		env.SetContext(cfg.ctx)
 	}
 	return experiments.Run(id, env)
 }

@@ -8,6 +8,7 @@ package chip
 
 import (
 	"fmt"
+	"sync"
 
 	"vasched/internal/cpusim"
 	"vasched/internal/delay"
@@ -44,7 +45,11 @@ type Chip struct {
 	// nominal static share, indexed like FP.Blocks.
 	blockVthEff []float64
 	blockRefW   []float64
-	// steppers caches transient thermal factorisations by step length.
+	// steppers caches transient thermal factorisations by step length;
+	// stepMu makes the cache safe when one characterised die is shared by
+	// concurrent timeline simulations (the farm engine's die cache hands
+	// the same *Chip to every job that wants the same die).
+	stepMu   sync.Mutex
 	steppers map[float64]*thermal.Transient
 }
 
@@ -295,13 +300,21 @@ func (c *Chip) EvaluateTransient(states []CoreState, cpu *cpusim.Model, prevBloc
 	if err != nil {
 		return nil, err
 	}
+	c.stepMu.Lock()
 	stepper, ok := c.steppers[dtMS]
+	c.stepMu.Unlock()
 	if !ok {
 		stepper, err = c.Therm.NewTransient(dtMS)
 		if err != nil {
 			return nil, err
 		}
-		c.steppers[dtMS] = stepper
+		c.stepMu.Lock()
+		if prior, ok := c.steppers[dtMS]; ok {
+			stepper = prior // another goroutine factorised first; share it
+		} else {
+			c.steppers[dtMS] = stepper
+		}
+		c.stepMu.Unlock()
 	}
 	nb := len(c.FP.Blocks)
 	if prevBlockTemps == nil {

@@ -57,38 +57,49 @@ func dvfsSweep(e *Env, env PowerEnv, combos []Combo, threads []int, obj pm.Objec
 		}
 		for _, n := range threads {
 			budget := env.Budget(n, e.Floorplan().NumCores)
+			// Die×trial fan-out through the farm; slots reduce in the
+			// serial loop's order (managers and policies are stateless
+			// values, so sharing them across workers is safe).
+			tasks := e.RunDies * e.Trials
+			slots := make([]*core.RunStats, tasks)
+			err := e.ForTasks(tasks, func(i int) error {
+				die, trial := i/e.Trials, i%e.Trials
+				c, err := e.Chip(die)
+				if err != nil {
+					return err
+				}
+				seed := e.Seed + int64(trial)*97 + int64(die)*13
+				apps := workload.Mix(stats.NewRNG(seed), n)
+				sys, err := core.New(core.Config{
+					Chip: c, CPU: e.CPU(), Scheduler: policy,
+					Mode: core.ModeDVFS, Manager: mgr, Budget: budget,
+					SampleIntervalMS: e.SampleMS, Seed: seed,
+				})
+				if err != nil {
+					return err
+				}
+				st, err := sys.Run(apps, e.SimMS)
+				if err != nil {
+					return err
+				}
+				slots[i] = st
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			var pw, mips, wtp, ed2, wed2, dev []float64
 			var decide time.Duration
 			var decideN int
-			for die := 0; die < e.RunDies; die++ {
-				c, err := e.Chip(die)
-				if err != nil {
-					return nil, err
-				}
-				for trial := 0; trial < e.Trials; trial++ {
-					seed := e.Seed + int64(trial)*97 + int64(die)*13
-					apps := workload.Mix(stats.NewRNG(seed), n)
-					sys, err := core.New(core.Config{
-						Chip: c, CPU: e.CPU(), Scheduler: policy,
-						Mode: core.ModeDVFS, Manager: mgr, Budget: budget,
-						SampleIntervalMS: e.SampleMS, Seed: seed,
-					})
-					if err != nil {
-						return nil, err
-					}
-					st, err := sys.Run(apps, e.SimMS)
-					if err != nil {
-						return nil, err
-					}
-					pw = append(pw, st.AvgPowerW)
-					mips = append(mips, st.MIPS)
-					wtp = append(wtp, st.WeightedTP)
-					ed2 = append(ed2, st.EDSquared)
-					wed2 = append(wed2, st.AvgPowerW/(st.WeightedTP*st.WeightedTP*st.WeightedTP))
-					dev = append(dev, st.PowerDeviationPct)
-					decide += st.DecideTime
-					decideN += st.DecideCount
-				}
+			for _, st := range slots {
+				pw = append(pw, st.AvgPowerW)
+				mips = append(mips, st.MIPS)
+				wtp = append(wtp, st.WeightedTP)
+				ed2 = append(ed2, st.EDSquared)
+				wed2 = append(wed2, st.AvgPowerW/(st.WeightedTP*st.WeightedTP*st.WeightedTP))
+				dev = append(dev, st.PowerDeviationPct)
+				decide += st.DecideTime
+				decideN += st.DecideCount
 			}
 			cell := DVFSCell{
 				Threads: n, Combo: combo,

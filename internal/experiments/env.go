@@ -7,11 +7,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
+	"sync"
 
 	"vasched/internal/chip"
 	"vasched/internal/cpusim"
 	"vasched/internal/delay"
+	"vasched/internal/farm"
 	"vasched/internal/floorplan"
 	"vasched/internal/pm"
 	"vasched/internal/power"
@@ -72,13 +76,36 @@ type Env struct {
 	// Seed derives all randomness; BatchSeed selects the die batch.
 	Seed      int64
 	BatchSeed int64
+	// Workers bounds the die-level parallelism of the farm engine: the
+	// experiments fan independent dies (and independent timeline trials)
+	// across this many goroutines. 0 means runtime.GOMAXPROCS(0); 1
+	// reproduces the historical serial execution. Results are
+	// bit-identical at every setting (see internal/farm).
+	Workers int
 
-	fp    *floorplan.Floorplan
-	cpu   *cpusim.Model
-	gen   *varmodel.Generator
+	fp   *floorplan.Floorplan
+	cpu  *cpusim.Model
+	gen  *varmodel.Generator
+	// genMu serialises map sampling: the generator's FFT scratch buffer
+	// is shared across Die calls. Die outputs depend only on (BatchSeed,
+	// index), so serialised interleaved sampling stays deterministic.
+	genMu *sync.Mutex
 	pool  []*workload.AppProfile
-	chips map[int]*chip.Chip
+	dies  *farm.DieCache
+	sig   string
+	ctx   context.Context
 }
+
+// sharedDies is the process-wide characterised-die cache: the ~15
+// experiments (and, in cmd/vaschedd, concurrent jobs) that share a die
+// batch pay the GRF + thermal-fixed-point characterisation once per die.
+// Capped so a long-running service cannot grow without bound; rebuilt
+// dies are bit-identical, so eviction only costs time.
+var sharedDies = farm.NewDieCache(1024)
+
+// SharedDieCacheStats exposes the process-wide cache counters (for the
+// vaschedd /metrics endpoint).
+func SharedDieCacheStats() (hits, misses int64) { return sharedDies.Stats() }
 
 // DefaultEnv returns the paper-scale configuration (200 dies for the
 // statistics experiments; the timeline sweeps average over a few dies and
@@ -138,8 +165,57 @@ func (e *Env) init() error {
 		return err
 	}
 	e.cpu = cpu
-	e.chips = make(map[int]*chip.Chip)
+	e.genMu = &sync.Mutex{}
+	if e.dies == nil {
+		e.dies = sharedDies
+	}
+	e.sig = configSig(e.VarCfg, e.DelayCfg, e.Power, e.ThermalCfg)
 	return nil
+}
+
+// configSig hashes every configuration input that shapes die
+// characterisation into the cache-key signature: Envs with equal
+// signatures produce bit-identical dies and may share cache entries.
+func configSig(vc varmodel.Config, dc delay.Config, pmdl power.Model, tc thermal.Config) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v|%#v|%#v|%#v", vc, dc, pmdl, tc)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Context returns the Env's cancellation context (Background if none was
+// attached). Long die loops run through the farm engine, which checks it
+// between tasks, so cancelling stops in-flight experiment work.
+func (e *Env) Context() context.Context {
+	if e.ctx == nil {
+		return context.Background()
+	}
+	return e.ctx
+}
+
+// SetContext attaches a cancellation context to the Env.
+func (e *Env) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// ForDies runs fn(die, chip) for every die in [0, n) through the farm
+// worker pool (Workers-wide). Characterised dies come from the shared
+// cache. fn must only write to state addressed by its die index; callers
+// reduce the slots serially afterwards, which keeps parallel results
+// bit-identical to the serial path.
+func (e *Env) ForDies(n int, fn func(die int, c *chip.Chip) error) error {
+	return farm.Map(e.Context(), e.Workers, n, func(_ context.Context, die int) error {
+		c, err := e.Chip(die)
+		if err != nil {
+			return err
+		}
+		return fn(die, c)
+	})
+}
+
+// ForTasks runs fn(i) for every task index in [0, n) through the farm
+// worker pool — the die×trial fan-out used by the timeline sweeps.
+func (e *Env) ForTasks(n int, fn func(i int) error) error {
+	return farm.Map(e.Context(), e.Workers, n, func(_ context.Context, i int) error {
+		return fn(i)
+	})
 }
 
 // Floorplan returns the shared 20-core floorplan.
@@ -152,21 +228,24 @@ func (e *Env) CPU() *cpusim.Model { return e.cpu }
 func (e *Env) Apps() []*workload.AppProfile { return e.pool }
 
 // Chip returns (building and caching on first use) the characterised die
-// with the given batch index.
+// with the given batch index. Dies come from the process-wide farm cache
+// keyed by (BatchSeed, die, config signature); concurrent requests for
+// the same die share one characterisation. Safe for concurrent use.
 func (e *Env) Chip(die int) (*chip.Chip, error) {
-	if c, ok := e.chips[die]; ok {
+	key := farm.CacheKey{BatchSeed: e.BatchSeed, Die: die, Sig: e.sig}
+	return e.dies.Get(e.Context(), key, func() (*chip.Chip, error) {
+		e.genMu.Lock()
+		maps, err := e.gen.Die(e.BatchSeed, die)
+		e.genMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		c, err := chip.Build(maps, e.fp, e.DelayCfg, e.Power, e.ThermalCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building die %d: %w", die, err)
+		}
 		return c, nil
-	}
-	maps, err := e.gen.Die(e.BatchSeed, die)
-	if err != nil {
-		return nil, err
-	}
-	c, err := chip.Build(maps, e.fp, e.DelayCfg, e.Power, e.ThermalCfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: building die %d: %w", die, err)
-	}
-	e.chips[die] = c
-	return c, nil
+	})
 }
 
 // Manager instantiates a power manager by paper name, with the Env's SAnn

@@ -29,19 +29,26 @@ func Fig4(e *Env) (*Fig4Result, error) {
 		PowerHist: stats.NewHistogram(1.2, 2.2, 10),
 		FreqHist:  stats.NewHistogram(1.0, 1.6, 12),
 	}
-	for die := 0; die < e.NumDies; die++ {
-		c, err := e.Chip(die)
-		if err != nil {
-			return nil, err
-		}
+	// Fan the batch across the farm: each worker fills its die's slot,
+	// then the slots are reduced serially in die order.
+	type ratios struct{ pr, fr float64 }
+	slots := make([]ratios, e.NumDies)
+	err := e.ForDies(e.NumDies, func(die int, c *chip.Chip) error {
 		pr, fr, err := dieRatios(e, c)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.PowerRatio = append(res.PowerRatio, pr)
-		res.FreqRatio = append(res.FreqRatio, fr)
-		res.PowerHist.Add(pr)
-		res.FreqHist.Add(fr)
+		slots[die] = ratios{pr: pr, fr: fr}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range slots {
+		res.PowerRatio = append(res.PowerRatio, s.pr)
+		res.FreqRatio = append(res.FreqRatio, s.fr)
+		res.PowerHist.Add(s.pr)
+		res.FreqHist.Add(s.fr)
 	}
 	return res, nil
 }
@@ -112,18 +119,23 @@ func Fig5(e *Env) (*Fig5Result, error) {
 		if err := sub.init(); err != nil {
 			return nil, err
 		}
-		var prs, frs []float64
-		for die := 0; die < e.NumDies; die++ {
-			c, err := sub.Chip(die)
-			if err != nil {
-				return nil, err
-			}
+		type ratios struct{ pr, fr float64 }
+		slots := make([]ratios, e.NumDies)
+		err := sub.ForDies(e.NumDies, func(die int, c *chip.Chip) error {
 			pr, fr, err := dieRatios(&sub, c)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			prs = append(prs, pr)
-			frs = append(frs, fr)
+			slots[die] = ratios{pr: pr, fr: fr}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		prs := make([]float64, e.NumDies)
+		frs := make([]float64, e.NumDies)
+		for die, s := range slots {
+			prs[die], frs[die] = s.pr, s.fr
 		}
 		res.Points = append(res.Points, Fig5Point{
 			SigmaOverMu: sm,

@@ -32,31 +32,42 @@ func schedSweep(e *Env, mode core.Mode, policyNames []string, threads []int) (ma
 			return nil, err
 		}
 		for _, n := range threads {
-			var pw, mips, freq, ed2 []float64
-			for die := 0; die < e.RunDies; die++ {
+			// Fan the die×trial grid across the farm: every trial is an
+			// independent timeline (its seed depends only on die and
+			// trial), so slots reduce in the serial loop's order.
+			tasks := e.RunDies * e.Trials
+			slots := make([]*core.RunStats, tasks)
+			err := e.ForTasks(tasks, func(i int) error {
+				die, trial := i/e.Trials, i%e.Trials
 				c, err := e.Chip(die)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				for trial := 0; trial < e.Trials; trial++ {
-					seed := e.Seed + int64(trial)*97 + int64(die)*13
-					apps := workload.Mix(stats.NewRNG(seed), n)
-					sys, err := core.New(core.Config{
-						Chip: c, CPU: e.CPU(), Scheduler: policy, Mode: mode,
-						SampleIntervalMS: e.SampleMS, Seed: seed,
-					})
-					if err != nil {
-						return nil, err
-					}
-					st, err := sys.Run(apps, e.SimMS)
-					if err != nil {
-						return nil, err
-					}
-					pw = append(pw, st.AvgPowerW)
-					mips = append(mips, st.MIPS)
-					freq = append(freq, st.AvgActiveFreqHz)
-					ed2 = append(ed2, st.EDSquared)
+				seed := e.Seed + int64(trial)*97 + int64(die)*13
+				apps := workload.Mix(stats.NewRNG(seed), n)
+				sys, err := core.New(core.Config{
+					Chip: c, CPU: e.CPU(), Scheduler: policy, Mode: mode,
+					SampleIntervalMS: e.SampleMS, Seed: seed,
+				})
+				if err != nil {
+					return err
 				}
+				st, err := sys.Run(apps, e.SimMS)
+				if err != nil {
+					return err
+				}
+				slots[i] = st
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var pw, mips, freq, ed2 []float64
+			for _, st := range slots {
+				pw = append(pw, st.AvgPowerW)
+				mips = append(mips, st.MIPS)
+				freq = append(freq, st.AvgActiveFreqHz)
+				ed2 = append(ed2, st.EDSquared)
 			}
 			out[pname] = append(out[pname], SchedCell{
 				Threads: n, Policy: pname,

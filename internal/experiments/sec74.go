@@ -27,30 +27,39 @@ func Sec74(e *Env) (*Sec74Result, error) {
 		return nil, err
 	}
 	run := func(mode core.Mode) (freq, power, ed2 float64, err error) {
-		var fs, ps, es []float64
-		for die := 0; die < e.RunDies; die++ {
+		// Die×trial fan-out through the farm; reduce in serial order.
+		tasks := e.RunDies * e.Trials
+		slots := make([]*core.RunStats, tasks)
+		err = e.ForTasks(tasks, func(i int) error {
+			die, trial := i/e.Trials, i%e.Trials
 			c, err := e.Chip(die)
 			if err != nil {
-				return 0, 0, 0, err
+				return err
 			}
-			for trial := 0; trial < e.Trials; trial++ {
-				seed := e.Seed + int64(trial)*97 + int64(die)*13
-				apps := workload.Mix(stats.NewRNG(seed), 20)
-				sys, err := core.New(core.Config{
-					Chip: c, CPU: e.CPU(), Scheduler: policy, Mode: mode,
-					SampleIntervalMS: e.SampleMS, Seed: seed,
-				})
-				if err != nil {
-					return 0, 0, 0, err
-				}
-				st, err := sys.Run(apps, e.SimMS)
-				if err != nil {
-					return 0, 0, 0, err
-				}
-				fs = append(fs, st.AvgActiveFreqHz)
-				ps = append(ps, st.AvgPowerW)
-				es = append(es, st.EDSquared)
+			seed := e.Seed + int64(trial)*97 + int64(die)*13
+			apps := workload.Mix(stats.NewRNG(seed), 20)
+			sys, err := core.New(core.Config{
+				Chip: c, CPU: e.CPU(), Scheduler: policy, Mode: mode,
+				SampleIntervalMS: e.SampleMS, Seed: seed,
+			})
+			if err != nil {
+				return err
 			}
+			st, err := sys.Run(apps, e.SimMS)
+			if err != nil {
+				return err
+			}
+			slots[i] = st
+			return nil
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var fs, ps, es []float64
+		for _, st := range slots {
+			fs = append(fs, st.AvgActiveFreqHz)
+			ps = append(ps, st.AvgPowerW)
+			es = append(es, st.EDSquared)
 		}
 		return stats.Mean(fs), stats.Mean(ps), stats.Mean(es), nil
 	}

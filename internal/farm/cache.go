@@ -1,0 +1,138 @@
+package farm
+
+import (
+	"context"
+	"sync"
+
+	"vasched/internal/chip"
+)
+
+// CacheKey identifies one characterised die: the batch it belongs to, its
+// index within the batch, and a signature of every configuration input
+// that shapes the characterisation (variation model, delay, power and
+// thermal configs — see experiments.Env). Two Envs with equal signatures
+// produce bit-identical dies, so they may share cache entries.
+type CacheKey struct {
+	BatchSeed int64
+	Die       int
+	Sig       string
+}
+
+// cacheEntry is a single-flight slot: the first requester builds, every
+// concurrent requester for the same key waits on ready.
+type cacheEntry struct {
+	ready chan struct{}
+	chip  *chip.Chip
+	err   error
+}
+
+// DieCache memoises characterised dies across experiments and jobs. The
+// expensive GRF sampling + thermal-fixed-point characterisation of a die
+// is paid once per (batch, die, config) no matter how many of the ~15
+// experiments sharing a batch request it, serially or concurrently.
+// Builds for the same key are collapsed (single-flight); builds for
+// different keys proceed in parallel. The cache is safe for concurrent
+// use.
+type DieCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[CacheKey]*cacheEntry
+	order   []CacheKey // insertion order, for FIFO eviction
+	hits    int64
+	misses  int64
+}
+
+// NewDieCache returns a cache holding at most cap dies (cap <= 0 means
+// unbounded). Eviction is FIFO over completed entries; because die
+// characterisation is deterministic, an evicted die rebuilds identically,
+// so eviction never affects results — only speed.
+func NewDieCache(cap int) *DieCache {
+	return &DieCache{cap: cap, entries: make(map[CacheKey]*cacheEntry)}
+}
+
+// Get returns the chip for key, building it with build on first request.
+// Concurrent Gets for the same key share one build. Waiting respects ctx;
+// the build itself is charged to the first requester and runs to
+// completion so late waiters can still use it.
+func (dc *DieCache) Get(ctx context.Context, key CacheKey, build func() (*chip.Chip, error)) (*chip.Chip, error) {
+	dc.mu.Lock()
+	if e, ok := dc.entries[key]; ok {
+		dc.hits++
+		dc.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.chip, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		dc.mu.Unlock()
+		return nil, err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	dc.entries[key] = e
+	dc.order = append(dc.order, key)
+	dc.misses++
+	dc.evictLocked()
+	dc.mu.Unlock()
+
+	e.chip, e.err = build()
+	close(e.ready)
+	if e.err != nil {
+		// Do not cache failures: a later retry (e.g. after a transient
+		// resource problem) should rebuild.
+		dc.mu.Lock()
+		if dc.entries[key] == e {
+			delete(dc.entries, key)
+			for i, k := range dc.order {
+				if k == key {
+					dc.order = append(dc.order[:i], dc.order[i+1:]...)
+					break
+				}
+			}
+		}
+		dc.mu.Unlock()
+	}
+	return e.chip, e.err
+}
+
+// evictLocked drops the oldest completed entries until the cache fits its
+// cap. Entries still building are skipped — waiters hold their channel.
+func (dc *DieCache) evictLocked() {
+	if dc.cap <= 0 {
+		return
+	}
+	for len(dc.entries) > dc.cap {
+		evicted := false
+		for i, k := range dc.order {
+			e := dc.entries[k]
+			select {
+			case <-e.ready:
+			default:
+				continue // still building
+			}
+			delete(dc.entries, k)
+			dc.order = append(dc.order[:i], dc.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything in flight; let it land
+		}
+	}
+}
+
+// Len returns the number of cached (or in-flight) dies.
+func (dc *DieCache) Len() int {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return len(dc.entries)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (dc *DieCache) Stats() (hits, misses int64) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.hits, dc.misses
+}

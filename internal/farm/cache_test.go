@@ -1,0 +1,155 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vasched/internal/chip"
+)
+
+// fakeChip builds a distinguishable *chip.Chip without running the real
+// characterisation (the cache never inspects it).
+func fakeChip() *chip.Chip { return &chip.Chip{} }
+
+func key(die int) CacheKey { return CacheKey{BatchSeed: 1, Die: die, Sig: "cfg"} }
+
+func TestDieCacheSingleFlight(t *testing.T) {
+	dc := NewDieCache(0)
+	var builds atomic.Int32
+	var wg sync.WaitGroup
+	chips := make([]*chip.Chip, 16)
+	for i := range chips {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := dc.Get(context.Background(), key(7), func() (*chip.Chip, error) {
+				builds.Add(1)
+				return fakeChip(), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			chips[i] = c
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times for one key", n)
+	}
+	for _, c := range chips[1:] {
+		if c != chips[0] {
+			t.Fatal("waiters got different chips")
+		}
+	}
+	if hits, misses := dc.Stats(); misses != 1 || hits != 15 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestDieCacheDistinctKeys(t *testing.T) {
+	dc := NewDieCache(0)
+	var builds atomic.Int32
+	build := func() (*chip.Chip, error) { builds.Add(1); return fakeChip(), nil }
+	a, _ := dc.Get(context.Background(), key(0), build)
+	b, _ := dc.Get(context.Background(), key(1), build)
+	c, _ := dc.Get(context.Background(), CacheKey{BatchSeed: 2, Die: 0, Sig: "cfg"}, build)
+	d, _ := dc.Get(context.Background(), CacheKey{BatchSeed: 1, Die: 0, Sig: "other"}, build)
+	if builds.Load() != 4 {
+		t.Fatalf("builds = %d, want 4 (batch seed, die index and config sig must all key)", builds.Load())
+	}
+	if a == b || a == c || a == d {
+		t.Fatal("distinct keys shared a chip")
+	}
+	if dc.Len() != 4 {
+		t.Fatalf("len = %d", dc.Len())
+	}
+}
+
+func TestDieCacheErrorNotCached(t *testing.T) {
+	dc := NewDieCache(0)
+	boom := errors.New("boom")
+	calls := 0
+	build := func() (*chip.Chip, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return fakeChip(), nil
+	}
+	if _, err := dc.Get(context.Background(), key(0), build); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	c, err := dc.Get(context.Background(), key(0), build)
+	if err != nil || c == nil {
+		t.Fatalf("retry after failure: chip=%v err=%v", c, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestDieCacheFIFOEviction(t *testing.T) {
+	dc := NewDieCache(2)
+	var builds atomic.Int32
+	build := func() (*chip.Chip, error) { builds.Add(1); return fakeChip(), nil }
+	for die := 0; die < 3; die++ {
+		if _, err := dc.Get(context.Background(), key(die), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dc.Len() != 2 {
+		t.Fatalf("len = %d, want 2", dc.Len())
+	}
+	// Die 0 was evicted: re-requesting it rebuilds; die 2 is still cached.
+	if _, err := dc.Get(context.Background(), key(2), build); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 3 {
+		t.Fatalf("cached die rebuilt: builds = %d", builds.Load())
+	}
+	if _, err := dc.Get(context.Background(), key(0), build); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 4 {
+		t.Fatalf("evicted die not rebuilt: builds = %d", builds.Load())
+	}
+}
+
+func TestDieCacheCancelledWaiter(t *testing.T) {
+	dc := NewDieCache(0)
+	block := make(chan struct{})
+	go dc.Get(context.Background(), key(0), func() (*chip.Chip, error) {
+		<-block
+		return fakeChip(), nil
+	})
+	// Wait for the build to be registered.
+	for dc.Len() == 0 {
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := dc.Get(ctx, key(0), func() (*chip.Chip, error) {
+		return nil, fmt.Errorf("second build must not run")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	close(block)
+}
+
+func TestDieCacheConcurrentMixedLoad(t *testing.T) {
+	dc := NewDieCache(8)
+	err := Map(context.Background(), 8, 200, func(ctx context.Context, i int) error {
+		_, err := dc.Get(ctx, key(i%12), func() (*chip.Chip, error) { return fakeChip(), nil })
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Len() > 8 {
+		t.Fatalf("cache over cap: %d", dc.Len())
+	}
+}

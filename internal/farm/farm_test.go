@@ -1,0 +1,146 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		counts := make([]int32, n)
+		err := Map(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	if err := Map(context.Background(), 4, 0, func(context.Context, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Collect(context.Background(), workers, 40, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapLowestIndexedErrorWins(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	// Force both failures to be recorded: the high-index task fails first,
+	// then the low-index one (which was already taken) also fails. The
+	// reported error must be the low one, as in the serial path.
+	var release sync.WaitGroup
+	release.Add(1)
+	err := Map(context.Background(), 2, 2, func(_ context.Context, i int) error {
+		if i == 1 {
+			defer release.Done()
+			return errHigh
+		}
+		release.Wait() // ensure task 1 has failed before task 0 reports
+		return errLow
+	})
+	if err != errLow {
+		t.Fatalf("got %v, want %v", err, errLow)
+	}
+}
+
+func TestMapSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := Map(context.Background(), 1, 10, func(_ context.Context, i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom || ran != 4 {
+		t.Fatalf("err=%v ran=%d", err, ran)
+	}
+}
+
+func TestMapErrorAbandonsRemainingTasks(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := Map(context.Background(), 2, 1000, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d tasks ran despite early failure", n)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	err := Map(ctx, 4, 10000, func(ctx context.Context, i int) error {
+		once.Do(func() { close(started); cancel() })
+		select {
+		case <-ctx.Done():
+		case <-time.After(5 * time.Second):
+			t.Error("task did not observe cancellation")
+		}
+		return nil
+	})
+	<-started
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := Map(ctx, 1, 5, func(context.Context, int) error { called = true; return nil })
+	if !errors.Is(err, context.Canceled) || called {
+		t.Fatalf("err=%v called=%v", err, called)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must default to at least 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("Workers must pass positive counts through")
+	}
+}

@@ -7,6 +7,11 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // MIPS returns total throughput in millions of instructions per second for
@@ -148,4 +153,173 @@ func Sparkline(values []float64, width int) string {
 		out[i] = ramp[idx]
 	}
 	return string(out)
+}
+
+// --- Service metrics ---------------------------------------------------
+//
+// The types below back the cmd/vaschedd /metrics endpoint: concurrency-
+// safe counters and latency histograms collected in a Registry that
+// renders a Prometheus-style text exposition. They are deliberately
+// dependency-free (stdlib only), like the rest of the repository.
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters never decrease).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// defaultLatencyBounds covers 1 ms .. ~17 min in powers of four — wide
+// enough for both quick-scale experiments (seconds) and paper-scale runs
+// (minutes).
+var defaultLatencyBounds = []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384, 65.536, 262.144, 1048.576}
+
+// LatencyHist is a fixed-bucket latency histogram safe for concurrent
+// use. Bucket counts are cumulative when rendered (Prometheus "le"
+// semantics).
+type LatencyHist struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// NewLatencyHist returns a histogram over the default exponential bounds.
+func NewLatencyHist() *LatencyHist {
+	return &LatencyHist{
+		bounds: defaultLatencyBounds,
+		counts: make([]int64, len(defaultLatencyBounds)+1),
+	}
+}
+
+// Observe records one latency in seconds.
+func (h *LatencyHist) Observe(seconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && seconds > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the total observed seconds.
+func (h *LatencyHist) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// render writes the histogram as Prometheus bucket/sum/count lines.
+func (h *LatencyHist) render(b *strings.Builder, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, h.n)
+}
+
+// Registry is a named collection of counters and latency histograms. All
+// methods are safe for concurrent use; metric instruments are created on
+// first reference.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*LatencyHist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*LatencyHist),
+	}
+}
+
+// Counter returns the counter with the given name (creating it if
+// needed). The name may carry a label set in Prometheus syntax, e.g.
+// `jobs_total{status="done"}`.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the latency histogram with the given name (creating
+// it if needed).
+func (r *Registry) Histogram(name string) *LatencyHist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewLatencyHist()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Render returns the registry as Prometheus-style text, metrics sorted by
+// name so the output is deterministic.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	cnames := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		cnames = append(cnames, name)
+	}
+	hnames := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hnames = append(hnames, name)
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*LatencyHist, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	sort.Strings(cnames)
+	sort.Strings(hnames)
+	var b strings.Builder
+	for _, name := range cnames {
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name].Value())
+	}
+	for _, name := range hnames {
+		hists[name].render(&b, name)
+	}
+	return b.String()
 }

@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -119,5 +121,77 @@ func TestSparkline(t *testing.T) {
 	// Width above length clamps to length.
 	if got := Sparkline([]float64{1, 2}, 10); len([]rune(got)) != 2 {
 		t.Fatalf("clamped length %d", len([]rune(got)))
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // counters never decrease
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestLatencyHistObserveAndRender(t *testing.T) {
+	h := NewLatencyHist()
+	h.Observe(0.002)
+	h.Observe(0.5)
+	h.Observe(2000) // beyond the last bound -> +Inf bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); s < 2000.5 || s > 2000.6 {
+		t.Fatalf("sum = %v", s)
+	}
+}
+
+func TestRegistryRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`jobs_total{status="done"}`).Add(3)
+	r.Counter(`jobs_total{status="failed"}`).Inc()
+	r.Histogram(`job_seconds{experiment="fig4"}`).Observe(1.5)
+	out1 := r.Render()
+	out2 := r.Render()
+	if out1 != out2 {
+		t.Fatal("render not deterministic")
+	}
+	for _, want := range []string{
+		`jobs_total{status="done"} 3`,
+		`jobs_total{status="failed"} 1`,
+		`job_seconds{experiment="fig4"}_count 1`,
+		`job_seconds{experiment="fig4"}_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out1, want) {
+			t.Fatalf("render missing %q:\n%s", want, out1)
+		}
+	}
+	// Counters render before histograms, both sorted by name.
+	if strings.Index(out1, "jobs_total") > strings.Index(out1, "job_seconds{experiment=\"fig4\"}_bucket") {
+		t.Fatal("counters must render before histograms")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("hits").Inc()
+				r.Histogram("lat").Observe(0.01)
+				_ = r.Render()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("hits").Value() != 800 {
+		t.Fatalf("hits = %d", r.Counter("hits").Value())
+	}
+	if r.Histogram("lat").Count() != 800 {
+		t.Fatalf("lat count = %d", r.Histogram("lat").Count())
 	}
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -90,4 +91,37 @@ func (h *Histogram) Render(label string) string {
 		fmt.Fprintf(&b, "  %6.3f |%-*s %d\n", h.BinCenter(i), width, bar, c)
 	}
 	return b.String()
+}
+
+// histogramJSON is the wire form of Histogram: it exposes the unexported
+// tallies so a histogram survives a JSON round trip without loss (the
+// vaschedd job API serves experiment results as JSON).
+type histogramJSON struct {
+	Lo     float64 `json:"Lo"`
+	Hi     float64 `json:"Hi"`
+	Counts []int   `json:"Counts"`
+	Under  int     `json:"Under"`
+	Over   int     `json:"Over"`
+	N      int     `json:"N"`
+}
+
+// MarshalJSON implements json.Marshaler including the out-of-range and
+// total tallies.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		Lo: h.Lo, Hi: h.Hi, Counts: h.Counts,
+		Under: h.under, Over: h.over, N: h.n,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring the full state
+// written by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	h.Lo, h.Hi, h.Counts = w.Lo, w.Hi, w.Counts
+	h.under, h.over, h.n = w.Under, w.Over, w.N
+	return nil
 }

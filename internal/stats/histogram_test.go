@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -71,4 +73,32 @@ func TestHistogramInvalidConfig(t *testing.T) {
 		}
 	}()
 	NewHistogram(1, 1, 3)
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(1.0, 2.0, 4)
+	for _, x := range []float64{0.5, 1.1, 1.6, 1.6, 2.5, 3.0} {
+		h.Add(x)
+	}
+	blob, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, &got) {
+		t.Fatalf("round trip lost state:\n before %+v\n after  %+v", h, &got)
+	}
+	if got.N() != 6 || got.Underflow() != 1 || got.Overflow() != 2 {
+		t.Fatalf("tallies lost: n=%d under=%d over=%d", got.N(), got.Underflow(), got.Overflow())
+	}
+	blob2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("re-marshal differs:\n%s\n%s", blob, blob2)
+	}
 }

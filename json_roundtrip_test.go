@@ -1,0 +1,44 @@
+package vasched_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"vasched"
+)
+
+// TestEveryExperimentResultJSONRoundTrips runs every registered experiment
+// at quick scale and checks its typed result survives a JSON round trip
+// losslessly: marshal → unmarshal into a fresh value of the same concrete
+// type → re-marshal must reproduce the original bytes. This is what lets
+// cmd/vaschedd serve results over HTTP without a bespoke wire format, and
+// it guards against unexported fields silently dropping data (the
+// stats.Histogram custom marshaller exists for exactly that reason).
+func TestEveryExperimentResultJSONRoundTrips(t *testing.T) {
+	for _, id := range vasched.ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := vasched.RunExperimentResult(id, vasched.ScaleQuick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := reflect.New(reflect.TypeOf(res).Elem()).Interface()
+			if err := json.Unmarshal(blob, rt); err != nil {
+				t.Fatal(err)
+			}
+			blob2, err := json.Marshal(rt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, blob2) {
+				t.Fatalf("round trip not lossless:\nfirst:  %s\nsecond: %s", blob, blob2)
+			}
+		})
+	}
+}
