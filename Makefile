@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race bench clean
+.PHONY: all build test vet check race bench benchsmoke ci fuzzseed benchcheck benchsnap clean
 
 all: check
 
@@ -22,13 +22,39 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the tier-1+ gate: vet, build, and the race-enabled test suite.
-check: vet build race
+# check is the tier-1+ gate: vet, build, the race-enabled test suite, and
+# one pass of every benchmark (-benchtime=1x) so the bench code can't
+# silently rot between perf passes.
+check: vet build race benchsmoke
+
+benchsmoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # bench runs the paper-artefact benchmarks (quick scale) including the
 # farm serial-vs-parallel comparison.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# ci is the full gate: vet, build, race-enabled tests (includes the
+# golden-file experiment test), the lp fuzz target run for 10s, and a
+# benchmark pass of the hot-path micro-benchmarks compared against the
+# newest committed BENCH_*.json — more than 20% ns/op regression fails.
+# Benchmark baselines are machine-specific: refresh with `make benchsnap`
+# when the reference machine changes.
+ci: vet build race fuzzseed benchcheck
+
+fuzzseed:
+	$(GO) test -fuzz FuzzSolve -fuzztime 10s ./internal/lp
+
+# benchcheck compares the micro-benchmarks (not the multi-second paper
+# artefacts) against the committed baseline without writing a snapshot.
+benchcheck:
+	$(GO) run ./cmd/benchstatus -check -nowrite \
+		-pkgs ./internal/grf,./internal/thermal,./internal/linsolve,./internal/lp,./internal/cpusim,./internal/fft
+
+# benchsnap records a fresh full-suite snapshot (BENCH_<date>.json).
+benchsnap:
+	$(GO) run ./cmd/benchstatus
 
 clean:
 	$(GO) clean ./...

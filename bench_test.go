@@ -28,6 +28,13 @@ var (
 // env returns a shared quick-scale environment; chips are cached inside
 // it, so repeated iterations measure the experiment itself, not die
 // generation.
+//
+// The returned Env is SHARED across every benchmark in this file and
+// must be treated as immutable: a benchmark that wrote to it (Workers,
+// Scale, ...) would leak that state into whichever benchmarks happen to
+// run after it, making results order-dependent. A benchmark that needs
+// different settings must build its own Env (see BenchmarkFarmFig4,
+// which owns a private QuickEnv so it can vary Workers).
 func env(b *testing.B) *experiments.Env {
 	b.Helper()
 	benchEnvOnce.Do(func() {

@@ -51,6 +51,32 @@ type Chip struct {
 	// the same *Chip to every job that wants the same die).
 	stepMu   sync.Mutex
 	steppers map[float64]*thermal.Transient
+	// evalPool recycles per-evaluation scratch buffers so the DVFS inner
+	// loop's chip evaluations do not allocate per call; pooling (rather
+	// than a single buffer set) keeps concurrent evaluations of a shared
+	// die safe.
+	evalPool sync.Pool
+}
+
+// evalScratch is one evaluation's worth of reusable buffers.
+type evalScratch struct {
+	dyn, coreDyn, total, rhs, leak []float64
+	fps                            *thermal.FixedPointScratch
+}
+
+func (c *Chip) getScratch() *evalScratch {
+	if sc, ok := c.evalPool.Get().(*evalScratch); ok {
+		return sc
+	}
+	nb := len(c.FP.Blocks)
+	return &evalScratch{
+		dyn:     make([]float64, nb),
+		coreDyn: make([]float64, c.NumCores()),
+		total:   make([]float64, nb),
+		rhs:     make([]float64, nb),
+		leak:    make([]float64, nb),
+		fps:     c.Therm.NewFixedPointScratch(),
+	}
 }
 
 // Build characterises the die described by maps on the given floorplan.
@@ -190,15 +216,15 @@ type EvalResult struct {
 }
 
 // assembleDynamic computes per-block dynamic power and per-core IPC for
-// the given states.
-func (c *Chip) assembleDynamic(states []CoreState, cpu *cpusim.Model) (dyn, coreIPC []float64, err error) {
+// the given states. dyn and coreDyn are caller-provided buffers (cleared
+// here); coreIPC is freshly allocated because it escapes into the result.
+func (c *Chip) assembleDynamic(dyn, coreDyn []float64, states []CoreState, cpu *cpusim.Model) (coreIPC []float64, err error) {
 	if len(states) != c.NumCores() {
-		return nil, nil, fmt.Errorf("chip: %d states for %d cores", len(states), c.NumCores())
+		return nil, fmt.Errorf("chip: %d states for %d cores", len(states), c.NumCores())
 	}
-	nb := len(c.FP.Blocks)
-	dyn = make([]float64, nb)
+	clear(dyn)
+	clear(coreDyn)
 	coreIPC = make([]float64, c.NumCores())
-	coreDyn := make([]float64, c.NumCores())
 	l2Accesses := 0.0
 
 	for core, st := range states {
@@ -206,16 +232,16 @@ func (c *Chip) assembleDynamic(states []CoreState, cpu *cpusim.Model) (dyn, core
 			continue
 		}
 		if st.F <= 0 || st.V <= 0 {
-			return nil, nil, fmt.Errorf("chip: core %d active with invalid (V,f)=(%v,%v)", core, st.V, st.F)
+			return nil, fmt.Errorf("chip: core %d active with invalid (V,f)=(%v,%v)", core, st.V, st.F)
 		}
 		if rated := c.FmaxAt(core, st.V); st.F > rated+1e-6 {
-			return nil, nil, fmt.Errorf("chip: core %d frequency %.3g exceeds rated %.3g at %.2fV",
+			return nil, fmt.Errorf("chip: core %d frequency %.3g exceeds rated %.3g at %.2fV",
 				core, st.F, rated, st.V)
 		}
 		phase := st.App.PhaseAt(st.ElapsedMS)
 		ipc, err := cpu.IPC(st.App, phase, st.F)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		coreIPC[core] = ipc
 		// Dynamic power: the profile's Table 5 number scaled by (V,f) and
@@ -248,15 +274,14 @@ func (c *Chip) assembleDynamic(states []CoreState, cpu *cpusim.Model) (dyn, core
 			dyn[bi] = l2DynTotal / float64(len(l2Blocks))
 		}
 	}
-	return dyn, coreIPC, nil
+	return coreIPC, nil
 }
 
 // leakageFn returns the per-block leakage closure for the given states:
 // active core blocks leak at the core's supply; L2 leaks at nominal;
-// powered-off cores are gated (no leakage). The returned slice is reused
-// across calls.
-func (c *Chip) leakageFn(states []CoreState) func(temps []float64) []float64 {
-	leak := make([]float64, len(c.FP.Blocks))
+// powered-off cores are gated (no leakage). The caller-provided leak
+// slice is reused across calls of the closure.
+func (c *Chip) leakageFn(leak []float64, states []CoreState) func(temps []float64) []float64 {
 	return func(temps []float64) []float64 {
 		for bi, b := range c.FP.Blocks {
 			switch {
@@ -278,15 +303,20 @@ func (c *Chip) leakageFn(states []CoreState) func(temps []float64) []float64 {
 // given core states, using cpu to obtain per-thread IPC and the Su et al.
 // leakage-temperature fixed point for the static power.
 func (c *Chip) Evaluate(states []CoreState, cpu *cpusim.Model) (*EvalResult, error) {
-	dyn, coreIPC, err := c.assembleDynamic(states, cpu)
+	sc := c.getScratch()
+	defer c.evalPool.Put(sc)
+	coreIPC, err := c.assembleDynamic(sc.dyn, sc.coreDyn, states, cpu)
 	if err != nil {
 		return nil, err
 	}
-	temps, leak, iters, err := c.Therm.FixedPoint(dyn, c.leakageFn(states), 0.01, 60)
+	temps, leak, iters, err := c.Therm.FixedPointWith(sc.fps, sc.dyn, c.leakageFn(sc.leak, states), 0.01, 60)
 	if err != nil {
 		return nil, err
 	}
-	return c.buildResult(states, dyn, leak, temps, coreIPC, iters), nil
+	// temps aliases the pooled scratch; the result retains its own copy.
+	tout := make([]float64, len(temps))
+	copy(tout, temps)
+	return c.buildResult(states, sc.dyn, leak, tout, coreIPC, iters), nil
 }
 
 // EvaluateTransient advances the chip's thermal state by dtMS from
@@ -296,7 +326,10 @@ func (c *Chip) Evaluate(states []CoreState, cpu *cpusim.Model) (*EvalResult, err
 // activity-migration policies need. A nil prevBlockTemps starts from
 // ambient.
 func (c *Chip) EvaluateTransient(states []CoreState, cpu *cpusim.Model, prevBlockTemps []float64, dtMS float64) (*EvalResult, error) {
-	dyn, coreIPC, err := c.assembleDynamic(states, cpu)
+	sc := c.getScratch()
+	defer c.evalPool.Put(sc)
+	dyn := sc.dyn
+	coreIPC, err := c.assembleDynamic(dyn, sc.coreDyn, states, cpu)
 	if err != nil {
 		return nil, err
 	}
@@ -323,13 +356,15 @@ func (c *Chip) EvaluateTransient(states []CoreState, cpu *cpusim.Model, prevBloc
 			prevBlockTemps[i] = c.Therm.Config().AmbientC
 		}
 	}
-	leak := c.leakageFn(states)(prevBlockTemps)
-	total := make([]float64, nb)
+	leak := c.leakageFn(sc.leak, states)(prevBlockTemps)
+	total := sc.total
 	for i := range total {
 		total[i] = dyn[i] + leak[i]
 	}
-	temps, err := stepper.Step(total, prevBlockTemps)
-	if err != nil {
+	// temps escapes into the result (and chains into the next step's
+	// prevBlockTemps), so it is freshly allocated; only the rhs is scratch.
+	temps := make([]float64, nb)
+	if err := stepper.StepInto(temps, sc.rhs, total, prevBlockTemps); err != nil {
 		return nil, err
 	}
 	return c.buildResult(states, dyn, leak, temps, coreIPC, 1), nil

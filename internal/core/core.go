@@ -215,6 +215,13 @@ func (s *System) Run(apps []*workload.AppProfile, durationMS float64) (*RunStats
 	pmRNG := s.rng.Derive(3)
 	profRNG := s.rng.Derive(4)
 
+	// Session-capable managers get per-run private state (simplex warm
+	// starts); the shared Config value stays safe for concurrent runs.
+	manager := s.cfg.Manager
+	if sm, ok := manager.(pm.SessionManager); ok {
+		manager = sm.NewSession()
+	}
+
 	coreInfos := sensors.CoreInfos(c)
 	aging, err := wearout.NewAccumulator(wearout.DefaultParams(), c.NumCores())
 	if err != nil {
@@ -299,7 +306,7 @@ func (s *System) Run(apps []*workload.AppProfile, durationMS float64) (*RunStats
 				return nil, err
 			}
 			start := time.Now()
-			lv, err := s.cfg.Manager.Decide(plat, s.cfg.Budget, pmRNG)
+			lv, err := manager.Decide(plat, s.cfg.Budget, pmRNG)
 			decideTime += time.Since(start)
 			decideCount++
 			if err != nil {

@@ -1,0 +1,25 @@
+package cpusim
+
+import (
+	"testing"
+
+	"vasched/internal/workload"
+)
+
+// BenchmarkIPC is the per-core per-sample model evaluation the timeline
+// simulation calls NumCores times every monitor sample.
+func BenchmarkIPC(b *testing.B) {
+	apps := workload.SPEC()
+	m, err := New(DefaultCoreConfig(), apps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phase := workload.Phase{IPCScale: 1, PowerScale: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.IPC(apps[i%len(apps)], phase, 3.2e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -64,6 +64,12 @@ type Model struct {
 	cc CoreConfig
 	// base CPI per application name, calibrated at construction.
 	baseCPI map[string]float64
+	// ptrCPI caches the same values keyed by the exact profile pointers
+	// calibrated at construction, so the per-interval IPC hot path skips
+	// hashing the application name. Populated once in New and read-only
+	// afterwards (Model is shared across farm workers); profile copies
+	// (e.g. from AdjustIPCNom) fall back to the name map.
+	ptrCPI map[*workload.AppProfile]float64
 }
 
 // New calibrates a model for the given applications: for each profile, the
@@ -75,7 +81,11 @@ func New(cc CoreConfig, apps []*workload.AppProfile) (*Model, error) {
 	if err := cc.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Model{cc: cc, baseCPI: make(map[string]float64, len(apps))}
+	m := &Model{
+		cc:      cc,
+		baseCPI: make(map[string]float64, len(apps)),
+		ptrCPI:  make(map[*workload.AppProfile]float64, len(apps)),
+	}
 	for _, a := range apps {
 		if err := a.Validate(); err != nil {
 			return nil, err
@@ -88,8 +98,18 @@ func New(cc CoreConfig, apps []*workload.AppProfile) (*Model, error) {
 				a.Name, base, floor)
 		}
 		m.baseCPI[a.Name] = base
+		m.ptrCPI[a] = base
 	}
 	return m, nil
+}
+
+// base looks up the calibrated base CPI, by pointer when possible.
+func (m *Model) base(a *workload.AppProfile) (float64, bool) {
+	if b, ok := m.ptrCPI[a]; ok {
+		return b, true
+	}
+	b, ok := m.baseCPI[a.Name]
+	return b, ok
 }
 
 // Core returns the model's core configuration.
@@ -110,7 +130,7 @@ func (m *Model) memCPI(a *workload.AppProfile, fHz float64) float64 {
 // CPIBreakdown returns the base, branch, and memory CPI components for the
 // application at frequency fHz.
 func (m *Model) CPIBreakdown(a *workload.AppProfile, fHz float64) (base, branch, mem float64, err error) {
-	b, ok := m.baseCPI[a.Name]
+	b, ok := m.base(a)
 	if !ok {
 		return 0, 0, 0, fmt.Errorf("cpusim: application %q not calibrated in this model", a.Name)
 	}
@@ -155,7 +175,7 @@ func (m *Model) L2AccessRate(a *workload.AppProfile, fHz, ipc float64) float64 {
 // retained from the original calibration while the memory-stall term
 // reflects the measurement, keeping the profile self-consistent.
 func (m *Model) AdjustIPCNom(a *workload.AppProfile) (*workload.AppProfile, error) {
-	base, ok := m.baseCPI[a.Name]
+	base, ok := m.base(a)
 	if !ok {
 		return nil, fmt.Errorf("cpusim: application %q not calibrated in this model", a.Name)
 	}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// update rewrites the golden files from the current outputs. Run as
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// only when an intentional behaviour change is being made; the whole point
+// of the goldens is to catch *unintentional* numeric drift (e.g. from a
+// performance change that was supposed to be bit-identical).
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// durRE matches rendered time.Duration tokens. Figure 15 reports host
+// wall-clock solve times, which legitimately vary run to run; every other
+// experiment output is deterministic to the last digit.
+var durRE = regexp.MustCompile(`[0-9]+(?:\.[0-9]+)?(?:ns|µs|us|ms|m|h|s)`)
+
+var spaceRE = regexp.MustCompile(` +`)
+
+// normalizeGolden strips the run-to-run-varying parts of an experiment
+// rendering. Only fig15 has any: its duration columns (whose varying
+// string widths also shift the column padding, so space runs collapse).
+func normalizeGolden(id, out string) string {
+	if id == "fig15" {
+		return spaceRE.ReplaceAllString(durRE.ReplaceAllString(out, "<dur>"), " ")
+	}
+	return out
+}
+
+// TestGolden runs every registered experiment at quick scale and diffs the
+// full text output against the committed goldens. This is the lock that
+// lets the hot paths (grf sampling, thermal solves, LinOpt's simplex) be
+// optimised aggressively: any change that perturbs a single rendered digit
+// of any paper artefact fails here.
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep runs every experiment; skipped in -short")
+	}
+	e := quickEnv(t)
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := Run(id, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := normalizeGolden(id, r.Render())
+			path := filepath.Join("testdata", "golden", id+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, string(want))
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // IsPow2 reports whether n is a positive power of two.
@@ -44,6 +45,67 @@ func Inverse(x []complex128) error {
 	return nil
 }
 
+// twiddleKey identifies one cached twiddle-table set.
+type twiddleKey struct {
+	n       int
+	forward bool
+}
+
+// twiddleCache holds, per (length, direction), one table per butterfly
+// stage. Tables are immutable after construction and shared by every
+// transform of that size in the process — the grf samplers call these
+// transforms once or twice per generated die, so the trigonometric
+// recurrences are paid once instead of per call.
+var twiddleCache sync.Map // twiddleKey -> [][]complex128
+
+// stageTwiddles returns the per-stage twiddle factors for an n-point
+// transform. Each stage table is built with the exact same repeated-
+// multiplication recurrence the butterfly loop historically ran (w starts
+// at 1 and is multiplied by wBase), so cached transforms are bit-for-bit
+// identical to the uncached ones.
+func stageTwiddles(n int, sign float64) [][]complex128 {
+	key := twiddleKey{n: n, forward: sign < 0}
+	if v, ok := twiddleCache.Load(key); ok {
+		return v.([][]complex128)
+	}
+	var tables [][]complex128
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := 2 * math.Pi / float64(size) * sign
+		wBase := complex(math.Cos(step), math.Sin(step))
+		t := make([]complex128, half)
+		w := complex(1, 0)
+		for k := 0; k < half; k++ {
+			t[k] = w
+			w *= wBase
+		}
+		tables = append(tables, t)
+	}
+	v, _ := twiddleCache.LoadOrStore(key, tables)
+	return v.([][]complex128)
+}
+
+// bitrevCache holds, per length, the swap pairs of the bit-reversal
+// permutation, so the per-element Reverse64 arithmetic is paid once per
+// size instead of per transform.
+var bitrevCache sync.Map // int -> [][2]int32
+
+func bitrevPairs(n int) [][2]int32 {
+	if v, ok := bitrevCache.Load(n); ok {
+		return v.([][2]int32)
+	}
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	pairs := make([][2]int32, 0, n/2)
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			pairs = append(pairs, [2]int32{int32(i), int32(j)})
+		}
+	}
+	v, _ := bitrevCache.LoadOrStore(n, pairs)
+	return v.([][2]int32)
+}
+
 // transform performs the iterative Cooley-Tukey butterfly with the given
 // sign in the twiddle exponent.
 func transform(x []complex128, sign float64) error {
@@ -52,25 +114,37 @@ func transform(x []complex128, sign float64) error {
 		return fmt.Errorf("fft: length %d is not a power of two", n)
 	}
 	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
+	for _, p := range bitrevPairs(n) {
+		x[p[0]], x[p[1]] = x[p[1]], x[p[0]]
 	}
-	for size := 2; size <= n; size <<= 1 {
+	tables := stageTwiddles(n, sign)
+	for si, size := 0, 2; size <= n; si, size = si+1, size<<1 {
 		half := size / 2
-		step := 2 * math.Pi / float64(size) * sign
-		wBase := complex(math.Cos(step), math.Sin(step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
+		t := tables[si]
+		// Butterflies within a stage touch disjoint index pairs, so either
+		// loop order computes bit-identical results. Early stages have many
+		// tiny blocks: iterating the twiddle index outermost there amortises
+		// the loop bookkeeping that would otherwise dominate.
+		if half <= 16 {
 			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wBase
+				w := t[k]
+				for i := k; i < n; i += size {
+					a := x[i]
+					b := x[i+half] * w
+					x[i] = a + b
+					x[i+half] = a - b
+				}
+			}
+			continue
+		}
+		for start := 0; start < n; start += size {
+			lo := x[start : start+half : start+half]
+			hi := x[start+half : start+size : start+size]
+			for k, w := range t {
+				a := lo[k]
+				b := hi[k] * w
+				lo[k] = a + b
+				hi[k] = a - b
 			}
 		}
 	}
@@ -89,6 +163,19 @@ func Inverse2D(x []complex128, rows, cols int) error {
 	return transform2D(x, rows, cols, Inverse)
 }
 
+// colScratch recycles the column-block buffer of the 2-D transforms so
+// steady-state callers (the grf samplers) allocate nothing per transform.
+var colScratch = sync.Pool{New: func() any { return []complex128(nil) }}
+
+// colBlock is how many columns are gathered per pass: each cache line of
+// the matrix holds 4 complex128s, so gathering 4 adjacent columns at once
+// fetches every line exactly once, and the 4-column buffer stays hot.
+const colBlock = 4
+
+// transform2D applies tf to every row, then to every column. Columns are
+// gathered colBlock at a time into a contiguous buffer; the per-column
+// data and transform are exactly those of a one-column gather, so results
+// are bit-for-bit independent of the blocking.
 func transform2D(x []complex128, rows, cols int, tf func([]complex128) error) error {
 	if len(x) != rows*cols {
 		return fmt.Errorf("fft: matrix buffer has %d elements, want %d", len(x), rows*cols)
@@ -101,17 +188,32 @@ func transform2D(x []complex128, rows, cols int, tf func([]complex128) error) er
 			return err
 		}
 	}
-	col := make([]complex128, rows)
-	for c := 0; c < cols; c++ {
+	sc := colScratch.Get().([]complex128)
+	if cap(sc) < colBlock*rows {
+		sc = make([]complex128, colBlock*rows)
+	}
+	sc = sc[:colBlock*rows]
+	for c0 := 0; c0 < cols; c0 += colBlock {
+		cb := min(colBlock, cols-c0)
 		for r := 0; r < rows; r++ {
-			col[r] = x[r*cols+c]
+			base := r*cols + c0
+			for j := 0; j < cb; j++ {
+				sc[j*rows+r] = x[base+j]
+			}
 		}
-		if err := tf(col); err != nil {
-			return err
+		for j := 0; j < cb; j++ {
+			if err := tf(sc[j*rows : (j+1)*rows]); err != nil {
+				colScratch.Put(sc)
+				return err
+			}
 		}
 		for r := 0; r < rows; r++ {
-			x[r*cols+c] = col[r]
+			base := r*cols + c0
+			for j := 0; j < cb; j++ {
+				x[base+j] = sc[j*rows+r]
+			}
 		}
 	}
+	colScratch.Put(sc)
 	return nil
 }

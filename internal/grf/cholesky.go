@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"vasched/internal/stats"
 )
@@ -19,14 +20,20 @@ type CholeskySampler struct {
 	work []float64
 }
 
-// NewCholeskySampler factors the covariance matrix for cfg.
-func NewCholeskySampler(cfg Config) (*CholeskySampler, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	n := cfg.Rows * cfg.Cols
-	if n > 5000 {
-		return nil, fmt.Errorf("grf: Cholesky sampler limited to 5000 cells, got %d", n)
+var (
+	cholMu    sync.Mutex
+	cholCache = map[Config][]float64{} // bounded in practice: one entry per distinct small-grid config
+)
+
+// choleskyFor returns the shared lower-triangular factor for cfg, building
+// it on first use. The O(n^3) factorisation runs outside the lock; a racing
+// duplicate build is bit-identical, and the first one stored wins.
+func choleskyFor(cfg Config, n int) ([]float64, error) {
+	cholMu.Lock()
+	low, ok := cholCache[cfg]
+	cholMu.Unlock()
+	if ok {
+		return low, nil
 	}
 	cov := make([]float64, n*n)
 	dx := 1.0 / float64(cfg.Cols)
@@ -43,6 +50,31 @@ func NewCholeskySampler(cfg Config) (*CholeskySampler, error) {
 		}
 	}
 	low, err := choleskyFactor(cov, n)
+	if err != nil {
+		return nil, err
+	}
+	cholMu.Lock()
+	if old, ok := cholCache[cfg]; ok {
+		low = old
+	} else {
+		cholCache[cfg] = low
+	}
+	cholMu.Unlock()
+	return low, nil
+}
+
+// NewCholeskySampler factors (or reuses the cached factor of) the
+// covariance matrix for cfg. The factor is shared across samplers and
+// read-only; only the white-noise work buffer is per-sampler state.
+func NewCholeskySampler(cfg Config) (*CholeskySampler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Rows * cfg.Cols
+	if n > 5000 {
+		return nil, fmt.Errorf("grf: Cholesky sampler limited to 5000 cells, got %d", n)
+	}
+	low, err := choleskyFor(cfg, n)
 	if err != nil {
 		return nil, err
 	}

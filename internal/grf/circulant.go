@@ -3,6 +3,7 @@ package grf
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"vasched/internal/fft"
 	"vasched/internal/stats"
@@ -17,7 +18,7 @@ import (
 type CirculantSampler struct {
 	cfg          Config
 	prows, pcols int          // padded (embedding) grid dimensions
-	sqrtLambda   []float64    // sqrt of DFT eigenvalues of the base circulant
+	sqrtLambda   []float64    // sqrt of DFT eigenvalues; shared across samplers, read-only
 	spare        *Field       // second field from the previous FFT, if unused
 	scratch      []complex128 // reusable FFT buffer
 	// ClippedPower reports the fraction of spectral mass discarded when
@@ -26,13 +27,46 @@ type CirculantSampler struct {
 	ClippedPower float64
 }
 
-// NewCirculantSampler builds the spectral decomposition for cfg. The grid
-// is padded to at least twice its size (rounded to powers of two) so the
-// torus wrap-around does not alias correlations back into the chip.
-func NewCirculantSampler(cfg Config) (*CirculantSampler, error) {
-	if err := cfg.validate(); err != nil {
+// spectrum is the spectral decomposition of the base circulant for one
+// Config. It is immutable after construction and shared by every sampler
+// with that Config, so the O(n log n) eigen-decomposition is paid once per
+// process rather than once per die batch.
+type spectrum struct {
+	prows, pcols int
+	sqrtLambda   []float64
+	clippedPower float64
+}
+
+var (
+	spectraMu sync.Mutex
+	spectra   = map[Config]*spectrum{} // bounded in practice: one entry per distinct process-variation config
+)
+
+// spectrumFor returns the shared decomposition for cfg, building it on
+// first use. The build runs outside the lock; a racing duplicate build
+// produces bit-identical tables, and the first one stored wins.
+func spectrumFor(cfg Config) (*spectrum, error) {
+	spectraMu.Lock()
+	sp, ok := spectra[cfg]
+	spectraMu.Unlock()
+	if ok {
+		return sp, nil
+	}
+	sp, err := buildSpectrum(cfg)
+	if err != nil {
 		return nil, err
 	}
+	spectraMu.Lock()
+	if old, ok := spectra[cfg]; ok {
+		sp = old
+	} else {
+		spectra[cfg] = sp
+	}
+	spectraMu.Unlock()
+	return sp, nil
+}
+
+func buildSpectrum(cfg Config) (*spectrum, error) {
 	// Pad enough that the correlation range phi (in cells) fits inside the
 	// half-torus in both dimensions.
 	phiCellsR := int(math.Ceil(cfg.Phi*float64(cfg.Rows))) + 1
@@ -40,7 +74,7 @@ func NewCirculantSampler(cfg Config) (*CirculantSampler, error) {
 	prows := fft.NextPow2(2 * (cfg.Rows + phiCellsR))
 	pcols := fft.NextPow2(2 * (cfg.Cols + phiCellsC))
 
-	s := &CirculantSampler{cfg: cfg, prows: prows, pcols: pcols}
+	sp := &spectrum{prows: prows, pcols: pcols}
 	base := make([]complex128, prows*pcols)
 	dx := 1.0 / float64(cfg.Cols)
 	dy := 1.0 / float64(cfg.Rows)
@@ -63,7 +97,7 @@ func NewCirculantSampler(cfg Config) (*CirculantSampler, error) {
 	if err := fft.Forward2D(base, prows, pcols); err != nil {
 		return nil, fmt.Errorf("grf: eigenvalue transform: %w", err)
 	}
-	s.sqrtLambda = make([]float64, prows*pcols)
+	sp.sqrtLambda = make([]float64, prows*pcols)
 	var clipped, total float64
 	for i, z := range base {
 		lam := real(z)
@@ -72,13 +106,35 @@ func NewCirculantSampler(cfg Config) (*CirculantSampler, error) {
 			clipped += -lam
 			lam = 0
 		}
-		s.sqrtLambda[i] = math.Sqrt(lam)
+		sp.sqrtLambda[i] = math.Sqrt(lam)
 	}
 	if total > 0 {
-		s.ClippedPower = clipped / total
+		sp.clippedPower = clipped / total
 	}
-	s.scratch = make([]complex128, prows*pcols)
-	return s, nil
+	return sp, nil
+}
+
+// NewCirculantSampler builds (or reuses) the spectral decomposition for
+// cfg. The grid is padded to at least twice its size (rounded to powers of
+// two) so the torus wrap-around does not alias correlations back into the
+// chip. Only the scratch buffer and the spare-field cache are per-sampler
+// state; the decomposition itself is shared and read-only.
+func NewCirculantSampler(cfg Config) (*CirculantSampler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sp, err := spectrumFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CirculantSampler{
+		cfg:          cfg,
+		prows:        sp.prows,
+		pcols:        sp.pcols,
+		sqrtLambda:   sp.sqrtLambda,
+		scratch:      make([]complex128, sp.prows*sp.pcols),
+		ClippedPower: sp.clippedPower,
+	}, nil
 }
 
 // Config returns the sampler's configuration.

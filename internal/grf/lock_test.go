@@ -1,0 +1,145 @@
+package grf
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"vasched/internal/stats"
+)
+
+// hashFields folds the exact bit patterns of the given fields into one
+// digest. The reference-seed tests below pin these digests so that any
+// optimisation of the samplers (spectrum caching, scratch reuse, FFT plan
+// changes) that perturbs a single output bit fails loudly.
+func hashFields(fs ...*Field) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, f := range fs {
+		for _, v := range f.Data {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sampleN draws n consecutive fields from a fresh sampler.
+func sampleN(t *testing.T, s Sampler, seed int64, n int) []*Field {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	out := make([]*Field, n)
+	for i := range out {
+		f, err := s.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// Reference digests recorded from the pre-optimisation samplers
+// (PR 2); the values are a function of (Config, seed) only and must never
+// change while the samplers claim bit-for-bit reproducibility.
+const (
+	circulantRefHash = "0bee0878c9540ec6766ddbf28c4ee7028247c767fc62b5fa260ad106eb887657"
+	choleskyRefHash  = "1c71f6a502149be6d08c9d4ec0c56caf1ae998f649a41d5ea1d2640ebf7bc969"
+)
+
+var circulantRefCfg = Config{Rows: 64, Cols: 64, Phi: 0.5, Sigma: 0.03}
+var choleskyRefCfg = Config{Rows: 16, Cols: 16, Phi: 0.5, Sigma: 0.03}
+
+func TestCirculantReferenceSeeds(t *testing.T) {
+	s, err := NewCirculantSampler(circulantRefCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four draws cover both the FFT path and the cached-spare path twice.
+	fields := sampleN(t, s, 42, 4)
+	if got := hashFields(fields...); got != circulantRefHash {
+		t.Errorf("circulant reference digest changed:\n got %s\nwant %s", got, circulantRefHash)
+	}
+	checkMoments(t, fields, circulantRefCfg)
+}
+
+func TestCholeskyReferenceSeeds(t *testing.T) {
+	s, err := NewCholeskySampler(choleskyRefCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := sampleN(t, s, 42, 4)
+	if got := hashFields(fields...); got != choleskyRefHash {
+		t.Errorf("cholesky reference digest changed:\n got %s\nwant %s", got, choleskyRefHash)
+	}
+	checkMoments(t, fields, choleskyRefCfg)
+}
+
+// checkMoments asserts the sample moments and spatial correlation a field
+// batch must carry regardless of which sampler implementation produced it.
+func checkMoments(t *testing.T, fields []*Field, cfg Config) {
+	t.Helper()
+	var sum, sumSq float64
+	n := 0
+	for _, f := range fields {
+		for _, v := range f.Data {
+			sum += v
+			sumSq += v * v
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumSq/float64(n) - mean*mean)
+	// Few fields of a strongly correlated process: generous tolerances.
+	if math.Abs(mean) > cfg.Sigma {
+		t.Errorf("batch mean %v too far from 0 (sigma %v)", mean, cfg.Sigma)
+	}
+	if sd < 0.3*cfg.Sigma || sd > 2.5*cfg.Sigma {
+		t.Errorf("batch sd %v vs configured sigma %v", sd, cfg.Sigma)
+	}
+	rng, err := EstimateCorrelationRange(fields, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rng <= 0.05 {
+		t.Errorf("estimated correlation range %v; want clearly positive for phi=%v", rng, cfg.Phi)
+	}
+}
+
+// TestSamplersIndependentOfSharedState draws from two samplers of the same
+// Config interleaved and checks each stream matches a fresh isolated
+// sampler: shared spectral decompositions must never leak per-sampler
+// state (spare fields, scratch) across instances.
+func TestSamplersIndependentOfSharedState(t *testing.T) {
+	mk := func() Sampler {
+		s, err := NewCirculantSampler(circulantRefCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	rngA, rngB := stats.NewRNG(7), stats.NewRNG(8)
+	var gotA, gotB []*Field
+	for i := 0; i < 3; i++ {
+		fa, err := a.Sample(rngA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := b.Sample(rngB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotA, gotB = append(gotA, fa), append(gotB, fb)
+	}
+	wantA := sampleN(t, mk(), 7, 3)
+	wantB := sampleN(t, mk(), 8, 3)
+	if hashFields(gotA...) != hashFields(wantA...) {
+		t.Error("interleaved sampler A differs from isolated reference")
+	}
+	if hashFields(gotB...) != hashFields(wantB...) {
+		t.Error("interleaved sampler B differs from isolated reference")
+	}
+}

@@ -51,38 +51,63 @@ func Factor(a []float64, n int) (*LU, error) {
 			perm[col], perm[pivot] = perm[pivot], perm[col]
 		}
 		inv := 1 / lu[col*n+col]
+		pivRow := lu[col*n+col+1 : (col+1)*n]
 		for r := col + 1; r < n; r++ {
-			f := lu[r*n+col] * inv
-			lu[r*n+col] = f
-			for c := col + 1; c < n; c++ {
-				lu[r*n+c] -= f * lu[col*n+c]
+			rowR := lu[r*n : (r+1)*n : (r+1)*n]
+			f := rowR[col] * inv
+			rowR[col] = f
+			tail := rowR[col+1:]
+			for k, pv := range pivRow {
+				tail[k] -= f * pv
 			}
 		}
 	}
 	return &LU{n: n, lu: lu, perm: perm}, nil
 }
 
-// Solve returns x with A x = b. b is not modified.
-func (f *LU) Solve(b []float64) ([]float64, error) {
+// SolveInto solves A x = b into the caller-provided x, so repeated solves
+// (the thermal fixed point, the transient stepper) can run without
+// allocating. b is not modified. x must not alias b: forward substitution
+// reads b under the row permutation after earlier entries of x are
+// written.
+func (f *LU) SolveInto(x, b []float64) error {
 	if len(b) != f.n {
-		return nil, fmt.Errorf("linsolve: rhs has %d elements, want %d", len(b), f.n)
+		return fmt.Errorf("linsolve: rhs has %d elements, want %d", len(b), f.n)
 	}
-	x := make([]float64, f.n)
-	// Apply permutation and forward-substitute L (unit diagonal).
-	for i := 0; i < f.n; i++ {
+	if len(x) != f.n {
+		return fmt.Errorf("linsolve: solution buffer has %d elements, want %d", len(x), f.n)
+	}
+	n := f.n
+	// Apply permutation and forward-substitute L (unit diagonal). Slicing
+	// x to the row length lets the compiler drop the inner bounds checks.
+	for i := 0; i < n; i++ {
 		s := b[f.perm[i]]
-		for j := 0; j < i; j++ {
-			s -= f.lu[i*f.n+j] * x[j]
+		row := f.lu[i*n : i*n+i]
+		xs := x[:len(row)]
+		for j, v := range row {
+			s -= v * xs[j]
 		}
 		x[i] = s
 	}
 	// Back-substitute U.
-	for i := f.n - 1; i >= 0; i-- {
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu[i*n+i : (i+1)*n]
+		tail := row[1:]
+		xt := x[i+1:][:len(tail)]
 		s := x[i]
-		for j := i + 1; j < f.n; j++ {
-			s -= f.lu[i*f.n+j] * x[j]
+		for j, v := range tail {
+			s -= v * xt[j]
 		}
-		x[i] = s / f.lu[i*f.n+i]
+		x[i] = s / row[0]
+	}
+	return nil
+}
+
+// Solve returns x with A x = b. b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, f.n)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
 	}
 	return x, nil
 }

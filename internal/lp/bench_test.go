@@ -1,0 +1,77 @@
+package lp
+
+import (
+	"testing"
+
+	"vasched/internal/stats"
+)
+
+// linoptShapedProblem builds a problem with the exact structure LinOpt
+// emits every DVFS interval for n active cores: one chip-budget row, a
+// per-core power cap, and per-core voltage bounds (GE lower, LE upper).
+func linoptShapedProblem(rng *stats.RNG, n int) *Problem {
+	obj := make([]float64, n)
+	budget := make([]float64, n)
+	p := &Problem{Objective: obj}
+	for c := 0; c < n; c++ {
+		obj[c] = 1 + rng.Float64()*4      // throughput per volt
+		budget[c] = 10 + rng.Float64()*20 // watts per volt
+	}
+	p.Constraints = append(p.Constraints, Constraint{
+		Coeffs: budget, Rel: LE, RHS: 0.85 * float64(n) * 18,
+	})
+	for c := 0; c < n; c++ {
+		capRow := make([]float64, n)
+		capRow[c] = budget[c]
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: capRow, Rel: LE, RHS: 25})
+		lo := make([]float64, n)
+		lo[c] = 1
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: lo, Rel: GE, RHS: 0.6 + rng.Float64()*0.1})
+		hi := make([]float64, n)
+		hi[c] = 1
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: hi, Rel: LE, RHS: 1.0})
+	}
+	return p
+}
+
+// BenchmarkSolveCold solves a fresh 20-core LinOpt-shaped LP from scratch
+// every iteration — the paper's Figure 15 work item.
+func BenchmarkSolveCold(b *testing.B) {
+	p := linoptShapedProblem(stats.NewRNG(11), 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveWarm re-solves a slowly drifting sequence of 20-core
+// problems through one Solver, which warm-starts each solve from the
+// previous interval's optimal basis and reuses tableau storage. The drift
+// models consecutive DVFS intervals: same structure, slightly different
+// coefficients.
+func BenchmarkSolveWarm(b *testing.B) {
+	rng := stats.NewRNG(11)
+	probs := make([]*Problem, 16)
+	base := linoptShapedProblem(rng, 20)
+	for i := range probs {
+		p := &Problem{Objective: append([]float64(nil), base.Objective...)}
+		for _, c := range base.Constraints {
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: append([]float64(nil), c.Coeffs...), Rel: c.Rel,
+				RHS: c.RHS * (1 + 0.02*rng.Float64()),
+			})
+		}
+		probs[i] = p
+	}
+	s := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(probs[i%len(probs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeProblem builds a small LP from fuzz bytes: data[0] picks the
+// variable count (1..3), data[1] the constraint count (1..5), and each
+// following byte decodes one quantised coefficient in [-4, 3.96875]
+// (int8/32), which keeps the arithmetic well away from float noise. It
+// returns nil when data is too short.
+func decodeProblem(data []byte) *Problem {
+	if len(data) < 2 {
+		return nil
+	}
+	n := int(data[0])%3 + 1
+	m := int(data[1])%5 + 1
+	need := 2 + n + m*(n+2)
+	if len(data) < need {
+		return nil
+	}
+	at := 2
+	val := func() float64 {
+		v := float64(int8(data[at])) / 32
+		at++
+		return v
+	}
+	p := &Problem{Objective: make([]float64, n)}
+	for j := range p.Objective {
+		p.Objective[j] = val()
+	}
+	for i := 0; i < m; i++ {
+		c := Constraint{Coeffs: make([]float64, n)}
+		for j := range c.Coeffs {
+			c.Coeffs[j] = val()
+		}
+		c.Rel = Relation(int(data[at]) % 3)
+		at++
+		c.RHS = val()
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}
+
+// satisfies reports whether x respects constraint c within tol.
+func satisfies(c Constraint, x []float64, tol float64) bool {
+	s := 0.0
+	for j, a := range c.Coeffs {
+		s += a * x[j]
+	}
+	switch c.Rel {
+	case LE:
+		return s <= c.RHS+tol
+	case GE:
+		return s >= c.RHS-tol
+	default:
+		return math.Abs(s-c.RHS) <= tol
+	}
+}
+
+// bruteForceBest enumerates every basic point of the polyhedron
+// {constraints, x >= 0}: each choice of n hyperplanes from the m
+// constraint boundaries plus the n axes yields a candidate vertex via
+// Gaussian elimination. It returns the best feasible objective and
+// whether any feasible vertex exists. For a pointed nonempty feasible
+// region (x >= 0 guarantees pointedness) the LP optimum, when bounded,
+// is attained at one of these points.
+func bruteForceBest(p *Problem) (best float64, feasible bool) {
+	n := len(p.Objective)
+	m := len(p.Constraints)
+	total := m + n
+	idx := make([]int, n)
+	best = math.Inf(-1)
+
+	var recurse func(pos, from int)
+	recurse = func(pos, from int) {
+		if pos == n {
+			x, ok := vertexOf(p, idx)
+			if !ok {
+				return
+			}
+			for j := 0; j < n; j++ {
+				if x[j] < -1e-7 {
+					return
+				}
+			}
+			for _, c := range p.Constraints {
+				if !satisfies(c, x, 1e-7) {
+					return
+				}
+			}
+			feasible = true
+			obj := 0.0
+			for j, cj := range p.Objective {
+				obj += cj * x[j]
+			}
+			if obj > best {
+				best = obj
+			}
+			return
+		}
+		for k := from; k < total; k++ {
+			idx[pos] = k
+			recurse(pos+1, k+1)
+		}
+	}
+	recurse(0, 0)
+	return best, feasible
+}
+
+// vertexOf solves the n x n system given by the chosen tight hyperplanes
+// (constraint k < m means constraint k at equality; k >= m means
+// x_{k-m} = 0). Returns ok=false for (near-)singular systems.
+func vertexOf(p *Problem, idx []int) ([]float64, bool) {
+	n := len(p.Objective)
+	m := len(p.Constraints)
+	a := make([]float64, n*n)
+	b := make([]float64, n)
+	for r, k := range idx {
+		if k < m {
+			copy(a[r*n:(r+1)*n], p.Constraints[k].Coeffs)
+			b[r] = p.Constraints[k].RHS
+		} else {
+			a[r*n+(k-m)] = 1
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r*n+col]) > math.Abs(a[piv*n+col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv*n+col]) < 1e-9 {
+			return nil, false
+		}
+		if piv != col {
+			for c := 0; c < n; c++ {
+				a[col*n+c], a[piv*n+c] = a[piv*n+c], a[col*n+c]
+			}
+			b[col], b[piv] = b[piv], b[col]
+		}
+		inv := 1 / a[col*n+col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r*n+c] -= f * a[col*n+c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = b[j] / a[j*n+j]
+	}
+	return x, true
+}
+
+// FuzzSolve cross-checks the simplex against exhaustive vertex
+// enumeration on random small LPs: a returned solution must be feasible
+// and match the best vertex objective; ErrInfeasible must mean no
+// feasible vertex exists; and a warm-started re-solve of the same problem
+// must agree with the cold result.
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{0, 0, 32, 32, 16, 16, 0, 40})           // max x+y st x+y/2 <= 1.25
+	f.Add([]byte{1, 1, 32, 16, 32, 32, 1, 40, 16, 0, 2, 8}) // a GE and an EQ row
+	f.Add([]byte{2, 4, 32, 16, 8, 32, 32, 32, 0, 96, 32, 0, 0, 1, 8, 0, 32, 0, 1, 8, 0, 0, 32, 1, 8, 16, 16, 16, 0, 64})
+	f.Add([]byte{0, 2, 248, 32, 1, 16, 16, 2, 8, 224, 0, 40})
+	f.Add([]byte{0, 0, 32, 224, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeProblem(data)
+		if p == nil {
+			return
+		}
+		sol, err := Solve(p)
+		want, anyVertex := bruteForceBest(p)
+		switch {
+		case err == nil:
+			for i, c := range p.Constraints {
+				if !satisfies(c, sol.X, 1e-6) {
+					t.Fatalf("solution violates constraint %d: x=%v, %+v", i, sol.X, c)
+				}
+			}
+			for j, xj := range sol.X {
+				if xj < -1e-9 {
+					t.Fatalf("negative x[%d] = %v", j, xj)
+				}
+			}
+			if !anyVertex {
+				t.Fatalf("simplex found %v but vertex enumeration says infeasible", sol.X)
+			}
+			if math.Abs(sol.Objective-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("objective %v != brute-force best %v (x=%v)", sol.Objective, want, sol.X)
+			}
+			// A warm re-solve of the identical problem must agree.
+			s := NewSolver()
+			if _, err := s.Solve(p); err != nil {
+				t.Fatalf("first solver pass: %v", err)
+			}
+			again, err := s.Solve(p)
+			if err != nil {
+				t.Fatalf("warm re-solve: %v", err)
+			}
+			if math.Abs(again.Objective-sol.Objective) > 1e-9*(1+math.Abs(sol.Objective)) {
+				t.Fatalf("warm re-solve objective %v != %v", again.Objective, sol.Objective)
+			}
+		case err == ErrInfeasible:
+			if anyVertex {
+				t.Fatalf("simplex says infeasible but a feasible vertex exists (best %v)", want)
+			}
+		case err == ErrUnbounded:
+			// The brute-force bound is a lower bound only; nothing to check
+			// beyond phase 1 having succeeded, which ErrUnbounded implies.
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	})
+}

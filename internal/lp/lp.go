@@ -79,8 +79,198 @@ type Solution struct {
 const eps = 1e-9
 
 // Solve runs two-phase Simplex on p. It returns ErrInfeasible or
-// ErrUnbounded for the corresponding outcomes.
+// ErrUnbounded for the corresponding outcomes. Each call solves from
+// scratch; callers that solve a sequence of similar problems (LinOpt's
+// per-interval re-solve) should hold a Solver for warm starts.
 func Solve(p *Problem) (*Solution, error) {
+	var s Solver
+	return s.Solve(p)
+}
+
+// Solver runs Solve with reusable tableau storage and, when consecutive
+// problems share a shape (same variable count and normalised constraint
+// relations), a warm start: the previous optimal basis is re-established
+// on the new tableau and, if still primal feasible, phase 1 is skipped
+// entirely. Any warm-start failure falls back to the cold two-phase path,
+// so results match Solve up to floating-point pivot order. A Solver must
+// not be used concurrently.
+type Solver struct {
+	// Normalised problem rows (reused across calls).
+	rowsA []float64 // m×n coefficients, sign-normalised
+	rels  []Relation
+	bvals []float64
+	// Tableau storage (reused across calls).
+	t         []float64
+	basis     []int
+	slackCol  []int
+	slackSign []float64
+	objBuf    []float64
+	zBuf      []float64
+	claimed   []bool
+	// Warm-start state: the optimal basis of the previous solve and the
+	// shape it belongs to.
+	prevBasis []int
+	prevN     int
+	prevRels  []Relation
+	// WarmAttempts and WarmHits count solves that could try a warm start
+	// and those where it succeeded (phase 1 skipped).
+	WarmAttempts, WarmHits int
+}
+
+// NewSolver returns an empty Solver. The zero value is also ready to use.
+func NewSolver() *Solver { return &Solver{} }
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// fillTableau (re)builds the initial tableau, basis, and dual bookkeeping
+// from the normalised rows. It is called again to restart cold when a
+// warm-start attempt has already pivoted the tableau.
+func (s *Solver) fillTableau(n, m, nSlack, total, width int) {
+	clear(s.t)
+	slackAt, artAt := n, n+nSlack
+	for i := 0; i < m; i++ {
+		copy(s.t[i*width:], s.rowsA[i*n:(i+1)*n])
+		s.t[i*width+total] = s.bvals[i]
+		switch s.rels[i] {
+		case LE:
+			s.t[i*width+slackAt] = 1
+			s.basis[i] = slackAt
+			s.slackCol[i], s.slackSign[i] = slackAt, 1
+			slackAt++
+		case GE:
+			s.t[i*width+slackAt] = -1
+			s.slackCol[i], s.slackSign[i] = slackAt, -1
+			slackAt++
+			s.t[i*width+artAt] = 1
+			s.basis[i] = artAt
+			artAt++
+		case EQ:
+			s.t[i*width+artAt] = 1
+			s.basis[i] = artAt
+			s.slackCol[i], s.slackSign[i] = 0, 0
+			artAt++
+		}
+	}
+}
+
+// tryWarm re-establishes the previous optimal basis on the fresh tableau.
+// The saved basis is a column set, not a row assignment: a column that was
+// basic in row i of the old eliminated tableau can have a zero entry in
+// row i of the fresh one, so pivoting row-by-row fails structurally.
+// Instead each basic column claims the not-yet-claimed row where its
+// current pivot element is largest (a basis "crash" with partial
+// pivoting); earlier-established unit columns are preserved because pivot
+// rows always carry zeros in them.
+//
+// If the re-established basis is primal infeasible (the RHS drifted far
+// enough that an old binding constraint flipped) but still dual feasible
+// for obj — always true when only RHS values changed, since the reduced
+// costs are untouched by B^{-1}b — a few dual-simplex pivots restore
+// primal feasibility far cheaper than a cold phase 1. On any failure the
+// tableau is left corrupted and the caller must rebuild it.
+func (s *Solver) tryWarm(sx *simplex, nStruct, nSlack int, obj []float64) bool {
+	lim := nStruct + nSlack
+	for _, b := range s.prevBasis {
+		if b >= lim {
+			return false // previous solve kept an artificial basic
+		}
+	}
+	const pivTol = 1e-7
+	if cap(s.claimed) < sx.m {
+		s.claimed = make([]bool, sx.m)
+	}
+	claimed := s.claimed[:sx.m]
+	for i := range claimed {
+		claimed[i] = false
+	}
+	for _, target := range s.prevBasis {
+		// A column already basic in some unclaimed row (an initial slack)
+		// needs no pivot; just claim that row.
+		row := -1
+		for i := 0; i < sx.m; i++ {
+			if !claimed[i] && sx.basis[i] == target {
+				row = i
+				break
+			}
+		}
+		if row < 0 {
+			bestAbs := pivTol
+			for i := 0; i < sx.m; i++ {
+				if claimed[i] {
+					continue
+				}
+				if v := math.Abs(sx.t[i*sx.width+target]); v > bestAbs {
+					row, bestAbs = i, v
+				}
+			}
+			if row < 0 {
+				return false // no safe pivot: basis is (near-)singular here
+			}
+			sx.pivot(row, target)
+			sx.iterations++
+		}
+		claimed[row] = true
+	}
+
+	// Dual-simplex cleanup: drive any negative RHS entries out while the
+	// reduced costs stay non-negative.
+	z := sx.reducedCosts(obj)
+	for j := 0; j < lim; j++ {
+		if z[j] < -eps {
+			return false // not dual feasible (objective row changed too much)
+		}
+	}
+	maxDual := 4 * sx.m
+	for iter := 0; ; iter++ {
+		// Leaving row: Bland's rule over the infeasible rows.
+		leave := -1
+		for i := 0; i < sx.m; i++ {
+			if sx.t[i*sx.width+sx.total] < -eps && (leave < 0 || sx.basis[i] < sx.basis[leave]) {
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return true // primal feasible: phase 2 can start here
+		}
+		if iter >= maxDual {
+			return false
+		}
+		// Entering column: minimum dual ratio keeps the reduced costs
+		// non-negative; ascending scan keeps the smallest index on ties.
+		enter := -1
+		best := math.Inf(1)
+		for j := 0; j < lim; j++ {
+			a := sx.t[leave*sx.width+j]
+			if a >= -eps {
+				continue
+			}
+			if ratio := z[j] / -a; ratio < best-eps {
+				best, enter = ratio, j
+			}
+		}
+		if enter < 0 {
+			return false // row is unsatisfiable: let the cold path report it
+		}
+		sx.pivot(leave, enter)
+		sx.iterations++
+		z = sx.reducedCosts(obj)
+	}
+}
+
+// Solve solves p, warm-starting from the previous call when possible.
+func (s *Solver) Solve(p *Problem) (*Solution, error) {
 	n := len(p.Objective)
 	if n == 0 {
 		return nil, errors.New("lp: empty objective")
@@ -94,14 +284,15 @@ func Solve(p *Problem) (*Solution, error) {
 
 	// Normalise rows to non-negative RHS so slack/artificial bookkeeping
 	// is uniform.
-	type row struct {
-		a   []float64
-		rel Relation
-		b   float64
+	s.rowsA = growF(s.rowsA, m*n)
+	s.bvals = growF(s.bvals, m)
+	if cap(s.rels) < m {
+		s.rels = make([]Relation, m)
 	}
-	rows := make([]row, m)
+	s.rels = s.rels[:m]
 	for i, c := range p.Constraints {
-		a := append([]float64(nil), c.Coeffs...)
+		a := s.rowsA[i*n : (i+1)*n]
+		copy(a, c.Coeffs)
 		b := c.RHS
 		rel := c.Rel
 		if b < 0 {
@@ -116,13 +307,14 @@ func Solve(p *Problem) (*Solution, error) {
 				rel = LE
 			}
 		}
-		rows[i] = row{a: a, rel: rel, b: b}
+		s.rels[i] = rel
+		s.bvals[i] = b
 	}
 
 	// Column layout: [structural n] [slack/surplus s] [artificial r] [rhs].
 	nSlack, nArt := 0, 0
-	for _, r := range rows {
-		switch r.rel {
+	for _, rel := range s.rels {
+		switch rel {
 		case LE:
 			nSlack++
 		case GE:
@@ -134,89 +326,99 @@ func Solve(p *Problem) (*Solution, error) {
 	}
 	total := n + nSlack + nArt
 	width := total + 1
-	t := make([]float64, m*width)
-	basis := make([]int, m)
-	// slackCol[i] is constraint i's slack/surplus column (with its sign),
-	// used to read shadow prices at the optimum; 0 for == constraints.
-	slackCol := make([]int, m)
-	slackSign := make([]float64, m)
-	slackAt, artAt := n, n+nSlack
-	for i, r := range rows {
-		copy(t[i*width:], r.a)
-		t[i*width+total] = r.b
-		switch r.rel {
-		case LE:
-			t[i*width+slackAt] = 1
-			basis[i] = slackAt
-			slackCol[i], slackSign[i] = slackAt, 1
-			slackAt++
-		case GE:
-			t[i*width+slackAt] = -1
-			slackCol[i], slackSign[i] = slackAt, -1
-			slackAt++
-			t[i*width+artAt] = 1
-			basis[i] = artAt
-			artAt++
-		case EQ:
-			t[i*width+artAt] = 1
-			basis[i] = artAt
-			artAt++
+	s.t = growF(s.t, m*width)
+	s.basis = growI(s.basis, m)
+	s.slackCol = growI(s.slackCol, m)
+	s.slackSign = growF(s.slackSign, m)
+	s.fillTableau(n, m, nSlack, total, width)
+
+	s.zBuf = growF(s.zBuf, total+1)
+	sx := &simplex{t: s.t, m: m, width: width, total: total, basis: s.basis, z: s.zBuf}
+
+	warmable := s.prevBasis != nil && s.prevN == n && len(s.prevRels) == m
+	for i := 0; warmable && i < m; i++ {
+		warmable = s.prevRels[i] == s.rels[i]
+	}
+
+	s.objBuf = growF(s.objBuf, total)
+	warm := false
+	var val float64
+	var err error
+	if warmable {
+		s.WarmAttempts++
+		obj := s.objBuf
+		clear(obj)
+		copy(obj, p.Objective)
+		if s.tryWarm(sx, n, nSlack, obj) {
+			sx.limit = n + nSlack
+			val, err = sx.optimize(obj, sx.limit)
+			if err == nil {
+				warm = true
+				s.WarmHits++
+			}
+		}
+		if !warm {
+			// The attempt pivoted the tableau; rebuild and solve cold.
+			s.fillTableau(n, m, nSlack, total, width)
+			sx.iterations = 0
 		}
 	}
 
-	s := &simplex{t: t, m: m, width: width, total: total, basis: basis}
-
-	// Phase 1: maximize -(sum of artificials).
-	if nArt > 0 {
-		obj := make([]float64, total)
-		for j := n + nSlack; j < total; j++ {
-			obj[j] = -1
+	if !warm {
+		// Phase 1: maximize -(sum of artificials).
+		if nArt > 0 {
+			obj := s.objBuf
+			clear(obj)
+			for j := n + nSlack; j < total; j++ {
+				obj[j] = -1
+			}
+			val1, err := sx.optimize(obj, total)
+			if err != nil {
+				return nil, err
+			}
+			if val1 < -1e-7 {
+				return nil, ErrInfeasible
+			}
+			// Pivot any artificial still (degenerately) in the basis out.
+			for i := 0; i < m; i++ {
+				if sx.basis[i] < n+nSlack {
+					continue
+				}
+				pivoted := false
+				for j := 0; j < n+nSlack; j++ {
+					if math.Abs(sx.t[i*width+j]) > eps {
+						sx.pivot(i, j)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					// Redundant row: zero it so it cannot constrain phase 2.
+					for j := 0; j <= total; j++ {
+						sx.t[i*width+j] = 0
+					}
+				}
+			}
+			// Forbid artificial columns in phase 2.
+			sx.limit = n + nSlack
+		} else {
+			sx.limit = total
 		}
-		val, err := s.optimize(obj, total)
+
+		// Phase 2: the real objective (padded with zeros for slack columns).
+		obj := s.objBuf
+		clear(obj)
+		copy(obj, p.Objective)
+		val, err = sx.optimize(obj, sx.limit)
 		if err != nil {
 			return nil, err
 		}
-		if val < -1e-7 {
-			return nil, ErrInfeasible
-		}
-		// Pivot any artificial still (degenerately) in the basis out.
-		for i := 0; i < m; i++ {
-			if s.basis[i] < n+nSlack {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < n+nSlack; j++ {
-				if math.Abs(s.t[i*width+j]) > eps {
-					s.pivot(i, j)
-					pivoted = true
-					break
-				}
-			}
-			if !pivoted {
-				// Redundant row: zero it so it cannot constrain phase 2.
-				for j := 0; j <= total; j++ {
-					s.t[i*width+j] = 0
-				}
-			}
-		}
-		// Forbid artificial columns in phase 2.
-		s.limit = n + nSlack
-	} else {
-		s.limit = total
-	}
-
-	// Phase 2: the real objective (padded with zeros for slack columns).
-	obj := make([]float64, total)
-	copy(obj, p.Objective)
-	val, err := s.optimize(obj, s.limit)
-	if err != nil {
-		return nil, err
 	}
 
 	x := make([]float64, n)
-	for i, b := range s.basis {
+	for i, b := range sx.basis {
 		if b < n {
-			x[b] = s.t[i*width+total]
+			x[b] = sx.t[i*width+total]
 		}
 	}
 	// Shadow prices: for a maximisation in this tableau convention, the
@@ -225,13 +427,13 @@ func Solve(p *Problem) (*Solution, error) {
 	// negated dual. The original constraint orientation must be restored
 	// for rows that were sign-flipped during RHS normalisation.
 	duals := make([]float64, m)
-	zRow := s.finalZ(p.Objective)
-	for i := range rows {
-		if slackSign[i] == 0 {
+	zRow := sx.finalZ(p.Objective)
+	for i := 0; i < m; i++ {
+		if s.slackSign[i] == 0 {
 			duals[i] = math.NaN()
 			continue
 		}
-		d := slackSign[i] * zRow[slackCol[i]]
+		d := s.slackSign[i] * zRow[s.slackCol[i]]
 		if p.Constraints[i].RHS < 0 {
 			// The row was multiplied by -1 during normalisation; undo the
 			// orientation change for the caller's view.
@@ -239,7 +441,14 @@ func Solve(p *Problem) (*Solution, error) {
 		}
 		duals[i] = d
 	}
-	return &Solution{X: x, Objective: val, Iterations: s.iterations, Duals: duals}, nil
+
+	// Remember this optimum's basis (and the shape it belongs to) for the
+	// next call's warm start.
+	s.prevBasis = append(s.prevBasis[:0], sx.basis...)
+	s.prevN = n
+	s.prevRels = append(s.prevRels[:0], s.rels...)
+
+	return &Solution{X: x, Objective: val, Iterations: sx.iterations, Duals: duals}, nil
 }
 
 // finalZ recomputes the reduced-cost row for the given objective at the
@@ -272,6 +481,7 @@ type simplex struct {
 	limit      int // columns eligible to enter the basis
 	basis      []int
 	iterations int
+	z          []float64 // optional reusable reduced-cost row (total+1)
 }
 
 // optimize maximises obj over the current tableau, allowing the first
@@ -280,25 +490,8 @@ type simplex struct {
 func (s *simplex) optimize(obj []float64, limit int) (float64, error) {
 	// Reduced costs: z_j - c_j computed against the current basis.
 	// We maintain them directly as a working row.
-	z := make([]float64, s.total+1)
-	recompute := func() {
-		for j := 0; j <= s.total; j++ {
-			z[j] = 0
-		}
-		for j := 0; j < s.total; j++ {
-			z[j] = -objAt(obj, j)
-		}
-		for i, b := range s.basis {
-			cb := objAt(obj, b)
-			if cb == 0 {
-				continue
-			}
-			for j := 0; j <= s.total; j++ {
-				z[j] += cb * s.t[i*s.width+j]
-			}
-		}
-	}
-	recompute()
+	z := s.reducedCosts(obj)
+	recompute := func() { s.reducedCosts(obj) }
 
 	const maxIter = 10000
 	for iter := 0; iter < maxIter; iter++ {
@@ -337,6 +530,33 @@ func (s *simplex) optimize(obj []float64, limit int) (float64, error) {
 		recompute()
 	}
 	return 0, errors.New("lp: iteration limit exceeded")
+}
+
+// reducedCosts fills the working row s.z with z_j - c_j for the current
+// basis (allocating it only if missing) and returns it. z[total] is the
+// objective value of the current basic solution.
+func (s *simplex) reducedCosts(obj []float64) []float64 {
+	z := s.z
+	if len(z) != s.total+1 {
+		z = make([]float64, s.total+1)
+		s.z = z
+	}
+	for j := 0; j <= s.total; j++ {
+		z[j] = 0
+	}
+	for j := 0; j < s.total; j++ {
+		z[j] = -objAt(obj, j)
+	}
+	for i, b := range s.basis {
+		cb := objAt(obj, b)
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= s.total; j++ {
+			z[j] += cb * s.t[i*s.width+j]
+		}
+	}
+	return z
 }
 
 func objAt(obj []float64, j int) float64 {

@@ -1,0 +1,56 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"vasched/internal/stats"
+)
+
+// TestWarmObjectiveMatchesCold drifts a LinOpt-shaped problem's
+// coefficients and RHS by a few percent per step — the way consecutive
+// DVFS intervals drift — and requires the warm-started Solver to find the
+// same optimum as a cold Solve each time: equal objective value and equal
+// vertex. It also requires the warm path to actually engage on most
+// steps, so a regression that silently falls back to cold solving fails
+// here rather than only in the benchmarks.
+func TestWarmObjectiveMatchesCold(t *testing.T) {
+	rng := stats.NewRNG(5)
+	base := linoptShapedProblem(rng, 12)
+	s := NewSolver()
+	for k := 0; k < 200; k++ {
+		p := &Problem{Objective: append([]float64(nil), base.Objective...)}
+		for i := range p.Objective {
+			p.Objective[i] *= 1 + 0.05*(rng.Float64()-0.5)
+		}
+		for _, c := range base.Constraints {
+			co := append([]float64(nil), c.Coeffs...)
+			for i := range co {
+				co[i] *= 1 + 0.05*(rng.Float64()-0.5)
+			}
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: co, Rel: c.Rel, RHS: c.RHS * (1 + 0.05*(rng.Float64()-0.5)),
+			})
+		}
+		cold, err1 := Solve(p)
+		warm, err2 := s.Solve(p)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("k=%d: error mismatch: cold %v, warm %v", k, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if d := math.Abs(cold.Objective - warm.Objective); d > 1e-9 {
+			t.Fatalf("k=%d: warm objective %v differs from cold %v by %g", k, warm.Objective, cold.Objective, d)
+		}
+		for i := range cold.X {
+			if math.Abs(cold.X[i]-warm.X[i]) > 1e-6 {
+				t.Fatalf("k=%d: warm x[%d]=%v, cold %v", k, i, warm.X[i], cold.X[i])
+			}
+		}
+	}
+	t.Logf("warm attempts=%d hits=%d", s.WarmAttempts, s.WarmHits)
+	if s.WarmHits < s.WarmAttempts/2 {
+		t.Fatalf("warm start engaged on only %d of %d attempts", s.WarmHits, s.WarmAttempts)
+	}
+}

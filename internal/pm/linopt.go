@@ -43,8 +43,52 @@ func NewLinOpt() LinOpt { return LinOpt{FitPoints: 3} }
 // Name implements Manager.
 func (LinOpt) Name() string { return NameLinOpt }
 
-// Decide implements Manager.
-func (m LinOpt) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
+// Decide implements Manager. Each call solves the LP from scratch; use
+// NewSession when running many consecutive intervals so the simplex can
+// warm-start from the previous optimum.
+func (m LinOpt) Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error) {
+	return m.decide(p, b, nil)
+}
+
+// NewSession implements SessionManager: the returned manager decides
+// identically but reuses one lp.Solver across intervals, warm-starting
+// each interval's simplex from the previous optimal basis.
+//
+// Only the throughput LP warm-starts. The ObjMinSpeed epigraph LP
+// maximises the single variable z with zero weight on every voltage, so
+// its optimal face is fat — many (v, z) vertices share the optimal z —
+// and a warm path may legitimately stop at a different vertex than the
+// cold path, changing the quantised levels. To keep sessions decision-
+// identical to the stateless manager, that LP always solves cold.
+func (m LinOpt) NewSession() Manager {
+	if m.Objective == ObjMinSpeed {
+		return &linOptSession{m: m}
+	}
+	return &linOptSession{m: m, solver: lp.NewSolver()}
+}
+
+// linOptSession is a per-run LinOpt with simplex warm-start state. Not
+// safe for concurrent use; each run gets its own.
+type linOptSession struct {
+	m      LinOpt
+	solver *lp.Solver
+}
+
+func (s *linOptSession) Name() string { return s.m.Name() }
+
+func (s *linOptSession) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
+	return s.m.decide(p, b, s.solver)
+}
+
+// solveWith dispatches to the session solver when one is present.
+func solveWith(s *lp.Solver, prob *lp.Problem) (*lp.Solution, error) {
+	if s == nil {
+		return lp.Solve(prob)
+	}
+	return s.Solve(prob)
+}
+
+func (m LinOpt) decide(p Platform, b Budget, solver *lp.Solver) ([]int, error) {
 	if err := validatePlatform(p); err != nil {
 		return nil, err
 	}
@@ -137,10 +181,10 @@ func (m LinOpt) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
 		for c := 0; c < n; c++ {
 			aCoef[c] *= minSpeedWeight(p, c)
 		}
-		return m.decideMinSpeed(p, b, aCoef, bCoef, cCoef, vmin, minLev, vmax)
+		return m.decideMinSpeed(p, b, aCoef, bCoef, cCoef, vmin, minLev, vmax, solver)
 	}
 
-	sol, err := lp.Solve(prob)
+	sol, err := solveWith(solver, prob)
 	if errors.Is(err, lp.ErrInfeasible) {
 		// Budget below the chip's floor: park at the minimum point.
 		return append([]int(nil), minLev...), nil
@@ -280,7 +324,7 @@ func trim(p Platform, b Budget, levels, minLev []int, aCoef []float64) {
 // decideMinSpeed solves the max-min LP: maximize z subject to
 // z <= a_i*v_i, the chip and per-core power constraints, and the voltage
 // bounds. aCoef here carries the min-speed weights.
-func (m LinOpt) decideMinSpeed(p Platform, b Budget, aCoef, bCoef, cCoef, vmin []float64, minLev []int, vmax float64) ([]int, error) {
+func (m LinOpt) decideMinSpeed(p Platform, b Budget, aCoef, bCoef, cCoef, vmin []float64, minLev []int, vmax float64, solver *lp.Solver) ([]int, error) {
 	n := p.NumCores()
 	nv := n + 1 // v_1..v_n, z
 	obj := make([]float64, nv)
@@ -313,7 +357,7 @@ func (m LinOpt) decideMinSpeed(p Platform, b Budget, aCoef, bCoef, cCoef, vmin [
 		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: hiRow, Rel: lp.LE, RHS: vmax})
 	}
 
-	sol, err := lp.Solve(prob)
+	sol, err := solveWith(solver, prob)
 	if errors.Is(err, lp.ErrInfeasible) {
 		return append([]int(nil), minLev...), nil
 	}

@@ -110,6 +110,19 @@ type Manager interface {
 	Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error)
 }
 
+// SessionManager is implemented by managers that can carry mutable state
+// (solver warm starts, caches) across the consecutive Decide calls of one
+// simulation run. NewSession returns a fresh Manager holding that state,
+// so a single configured manager value can be shared by concurrent runs
+// (the die farm fans one Config out across workers) while each run's
+// session stays single-threaded. Sessions must decide identically to the
+// stateless manager.
+type SessionManager interface {
+	Manager
+	// NewSession returns a Manager private to one run.
+	NewSession() Manager
+}
+
 // Algorithm names used across the experiment harness.
 const (
 	NameFoxton     = "Foxton*"

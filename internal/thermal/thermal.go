@@ -103,18 +103,17 @@ func New(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
 // Config returns the model's calibration.
 func (m *Model) Config() Config { return m.cfg }
 
-// Solve returns the steady-state block temperatures in Celsius for the
-// given per-block power in watts.
-func (m *Model) Solve(powerW []float64) ([]float64, error) {
+// SolveInto computes the steady-state block temperatures in Celsius for
+// the given per-block power in watts into the caller-provided dst, which
+// must not alias powerW. It is the zero-allocation form of Solve.
+func (m *Model) SolveInto(dst, powerW []float64) error {
 	if len(powerW) != m.n {
-		return nil, fmt.Errorf("thermal: power vector has %d entries, want %d", len(powerW), m.n)
+		return fmt.Errorf("thermal: power vector has %d entries, want %d", len(powerW), m.n)
 	}
-	dT, err := m.lu.Solve(powerW)
-	if err != nil {
-		return nil, err
+	if err := m.lu.SolveInto(dst, powerW); err != nil {
+		return err
 	}
-	t := make([]float64, m.n)
-	for i, d := range dT {
+	for i, d := range dst {
 		tc := m.cfg.AmbientC + d
 		if tc > m.cfg.MaxTempC {
 			tc = m.cfg.MaxTempC
@@ -122,7 +121,17 @@ func (m *Model) Solve(powerW []float64) ([]float64, error) {
 		if tc < m.cfg.AmbientC {
 			tc = m.cfg.AmbientC
 		}
-		t[i] = tc
+		dst[i] = tc
+	}
+	return nil
+}
+
+// Solve returns the steady-state block temperatures in Celsius for the
+// given per-block power in watts.
+func (m *Model) Solve(powerW []float64) ([]float64, error) {
+	t := make([]float64, m.n)
+	if err := m.SolveInto(t, powerW); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -136,6 +145,30 @@ func (m *Model) Solve(powerW []float64) ([]float64, error) {
 // It returns the converged temperatures, the per-block leakage at those
 // temperatures, and the number of iterations used.
 func (m *Model) FixedPoint(dynPowerW []float64, leakage func(tempsC []float64) []float64, tolC float64, maxIter int) ([]float64, []float64, int, error) {
+	return m.FixedPointWith(nil, dynPowerW, leakage, tolC, maxIter)
+}
+
+// FixedPointScratch holds the iteration buffers of FixedPointWith so the
+// inner DVFS loop can run the leakage fixed point without allocating. A
+// scratch must not be used by two fixed points concurrently.
+type FixedPointScratch struct {
+	temps, total, next []float64
+}
+
+// NewFixedPointScratch returns a scratch sized for m.
+func (m *Model) NewFixedPointScratch() *FixedPointScratch {
+	return &FixedPointScratch{
+		temps: make([]float64, m.n),
+		total: make([]float64, m.n),
+		next:  make([]float64, m.n),
+	}
+}
+
+// FixedPointWith is FixedPoint with caller-provided scratch. The returned
+// temperature slice aliases sc.temps and is only valid until the scratch's
+// next use; callers that retain it must copy. A nil sc allocates fresh
+// buffers, making it equivalent to FixedPoint.
+func (m *Model) FixedPointWith(sc *FixedPointScratch, dynPowerW []float64, leakage func(tempsC []float64) []float64, tolC float64, maxIter int) ([]float64, []float64, int, error) {
 	if len(dynPowerW) != m.n {
 		return nil, nil, 0, fmt.Errorf("thermal: power vector has %d entries, want %d", len(dynPowerW), m.n)
 	}
@@ -145,11 +178,13 @@ func (m *Model) FixedPoint(dynPowerW []float64, leakage func(tempsC []float64) [
 	if maxIter <= 0 {
 		maxIter = 50
 	}
-	temps := make([]float64, m.n)
+	if sc == nil {
+		sc = m.NewFixedPointScratch()
+	}
+	temps, total, next := sc.temps, sc.total, sc.next
 	for i := range temps {
 		temps[i] = m.cfg.AmbientC + 20 // warm start
 	}
-	total := make([]float64, m.n)
 	var leak []float64
 	const damping = 0.7
 	for iter := 1; iter <= maxIter; iter++ {
@@ -160,8 +195,7 @@ func (m *Model) FixedPoint(dynPowerW []float64, leakage func(tempsC []float64) [
 		for i := range total {
 			total[i] = dynPowerW[i] + leak[i]
 		}
-		next, err := m.Solve(total)
-		if err != nil {
+		if err := m.SolveInto(next, total); err != nil {
 			return nil, nil, iter, err
 		}
 		worst := 0.0
@@ -274,24 +308,23 @@ func (m *Model) NewTransient(dtMS float64) (*Transient, error) {
 // StepMS returns the stepper's step length in milliseconds.
 func (tr *Transient) StepMS() float64 { return tr.dtSec * 1000 }
 
-// Step advances one time step from prevTempsC under the given per-block
-// power and returns the new block temperatures.
-func (tr *Transient) Step(powerW, prevTempsC []float64) ([]float64, error) {
+// StepInto advances one time step from prevTempsC under the given
+// per-block power, writing the new block temperatures into dst using rhs
+// as scratch. dst and rhs must each be n long and must not alias powerW,
+// prevTempsC, or each other.
+func (tr *Transient) StepInto(dst, rhs, powerW, prevTempsC []float64) error {
 	n := tr.m.n
 	if len(powerW) != n || len(prevTempsC) != n {
-		return nil, fmt.Errorf("thermal: transient step with %d powers / %d temps for %d blocks",
+		return fmt.Errorf("thermal: transient step with %d powers / %d temps for %d blocks",
 			len(powerW), len(prevTempsC), n)
 	}
-	rhs := make([]float64, n)
 	for i := 0; i < n; i++ {
 		rhs[i] = powerW[i] + tr.cOver[i]*(prevTempsC[i]-tr.m.cfg.AmbientC)
 	}
-	dT, err := tr.lu.Solve(rhs)
-	if err != nil {
-		return nil, err
+	if err := tr.lu.SolveInto(dst, rhs); err != nil {
+		return err
 	}
-	out := make([]float64, n)
-	for i, d := range dT {
+	for i, d := range dst {
 		tc := tr.m.cfg.AmbientC + d
 		if tc > tr.m.cfg.MaxTempC {
 			tc = tr.m.cfg.MaxTempC
@@ -299,7 +332,18 @@ func (tr *Transient) Step(powerW, prevTempsC []float64) ([]float64, error) {
 		if tc < tr.m.cfg.AmbientC {
 			tc = tr.m.cfg.AmbientC
 		}
-		out[i] = tc
+		dst[i] = tc
+	}
+	return nil
+}
+
+// Step advances one time step from prevTempsC under the given per-block
+// power and returns the new block temperatures.
+func (tr *Transient) Step(powerW, prevTempsC []float64) ([]float64, error) {
+	out := make([]float64, tr.m.n)
+	rhs := make([]float64, tr.m.n)
+	if err := tr.StepInto(out, rhs, powerW, prevTempsC); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
