@@ -36,21 +36,22 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # ci is the full gate: vet, build, race-enabled tests (includes the
-# golden-file experiment test), the lp fuzz target run for 10s, and a
-# benchmark pass of the hot-path micro-benchmarks compared against the
-# newest committed BENCH_*.json — more than 20% ns/op regression fails.
-# Benchmark baselines are machine-specific: refresh with `make benchsnap`
-# when the reference machine changes.
+# golden-file experiment test), the lp and anneal fuzz targets run for
+# 10s each, and a benchmark pass of the hot-path micro-benchmarks
+# compared against the newest committed BENCH_*.json — more than 20%
+# ns/op regression fails. Benchmark baselines are machine-specific:
+# refresh with `make benchsnap` when the reference machine changes.
 ci: vet build race fuzzseed benchcheck
 
 fuzzseed:
 	$(GO) test -fuzz FuzzSolve -fuzztime 10s ./internal/lp
+	$(GO) test -fuzz FuzzSolve -fuzztime 10s ./internal/anneal
 
 # benchcheck compares the micro-benchmarks (not the multi-second paper
 # artefacts) against the committed baseline without writing a snapshot.
 benchcheck:
 	$(GO) run ./cmd/benchstatus -check -nowrite \
-		-pkgs ./internal/grf,./internal/thermal,./internal/linsolve,./internal/lp,./internal/cpusim,./internal/fft
+		-pkgs ./internal/grf,./internal/thermal,./internal/linsolve,./internal/lp,./internal/pm,./internal/anneal,./internal/cpusim,./internal/fft
 
 # benchsnap records a fresh full-suite snapshot (BENCH_<date>.json).
 benchsnap:

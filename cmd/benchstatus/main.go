@@ -55,7 +55,7 @@ type Snapshot struct {
 
 func main() {
 	var (
-		pkgs      = flag.String("pkgs", "./internal/grf,./internal/thermal,./internal/linsolve,./internal/lp,./internal/cpusim,./internal/fft,.", "comma-separated packages to benchmark")
+		pkgs      = flag.String("pkgs", "./internal/grf,./internal/thermal,./internal/linsolve,./internal/lp,./internal/pm,./internal/anneal,./internal/cpusim,./internal/fft,.", "comma-separated packages to benchmark")
 		bench     = flag.String("bench", ".", "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "0.3s", "value passed to go test -benchtime")
 		out       = flag.String("out", "", "output snapshot path (default BENCH_<date>.json in the repo root)")

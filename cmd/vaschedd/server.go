@@ -182,7 +182,9 @@ func (s *server) run(ctx context.Context, j *job) {
 	s.mu.Unlock()
 
 	res, err := vasched.RunExperimentResult(j.Experiment, j.Scale,
-		vasched.WithWorkers(j.Workers), vasched.WithContext(ctx))
+		vasched.WithWorkers(j.Workers), vasched.WithContext(ctx),
+		vasched.WithDecideHist(s.reg.Histogram(
+			fmt.Sprintf("vaschedd_decide_seconds{experiment=%q}", j.Experiment))))
 	rendered := ""
 	if err == nil {
 		rendered = res.Render()

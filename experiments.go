@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"vasched/internal/experiments"
+	"vasched/internal/metrics"
 )
 
 // Scale selects how much work RunExperiment does.
@@ -28,8 +29,9 @@ func ExperimentIDs() []string { return experiments.IDs() }
 type RunOption func(*runConfig)
 
 type runConfig struct {
-	workers int
-	ctx     context.Context
+	workers    int
+	ctx        context.Context
+	decideHist *metrics.LatencyHist
 }
 
 // WithWorkers bounds the die-level parallelism of the farm engine: n
@@ -44,6 +46,14 @@ func WithWorkers(n int) RunOption {
 // in-flight die work between farm tasks and aborts the experiment.
 func WithContext(ctx context.Context) RunOption {
 	return func(c *runConfig) { c.ctx = ctx }
+}
+
+// WithDecideHist collects the latency of every power-manager Decide call
+// the experiment makes into h (one Observe per call, in seconds). The
+// histogram is safe to share across concurrent experiments; passing it
+// does not change any experiment output.
+func WithDecideHist(h *metrics.LatencyHist) RunOption {
+	return func(c *runConfig) { c.decideHist = h }
 }
 
 // RunExperiment executes one experiment and returns its rendered report.
@@ -90,5 +100,6 @@ func RunExperimentResult(id string, scale Scale, opts ...RunOption) (ExperimentR
 	if cfg.ctx != nil {
 		env.SetContext(cfg.ctx)
 	}
+	env.DecideHist = cfg.decideHist
 	return experiments.Run(id, env)
 }

@@ -6,10 +6,12 @@
 package anneal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"vasched/internal/farm"
 	"vasched/internal/stats"
 )
 
@@ -48,6 +50,14 @@ type Problem struct {
 	Objective func(x []int) float64
 	// Feasible reports whether the state satisfies the hard constraints.
 	Feasible func(x []int) bool
+	// Eval, when non-nil, replaces the Objective/Feasible pair with one
+	// combined call returning (value, feasible). It lets hot callers share
+	// the per-candidate decoding work (e.g. pm.SAnn builds the ladder-level
+	// vector once per candidate instead of once per closure) without
+	// changing the solver's evaluation or RNG-consumption order: the solver
+	// draws exactly the same random numbers whether it calls Eval once or
+	// Feasible then Objective.
+	Eval func(x []int) (float64, bool)
 	// Init is the starting state; it must be feasible.
 	Init []int
 }
@@ -59,25 +69,73 @@ type Result struct {
 	Evals int
 }
 
-// Solve runs simulated annealing on p.
+// Scratch holds the solver's working vectors so repeated solves (one per
+// DVFS interval, thousands per experiment) allocate nothing. The zero
+// value is ready to use; vectors grow on demand and are reused across
+// calls.
+type Scratch struct {
+	cur, cand, best []int
+}
+
+// grow resizes the scratch vectors to n coordinates, reusing capacity.
+func (s *Scratch) grow(n int) {
+	if cap(s.cur) < n {
+		s.cur = make([]int, n)
+		s.cand = make([]int, n)
+		s.best = make([]int, n)
+	}
+	s.cur = s.cur[:n]
+	s.cand = s.cand[:n]
+	s.best = s.best[:n]
+}
+
+// Solve runs simulated annealing on p. It is a convenience wrapper around
+// SolveScratch with fresh scratch, so the returned Result.X is owned by
+// the caller.
 func Solve(p *Problem, cfg Config, rng *stats.RNG) (*Result, error) {
+	res, err := SolveScratch(p, cfg, rng, &Scratch{})
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SolveScratch runs simulated annealing on p using caller-provided
+// scratch. With a reused Scratch and a Problem whose Eval avoids
+// allocation, the whole anneal is allocation-free. The returned Result.X
+// aliases scr's storage and is only valid until the next solve with the
+// same scratch.
+func SolveScratch(p *Problem, cfg Config, rng *stats.RNG, scr *Scratch) (Result, error) {
 	n := len(p.Card)
 	if n == 0 {
-		return nil, errors.New("anneal: empty problem")
+		return Result{}, errors.New("anneal: empty problem")
 	}
 	if len(p.Init) != n {
-		return nil, fmt.Errorf("anneal: init has %d coordinates, want %d", len(p.Init), n)
+		return Result{}, fmt.Errorf("anneal: init has %d coordinates, want %d", len(p.Init), n)
 	}
 	for i, c := range p.Card {
 		if c <= 0 {
-			return nil, fmt.Errorf("anneal: coordinate %d has cardinality %d", i, c)
+			return Result{}, fmt.Errorf("anneal: coordinate %d has cardinality %d", i, c)
 		}
 		if p.Init[i] < 0 || p.Init[i] >= c {
-			return nil, fmt.Errorf("anneal: init[%d]=%d outside [0,%d)", i, p.Init[i], c)
+			return Result{}, fmt.Errorf("anneal: init[%d]=%d outside [0,%d)", i, p.Init[i], c)
 		}
 	}
-	if !p.Feasible(p.Init) {
-		return nil, errors.New("anneal: initial state infeasible")
+	eval := p.Eval
+	if eval == nil {
+		if p.Feasible == nil || p.Objective == nil {
+			return Result{}, errors.New("anneal: problem needs Eval or Feasible+Objective")
+		}
+		eval = func(x []int) (float64, bool) {
+			if !p.Feasible(x) {
+				return 0, false
+			}
+			return p.Objective(x), true
+		}
+	}
+	initVal, ok := eval(p.Init)
+	if !ok {
+		return Result{}, errors.New("anneal: initial state infeasible")
 	}
 	if cfg.MaxEvals <= 0 {
 		cfg.MaxEvals = 20000
@@ -89,13 +147,14 @@ func Solve(p *Problem, cfg Config, rng *stats.RNG) (*Result, error) {
 		cfg.KernelScale = 3
 	}
 
-	cur := append([]int(nil), p.Init...)
-	curVal := p.Objective(cur)
-	best := append([]int(nil), cur...)
+	scr.grow(n)
+	cur, cand, best := scr.cur, scr.cand, scr.best
+	copy(cur, p.Init)
+	curVal := initVal
+	copy(best, cur)
 	bestVal := curVal
 	evals := 1
 
-	cand := make([]int, n)
 	for evals < cfg.MaxEvals {
 		// Logarithmic cooling: T_k = T0 / ln(e + k).
 		temp := cfg.InitialTemp / math.Log(math.E+float64(evals))
@@ -133,12 +192,11 @@ func Solve(p *Problem, cfg Config, rng *stats.RNG) (*Result, error) {
 				cand[i]--
 			}
 		}
-		if !p.Feasible(cand) {
-			evals++
+		v, ok := eval(cand)
+		evals++
+		if !ok {
 			continue
 		}
-		v := p.Objective(cand)
-		evals++
 		if accept(v-curVal, temp, rng) {
 			copy(cur, cand)
 			curVal = v
@@ -148,7 +206,42 @@ func Solve(p *Problem, cfg Config, rng *stats.RNG) (*Result, error) {
 			}
 		}
 	}
-	return &Result{X: best, Value: bestVal, Evals: evals}, nil
+	return Result{X: best, Value: bestVal, Evals: evals}, nil
+}
+
+// SolveParallel runs chains independent annealing chains and returns the
+// best result. Each chain k solves prob(k) — a factory so every chain can
+// own private scratch/closure state over shared read-only data — with an
+// RNG stream derived deterministically from the parent as Derive(k+1).
+// All streams are derived serially before the fan-out and the reduction
+// walks chain results in chain order (strictly-greater wins, so ties go
+// to the lowest chain index), making the outcome a function of (problems,
+// cfg, rng seed, chains) alone: any workers value, including 1, produces
+// byte-identical results. The returned Evals is the total across chains.
+func SolveParallel(prob func(chain int) *Problem, cfg Config, rng *stats.RNG, chains, workers int) (Result, error) {
+	if chains <= 0 {
+		return Result{}, errors.New("anneal: SolveParallel needs at least one chain")
+	}
+	rngs := make([]*stats.RNG, chains)
+	for k := range rngs {
+		rngs[k] = rng.Derive(int64(k + 1))
+	}
+	results, err := farm.Collect(context.Background(), workers, chains, func(_ context.Context, k int) (Result, error) {
+		return SolveScratch(prob(k), cfg, rngs[k], &Scratch{})
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	best := results[0]
+	evals := results[0].Evals
+	for _, r := range results[1:] {
+		evals += r.Evals
+		if r.Value > best.Value {
+			best = r
+		}
+	}
+	best.Evals = evals
+	return best, nil
 }
 
 // accept implements the Metropolis criterion for maximisation.

@@ -1,0 +1,171 @@
+package anneal
+
+import (
+	"strings"
+	"testing"
+
+	"vasched/internal/stats"
+)
+
+// chainProblem builds a small feasibility-constrained maximisation whose
+// closures allocate nothing, shared read-only across chains.
+func chainProblem(n, cap int) func(chain int) *Problem {
+	card := make([]int, n)
+	weight := make([]int, n)
+	for i := range card {
+		card[i] = 4 + i%5
+		weight[i] = i + 1
+	}
+	return func(int) *Problem {
+		return &Problem{
+			Card: card,
+			Eval: func(x []int) (float64, bool) {
+				sum, val := 0, 0
+				for i, xi := range x {
+					sum += xi
+					val += weight[i] * xi
+				}
+				return float64(val), sum <= cap
+			},
+			Init: make([]int, n),
+		}
+	}
+}
+
+// TestSolveParallelWorkerInvariance is the core SolveParallel guarantee:
+// for a fixed chain count, every workers setting (serial included)
+// produces the identical result, because the chain RNG streams are
+// derived before the fan-out and the reduction is ordered.
+func TestSolveParallelWorkerInvariance(t *testing.T) {
+	prob := chainProblem(8, 12)
+	cfg := DefaultConfig(8)
+	cfg.MaxEvals = 3000
+	var want Result
+	for i, workers := range []int{1, 2, 4, 13} {
+		got, err := SolveParallel(prob, cfg, stats.NewRNG(99), 5, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got.Value != want.Value || got.Evals != want.Evals {
+			t.Fatalf("workers=%d: (value, evals) = (%v, %d), want (%v, %d)",
+				workers, got.Value, got.Evals, want.Value, want.Evals)
+		}
+		for j := range want.X {
+			if got.X[j] != want.X[j] {
+				t.Fatalf("workers=%d: X = %v, want %v", workers, got.X, want.X)
+			}
+		}
+	}
+}
+
+// TestSolveParallelMatchesManualDerivation pins the stream-derivation
+// contract: chain k must anneal with Derive(k+1) of the parent RNG, and
+// the reduction must keep the best value, summing evaluations.
+func TestSolveParallelMatchesManualDerivation(t *testing.T) {
+	const chains = 4
+	prob := chainProblem(6, 9)
+	cfg := DefaultConfig(6)
+	cfg.MaxEvals = 2000
+
+	got, err := SolveParallel(prob, cfg, stats.NewRNG(7), chains, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parent := stats.NewRNG(7)
+	bestVal := 0.0
+	evals := 0
+	for k := 0; k < chains; k++ {
+		res, err := SolveScratch(prob(k), cfg, parent.Derive(int64(k+1)), &Scratch{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evals += res.Evals
+		if k == 0 || res.Value > bestVal {
+			bestVal = res.Value
+		}
+	}
+	if got.Value != bestVal || got.Evals != evals {
+		t.Fatalf("SolveParallel = (value %v, evals %d), manual best-of = (%v, %d)",
+			got.Value, got.Evals, bestVal, evals)
+	}
+}
+
+// TestSolveParallelSingleChainUsesDerivedStream documents that chains=1
+// under SolveParallel is NOT the same stream as a direct Solve with the
+// parent RNG — it anneals with Derive(1). Callers needing the historical
+// single-chain decisions (pm.SAnn with Chains <= 1) call SolveScratch
+// directly.
+func TestSolveParallelSingleChainUsesDerivedStream(t *testing.T) {
+	prob := chainProblem(6, 9)
+	cfg := DefaultConfig(6)
+	cfg.MaxEvals = 1500
+
+	par, err := SolveParallel(prob, cfg, stats.NewRNG(3), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := SolveScratch(prob(0), cfg, stats.NewRNG(3).Derive(1), &Scratch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Value != direct.Value {
+		t.Fatalf("chains=1 value %v != Derive(1) solve value %v", par.Value, direct.Value)
+	}
+}
+
+// BenchmarkSolveScratch measures the zero-alloc single-chain kernel on a
+// 20-coordinate problem, the shape pm.SAnn drives per DVFS interval.
+func BenchmarkSolveScratch(b *testing.B) {
+	prob := chainProblem(20, 40)(0)
+	cfg := DefaultConfig(20)
+	cfg.MaxEvals = 20000
+	rng := stats.NewRNG(1)
+	scr := &Scratch{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveScratch(prob, cfg, rng, scr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveParallel4 runs four derived chains through the farm at
+// the same total evaluation budget as BenchmarkSolveScratch.
+func BenchmarkSolveParallel4(b *testing.B) {
+	prob := chainProblem(20, 40)
+	cfg := DefaultConfig(20)
+	cfg.MaxEvals = 5000
+	rng := stats.NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveParallel(prob, cfg, rng, 4, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSolveParallelErrors(t *testing.T) {
+	prob := chainProblem(4, 6)
+	cfg := DefaultConfig(4)
+	cfg.MaxEvals = 100
+	if _, err := SolveParallel(prob, cfg, stats.NewRNG(1), 0, 1); err == nil {
+		t.Fatal("chains=0 accepted")
+	}
+	// A failing chain (infeasible init) must surface its error.
+	bad := func(chain int) *Problem {
+		p := prob(chain)
+		if chain == 2 {
+			p.Init = []int{-1, 0, 0, 0}
+		}
+		return p
+	}
+	_, err := SolveParallel(bad, cfg, stats.NewRNG(1), 4, 2)
+	if err == nil || !strings.Contains(err.Error(), "init[0]") {
+		t.Fatalf("bad chain error = %v", err)
+	}
+}

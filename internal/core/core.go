@@ -100,6 +100,11 @@ type Config struct {
 	// Seed drives every stochastic choice (random scheduling, profiling
 	// core selection, SAnn).
 	Seed int64
+	// DecideHist, when non-nil, receives one Observe(seconds) per
+	// Manager.Decide call, so services running experiments (cmd/vaschedd)
+	// can export decision-latency distributions without touching the
+	// aggregate DecideTime/DecideCount statistics.
+	DecideHist *metrics.LatencyHist
 }
 
 func (c *Config) setDefaults() {
@@ -307,8 +312,12 @@ func (s *System) Run(apps []*workload.AppProfile, durationMS float64) (*RunStats
 			}
 			start := time.Now()
 			lv, err := manager.Decide(plat, s.cfg.Budget, pmRNG)
-			decideTime += time.Since(start)
+			d := time.Since(start)
+			decideTime += d
 			decideCount++
+			if s.cfg.DecideHist != nil {
+				s.cfg.DecideHist.Observe(d.Seconds())
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -74,6 +74,7 @@ func dvfsSweep(e *Env, env PowerEnv, combos []Combo, threads []int, obj pm.Objec
 					Chip: c, CPU: e.CPU(), Scheduler: policy,
 					Mode: core.ModeDVFS, Manager: mgr, Budget: budget,
 					SampleIntervalMS: e.SampleMS, Seed: seed,
+					DecideHist: e.DecideHist,
 				})
 				if err != nil {
 					return err

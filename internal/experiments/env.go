@@ -17,6 +17,7 @@ import (
 	"vasched/internal/delay"
 	"vasched/internal/farm"
 	"vasched/internal/floorplan"
+	"vasched/internal/metrics"
 	"vasched/internal/pm"
 	"vasched/internal/power"
 	"vasched/internal/thermal"
@@ -82,10 +83,16 @@ type Env struct {
 	// reproduces the historical serial execution. Results are
 	// bit-identical at every setting (see internal/farm).
 	Workers int
+	// DecideHist, when non-nil, receives one Observe(seconds) per power-
+	// manager Decide call made by the DVFS experiments (passed through to
+	// core.Config.DecideHist). LatencyHist is mutex-guarded, so one
+	// histogram can collect across the parallel die farm. Purely
+	// observational: experiment outputs are identical with or without it.
+	DecideHist *metrics.LatencyHist
 
-	fp   *floorplan.Floorplan
-	cpu  *cpusim.Model
-	gen  *varmodel.Generator
+	fp  *floorplan.Floorplan
+	cpu *cpusim.Model
+	gen *varmodel.Generator
 	// genMu serialises map sampling: the generator's FFT scratch buffer
 	// is shared across Die calls. Die outputs depend only on (BatchSeed,
 	// index), so serialised interleaved sampling stays deterministic.

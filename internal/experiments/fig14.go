@@ -76,6 +76,7 @@ func Fig14(e *Env) (*Fig14Result, error) {
 					OSIntervalMS:     dur + 1,
 					SampleIntervalMS: 1,
 					Seed:             seed,
+					DecideHist:       e.DecideHist,
 				})
 				if err != nil {
 					return nil, err

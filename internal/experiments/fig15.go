@@ -53,6 +53,7 @@ func Fig15(e *Env) (*Fig15Result, error) {
 					Chip: c, CPU: e.CPU(), Scheduler: policy,
 					Mode: core.ModeDVFS, Manager: pm.NewLinOpt(), Budget: budget,
 					SampleIntervalMS: e.SampleMS, Seed: seed,
+					DecideHist: e.DecideHist,
 				})
 				if err != nil {
 					return nil, err

@@ -8,6 +8,10 @@ import "vasched/internal/stats"
 // stepping each visited core's level down by one, until both the chip-wide
 // Ptarget and the per-core Pcoremax constraints hold (or every core sits
 // at its minimum level).
+//
+// The budget walk re-evaluates chip power after every step, so it runs on
+// a pm.Snapshot like the optimising managers: one interface capture, then
+// array reads.
 type Foxton struct{}
 
 // NewFoxton returns the baseline manager.
@@ -18,24 +22,43 @@ func (Foxton) Name() string { return NameFoxton }
 
 // Decide implements Manager.
 func (Foxton) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
+	var snap Snapshot
+	return foxtonDecide(&snap, p, b)
+}
+
+// NewSession implements SessionManager: the returned manager decides
+// identically but reuses the snapshot tables across intervals.
+func (Foxton) NewSession() Manager { return &foxtonSession{} }
+
+type foxtonSession struct {
+	snap Snapshot
+}
+
+func (s *foxtonSession) Name() string { return NameFoxton }
+
+func (s *foxtonSession) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
+	return foxtonDecide(&s.snap, p, b)
+}
+
+func foxtonDecide(snap *Snapshot, p Platform, b Budget) ([]int, error) {
 	if err := validatePlatform(p); err != nil {
 		return nil, err
 	}
-	n := p.NumCores()
-	top := p.NumLevels() - 1
+	snap.Capture(p)
+	n, nl := snap.Cores, snap.Levels
+	top := nl - 1
 	levels := make([]int, n)
-	mins := make([]int, n)
-	for c := 0; c < n; c++ {
+	for c := range levels {
 		levels[c] = top
-		mins[c] = minLevel(p, c)
 	}
+	mins := snap.MinLev
 
 	satisfied := func() bool {
-		if totalPower(p, levels) > b.PTargetW {
+		if snap.TotalPower(levels) > b.PTargetW {
 			return false
 		}
 		for c, l := range levels {
-			if p.PowerAt(c, l) > b.PCoreMaxW {
+			if snap.Power[c*nl+l] > b.PCoreMaxW {
 				return false
 			}
 		}
@@ -43,7 +66,7 @@ func (Foxton) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
 	}
 
 	cursor := 0
-	for steps := 0; !satisfied(); steps++ {
+	for !satisfied() {
 		// Find the next core that can still step down.
 		moved := false
 		for probe := 0; probe < n; probe++ {

@@ -47,7 +47,8 @@ func (LinOpt) Name() string { return NameLinOpt }
 // NewSession when running many consecutive intervals so the simplex can
 // warm-start from the previous optimum.
 func (m LinOpt) Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error) {
-	return m.decide(p, b, nil)
+	var snap Snapshot
+	return m.decide(p, b, nil, &snap)
 }
 
 // NewSession implements SessionManager: the returned manager decides
@@ -67,17 +68,19 @@ func (m LinOpt) NewSession() Manager {
 	return &linOptSession{m: m, solver: lp.NewSolver()}
 }
 
-// linOptSession is a per-run LinOpt with simplex warm-start state. Not
-// safe for concurrent use; each run gets its own.
+// linOptSession is a per-run LinOpt with simplex warm-start state and a
+// reused platform snapshot. Not safe for concurrent use; each run gets
+// its own.
 type linOptSession struct {
 	m      LinOpt
 	solver *lp.Solver
+	snap   Snapshot
 }
 
 func (s *linOptSession) Name() string { return s.m.Name() }
 
 func (s *linOptSession) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
-	return s.m.decide(p, b, s.solver)
+	return s.m.decide(p, b, s.solver, &s.snap)
 }
 
 // solveWith dispatches to the session solver when one is present.
@@ -88,17 +91,19 @@ func solveWith(s *lp.Solver, prob *lp.Problem) (*lp.Solution, error) {
 	return s.Solve(prob)
 }
 
-func (m LinOpt) decide(p Platform, b Budget, solver *lp.Solver) ([]int, error) {
+func (m LinOpt) decide(p Platform, b Budget, solver *lp.Solver, snap *Snapshot) ([]int, error) {
 	if err := validatePlatform(p); err != nil {
 		return nil, err
 	}
+	snap.Capture(p)
 	fitPoints := m.FitPoints
 	if fitPoints < 2 {
 		fitPoints = 3
 	}
-	n := p.NumCores()
-	top := p.NumLevels() - 1
-	vmax := p.VoltageAt(top)
+	n := snap.Cores
+	nl := snap.Levels
+	top := nl - 1
+	vmax := snap.Volt[top]
 
 	aCoef := make([]float64, n) // throughput per volt
 	bCoef := make([]float64, n) // watts per volt
@@ -107,8 +112,8 @@ func (m LinOpt) decide(p Platform, b Budget, solver *lp.Solver) ([]int, error) {
 	minLev := make([]int, n)
 
 	for c := 0; c < n; c++ {
-		minLev[c] = minLevel(p, c)
-		vmin[c] = p.VoltageAt(minLev[c])
+		minLev[c] = snap.MinLev[c]
+		vmin[c] = snap.Volt[minLev[c]]
 
 		// Sample levels spread evenly across the core's feasible range.
 		lo, hi := minLev[c], top
@@ -125,9 +130,9 @@ func (m LinOpt) decide(p Platform, b Budget, solver *lp.Solver) ([]int, error) {
 			if pts > 1 {
 				l = lo + k*span/(pts-1)
 			}
-			vs = append(vs, p.VoltageAt(l))
-			ps = append(ps, p.PowerAt(c, l))
-			fs = append(fs, p.FreqAt(c, l))
+			vs = append(vs, snap.Volt[l])
+			ps = append(ps, snap.Power[c*nl+l])
+			fs = append(fs, snap.Freq[c*nl+l])
 		}
 		bi, ci, err := fitLine(vs, ps)
 		if err != nil {
@@ -138,7 +143,7 @@ func (m LinOpt) decide(p Platform, b Budget, solver *lp.Solver) ([]int, error) {
 			return nil, fmt.Errorf("pm: frequency fit for core %d: %w", c, err)
 		}
 		bCoef[c], cCoef[c] = bi, ci
-		aCoef[c] = m.Objective.weight(p, c) * p.IPC(c) * gi / 1e6 // objective per volt
+		aCoef[c] = snap.objWeight(m.Objective, c) * snap.IPCs[c] * gi / 1e6 // objective per volt
 		if aCoef[c] <= 0 {
 			// A degenerate fit (flat frequency) still deserves a positive
 			// objective weight so the LP prefers higher voltage.
@@ -148,7 +153,7 @@ func (m LinOpt) decide(p Platform, b Budget, solver *lp.Solver) ([]int, error) {
 
 	prob := &lp.Problem{Objective: aCoef}
 	// Chip budget: sum b_i v_i <= Ptarget - uncore - sum c_i.
-	rhs := b.PTargetW - p.UncorePowerW()
+	rhs := b.PTargetW - snap.Uncore
 	for c := 0; c < n; c++ {
 		rhs -= cCoef[c]
 	}
@@ -179,9 +184,9 @@ func (m LinOpt) decide(p Platform, b Budget, solver *lp.Solver) ([]int, error) {
 		// constraints. The per-core speed weight replaces the (unit)
 		// summed-objective weight in a_i.
 		for c := 0; c < n; c++ {
-			aCoef[c] *= minSpeedWeight(p, c)
+			aCoef[c] *= snap.minSpeedWeight(c)
 		}
-		return m.decideMinSpeed(p, b, aCoef, bCoef, cCoef, vmin, minLev, vmax, solver)
+		return m.decideMinSpeed(snap, b, aCoef, bCoef, cCoef, vmin, minLev, vmax, solver)
 	}
 
 	sol, err := solveWith(solver, prob)
@@ -195,10 +200,10 @@ func (m LinOpt) decide(p Platform, b Budget, solver *lp.Solver) ([]int, error) {
 
 	levels := make([]int, n)
 	for c := 0; c < n; c++ {
-		levels[c] = quantizeDown(p, c, sol.X[c], minLev[c])
+		levels[c] = quantizeDown(snap, sol.X[c], minLev[c])
 	}
-	trim(p, b, levels, minLev, aCoef)
-	refine(p, b, levels, minLev, m.Objective)
+	trim(snap, b, levels, minLev, aCoef)
+	refine(snap, b, levels, minLev, snap.ObjCoef(m.Objective, nil))
 	return levels, nil
 }
 
@@ -211,25 +216,26 @@ func (m LinOpt) decide(p Platform, b Budget, solver *lp.Solver) ([]int, error) {
 // Each candidate move is O(1) on the sensor tables, so the polish costs
 // microseconds — it is the same class of feedback loop Foxton* runs, just
 // seeded from the LP point.
-func refine(p Platform, b Budget, levels, minLev []int, obj Objective) {
-	n := p.NumCores()
-	top := p.NumLevels() - 1
+func refine(s *Snapshot, b Budget, levels, minLev []int, coef []float64) {
+	n := s.Cores
+	nl := s.Levels
+	top := nl - 1
 	gain := func(c int) float64 {
-		return obj.weight(p, c) * p.IPC(c) * (p.FreqAt(c, levels[c]+1) - p.FreqAt(c, levels[c])) / 1e6
+		return coef[c] * (s.Freq[c*nl+levels[c]+1] - s.Freq[c*nl+levels[c]]) / 1e6
 	}
 	loss := func(c int) float64 {
-		return obj.weight(p, c) * p.IPC(c) * (p.FreqAt(c, levels[c]) - p.FreqAt(c, levels[c]-1)) / 1e6
+		return coef[c] * (s.Freq[c*nl+levels[c]] - s.Freq[c*nl+levels[c]-1]) / 1e6
 	}
-	for iter := 0; iter < 4*n*p.NumLevels(); iter++ {
-		cur := totalPower(p, levels)
+	for iter := 0; iter < 4*n*nl; iter++ {
+		cur := s.TotalPower(levels)
 		// First try free up-steps (headroom without trading).
 		bestUp, bestGain := -1, 0.0
 		for c := 0; c < n; c++ {
 			if levels[c] >= top {
 				continue
 			}
-			dp := p.PowerAt(c, levels[c]+1) - p.PowerAt(c, levels[c])
-			if cur+dp > b.PTargetW || p.PowerAt(c, levels[c]+1) > b.PCoreMaxW {
+			dp := s.Power[c*nl+levels[c]+1] - s.Power[c*nl+levels[c]]
+			if cur+dp > b.PTargetW || s.Power[c*nl+levels[c]+1] > b.PCoreMaxW {
 				continue
 			}
 			if g := gain(c); g > bestGain {
@@ -251,8 +257,8 @@ func refine(p Platform, b Budget, levels, minLev []int, obj Objective) {
 			if levels[up] >= top {
 				continue
 			}
-			dpUp := p.PowerAt(up, levels[up]+1) - p.PowerAt(up, levels[up])
-			if p.PowerAt(up, levels[up]+1) > b.PCoreMaxW {
+			dpUp := s.Power[up*nl+levels[up]+1] - s.Power[up*nl+levels[up]]
+			if s.Power[up*nl+levels[up]+1] > b.PCoreMaxW {
 				continue
 			}
 			g := gain(up)
@@ -260,7 +266,7 @@ func refine(p Platform, b Budget, levels, minLev []int, obj Objective) {
 				if down == up || levels[down] <= minLev[down] {
 					continue
 				}
-				dpDown := p.PowerAt(down, levels[down]) - p.PowerAt(down, levels[down]-1)
+				dpDown := s.Power[down*nl+levels[down]] - s.Power[down*nl+levels[down]-1]
 				if cur+dpUp-dpDown > b.PTargetW {
 					continue
 				}
@@ -282,10 +288,11 @@ func refine(p Platform, b Budget, levels, minLev []int, obj Objective) {
 // paper's Section 5.2. While a constraint is violated, it lowers the level
 // of the core whose next step down costs the least throughput per watt
 // saved.
-func trim(p Platform, b Budget, levels, minLev []int, aCoef []float64) {
+func trim(s *Snapshot, b Budget, levels, minLev []int, aCoef []float64) {
+	nl := s.Levels
 	overCap := func() int {
 		for c, l := range levels {
-			if p.PowerAt(c, l) > b.PCoreMaxW && l > minLev[c] {
+			if s.Power[c*nl+l] > b.PCoreMaxW && l > minLev[c] {
 				return c
 			}
 		}
@@ -296,7 +303,7 @@ func trim(p Platform, b Budget, levels, minLev []int, aCoef []float64) {
 			levels[c]--
 			continue
 		}
-		if totalPower(p, levels) <= b.PTargetW {
+		if s.TotalPower(levels) <= b.PTargetW {
 			return
 		}
 		best, bestCost := -1, 0.0
@@ -304,8 +311,8 @@ func trim(p Platform, b Budget, levels, minLev []int, aCoef []float64) {
 			if l <= minLev[c] {
 				continue
 			}
-			dp := p.PowerAt(c, l) - p.PowerAt(c, l-1)
-			dtp := aCoef[c] * (p.VoltageAt(l) - p.VoltageAt(l-1))
+			dp := s.Power[c*nl+l] - s.Power[c*nl+l-1]
+			dtp := aCoef[c] * (s.Volt[l] - s.Volt[l-1])
 			cost := dtp
 			if dp > 0 {
 				cost = dtp / dp
@@ -324,8 +331,8 @@ func trim(p Platform, b Budget, levels, minLev []int, aCoef []float64) {
 // decideMinSpeed solves the max-min LP: maximize z subject to
 // z <= a_i*v_i, the chip and per-core power constraints, and the voltage
 // bounds. aCoef here carries the min-speed weights.
-func (m LinOpt) decideMinSpeed(p Platform, b Budget, aCoef, bCoef, cCoef, vmin []float64, minLev []int, vmax float64, solver *lp.Solver) ([]int, error) {
-	n := p.NumCores()
+func (m LinOpt) decideMinSpeed(snap *Snapshot, b Budget, aCoef, bCoef, cCoef, vmin []float64, minLev []int, vmax float64, solver *lp.Solver) ([]int, error) {
+	n := snap.Cores
 	nv := n + 1 // v_1..v_n, z
 	obj := make([]float64, nv)
 	obj[n] = 1 // maximize z
@@ -338,7 +345,7 @@ func (m LinOpt) decideMinSpeed(p Platform, b Budget, aCoef, bCoef, cCoef, vmin [
 		row[n] = -1
 		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Rel: lp.GE, RHS: 0})
 	}
-	rhs := b.PTargetW - p.UncorePowerW()
+	rhs := b.PTargetW - snap.Uncore
 	budgetRow := make([]float64, nv)
 	for c := 0; c < n; c++ {
 		budgetRow[c] = bCoef[c]
@@ -366,24 +373,27 @@ func (m LinOpt) decideMinSpeed(p Platform, b Budget, aCoef, bCoef, cCoef, vmin [
 	}
 	levels := make([]int, n)
 	for c := 0; c < n; c++ {
-		levels[c] = quantizeDown(p, c, sol.X[c], minLev[c])
+		levels[c] = quantizeDown(snap, sol.X[c], minLev[c])
 	}
-	trim(p, b, levels, minLev, aCoef)
-	refineMinSpeed(p, b, levels, minLev)
+	trim(snap, b, levels, minLev, aCoef)
+	refineMinSpeed(snap, b, levels, minLev)
 	return levels, nil
 }
 
 // refineMinSpeed greedily raises the slowest thread while the budget
 // allows, compensating by lowering the thread with the most slack if
 // necessary.
-func refineMinSpeed(p Platform, b Budget, levels, minLev []int) {
+func refineMinSpeed(s *Snapshot, b Budget, levels, minLev []int) {
+	n := s.Cores
+	nl := s.Levels
+	coef := s.ObjCoef(ObjMinSpeed, nil)
 	speed := func(c int) float64 {
-		return minSpeedWeight(p, c) * p.IPC(c) * p.FreqAt(c, levels[c]) / 1e6
+		return coef[c] * s.Freq[c*nl+levels[c]] / 1e6
 	}
-	top := p.NumLevels() - 1
-	for iter := 0; iter < 4*p.NumCores()*p.NumLevels(); iter++ {
+	top := nl - 1
+	for iter := 0; iter < 4*n*nl; iter++ {
 		slow, fast := 0, 0
-		for c := 1; c < p.NumCores(); c++ {
+		for c := 1; c < n; c++ {
 			if speed(c) < speed(slow) {
 				slow = c
 			}
@@ -394,11 +404,11 @@ func refineMinSpeed(p Platform, b Budget, levels, minLev []int) {
 		if levels[slow] >= top {
 			return
 		}
-		if p.PowerAt(slow, levels[slow]+1) > b.PCoreMaxW {
+		if s.Power[slow*nl+levels[slow]+1] > b.PCoreMaxW {
 			return
 		}
-		cur := totalPower(p, levels)
-		dp := p.PowerAt(slow, levels[slow]+1) - p.PowerAt(slow, levels[slow])
+		cur := s.TotalPower(levels)
+		dp := s.Power[slow*nl+levels[slow]+1] - s.Power[slow*nl+levels[slow]]
 		if cur+dp <= b.PTargetW {
 			levels[slow]++
 			continue
@@ -407,7 +417,7 @@ func refineMinSpeed(p Platform, b Budget, levels, minLev []int) {
 		if fast == slow || levels[fast] <= minLev[fast] {
 			return
 		}
-		dpDown := p.PowerAt(fast, levels[fast]) - p.PowerAt(fast, levels[fast]-1)
+		dpDown := s.Power[fast*nl+levels[fast]] - s.Power[fast*nl+levels[fast]-1]
 		if cur+dp-dpDown > b.PTargetW {
 			return
 		}
@@ -456,13 +466,12 @@ func statsMean(xs []float64) float64 {
 
 // quantizeDown returns the highest ladder level whose voltage does not
 // exceed v, clamped to the core's feasible range.
-func quantizeDown(p Platform, core int, v float64, min int) int {
+func quantizeDown(s *Snapshot, v float64, min int) int {
 	best := min
-	for l := min; l < p.NumLevels(); l++ {
-		if p.VoltageAt(l) <= v+1e-9 {
+	for l := min; l < s.Levels; l++ {
+		if s.Volt[l] <= v+1e-9 {
 			best = l
 		}
 	}
-	_ = core
 	return best
 }

@@ -14,11 +14,27 @@ import (
 // objective evaluations; the default budget here is smaller because the
 // sweeps invoke it thousands of times (EXPERIMENTS.md documents the
 // scaling).
+//
+// Candidate evaluation runs on a pm.Snapshot: the platform observables
+// are captured into flat arrays once per Decide and every annealing
+// candidate is scored from those arrays with zero allocation, in the same
+// index order as the original interface-based closures, so decisions are
+// byte-identical to the pre-snapshot path.
 type SAnn struct {
 	// MaxEvals overrides the annealing budget; 0 uses the default.
 	MaxEvals int
 	// Objective selects raw-MIPS or weighted-throughput maximisation.
 	Objective Objective
+	// Chains selects parallel multi-chain annealing: when > 1, Decide
+	// runs that many independent chains with deterministically derived
+	// RNG streams (anneal.SolveParallel) and keeps the best result. The
+	// default (0 or 1) is the single-chain path, which consumes the
+	// caller's RNG stream directly and reproduces the historical
+	// decisions exactly.
+	Chains int
+	// Workers bounds the chain fan-out (<= 0 means GOMAXPROCS). The
+	// decision is identical for every Workers value.
+	Workers int
 }
 
 // NewSAnn returns the manager with the default evaluation budget.
@@ -29,49 +45,88 @@ func (SAnn) Name() string { return NameSAnn }
 
 // Decide implements Manager.
 func (m SAnn) Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error) {
+	var k sannKernel
+	return m.decide(p, b, rng, &k)
+}
+
+// NewSession implements SessionManager: the returned manager decides
+// identically but reuses the snapshot tables and annealing scratch across
+// the consecutive intervals of one run, so steady-state Decide calls do
+// not allocate in the annealing loop.
+func (m SAnn) NewSession() Manager { return &sannSession{m: m} }
+
+type sannSession struct {
+	m SAnn
+	k sannKernel
+}
+
+func (s *sannSession) Name() string { return s.m.Name() }
+
+func (s *sannSession) Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error) {
+	return s.m.decide(p, b, rng, &s.k)
+}
+
+// sannKernel is the reusable per-session state: the dense platform
+// snapshot, the objective coefficients, the x<->level translation
+// buffers, and the annealer's scratch vectors.
+type sannKernel struct {
+	snap     Snapshot
+	coef     []float64
+	initCoef []float64
+	card     []int
+	mins     []int
+	initX    []int
+	levels   []int
+	scr      anneal.Scratch
+}
+
+func (m SAnn) decide(p Platform, b Budget, rng *stats.RNG, k *sannKernel) ([]int, error) {
 	if err := validatePlatform(p); err != nil {
 		return nil, err
 	}
-	n := p.NumCores()
-	mins := make([]int, n)
-	card := make([]int, n)
+	k.snap.Capture(p)
+	snap := &k.snap
+	n := snap.Cores
+	k.coef = snap.ObjCoef(m.Objective, k.coef)
+	k.card = growInts(k.card, n)
+	k.mins = growInts(k.mins, n)
+	k.initX = growInts(k.initX, n)
+	k.levels = growInts(k.levels, n)
+	mins := k.mins
+	copy(mins, snap.MinLev)
 	for c := 0; c < n; c++ {
-		mins[c] = minLevel(p, c)
-		card[c] = p.NumLevels() - mins[c]
+		k.card[c] = snap.Levels - mins[c]
 	}
 
-	toLevels := func(x []int) []int {
-		levels := make([]int, n)
-		for c := range x {
-			levels[c] = mins[c] + x[c]
-		}
-		return levels
-	}
-	feasible := func(x []int) bool {
-		levels := toLevels(x)
-		if totalPower(p, levels) > b.PTargetW {
-			return false
-		}
-		for c, l := range levels {
-			if p.PowerAt(c, l) > b.PCoreMaxW {
-				return false
-			}
-		}
-		return true
-	}
-	objective := func(x []int) float64 {
-		return objectiveValue(p, toLevels(x), m.Objective)
-	}
+	// One combined evaluation per candidate: decode x into ladder levels
+	// once (the historical closures decoded twice, once in feasible and
+	// again in objective), then check the budget and score from the
+	// snapshot tables.
+	eval := sannEval(snap, b, mins, k.levels, m.Objective, k.coef)
 
-	init := greedyInit(p, b, mins, m.Objective)
-	initX := make([]int, n)
+	// The greedy start ranks upgrades with Objective.weight semantics
+	// (min-speed keeps weight 1 there), while the evaluator's ObjCoef
+	// applies the min-speed normalisation — matching the historical
+	// closures exactly.
+	initCoef := k.coef
+	if m.Objective == ObjMinSpeed {
+		k.initCoef = growFloats(k.initCoef, n)
+		for c := range k.initCoef {
+			k.initCoef[c] = snap.objWeight(m.Objective, c) * snap.IPCs[c]
+		}
+		initCoef = k.initCoef
+	}
+	init := greedyInit(snap, b, initCoef, k.levels)
+	initX := k.initX
 	for c := range initX {
 		initX[c] = init[c] - mins[c]
 	}
-	if !feasible(initX) {
+	if _, ok := eval(initX); !ok {
 		// Budget below the floor: hold the minimum point, like the other
 		// managers.
-		return toLevels(make([]int, n)), nil
+		out := make([]int, n)
+		copy(out, mins)
+		return out, nil
 	}
 
 	cfg := anneal.DefaultConfig(n)
@@ -81,47 +136,130 @@ func (m SAnn) Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error) {
 	if m.MaxEvals > 0 {
 		cfg.MaxEvals = m.MaxEvals
 	}
-	res, err := anneal.Solve(&anneal.Problem{
-		Card:      card,
-		Objective: objective,
-		Feasible:  feasible,
-		Init:      initX,
-	}, cfg, rng)
+
+	var (
+		res anneal.Result
+		err error
+	)
+	if m.Chains > 1 {
+		res, err = anneal.SolveParallel(func(int) *anneal.Problem {
+			// Each chain owns a private decode buffer; the snapshot,
+			// coefficients, bounds, and init are shared read-only.
+			return &anneal.Problem{
+				Card: k.card,
+				Eval: sannEval(snap, b, mins, make([]int, n), m.Objective, k.coef),
+				Init: initX,
+			}
+		}, cfg, rng, m.Chains, m.Workers)
+	} else {
+		res, err = anneal.SolveScratch(&anneal.Problem{
+			Card: k.card,
+			Eval: eval,
+			Init: initX,
+		}, cfg, rng, &k.scr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("pm: SAnn: %w", err)
 	}
-	return toLevels(res.X), nil
+	out := make([]int, n)
+	for c, x := range res.X {
+		out[c] = mins[c] + x
+	}
+	return out, nil
+}
+
+// sannEval returns the fused candidate evaluator: decode x into levels,
+// accumulate chip power with inline per-core cap checks, then score. The
+// power sum runs uncore-first over ascending cores and the objective sum
+// over ascending cores, exactly like the separate totalPower and
+// objectiveValue loops, so values are bit-identical; the cap check moving
+// before the budget comparison only changes which constraint reports an
+// infeasibility that would have been reported either way.
+func sannEval(snap *Snapshot, b Budget, mins, levels []int, obj Objective, coef []float64) func(x []int) (float64, bool) {
+	nl := snap.Levels
+	minSpeed := obj == ObjMinSpeed
+	return func(x []int) (float64, bool) {
+		sum := snap.Uncore
+		for c, xc := range x {
+			l := mins[c] + xc
+			levels[c] = l
+			pw := snap.Power[c*nl+l]
+			if pw > b.PCoreMaxW {
+				return 0, false
+			}
+			sum += pw
+		}
+		if sum > b.PTargetW {
+			return 0, false
+		}
+		if minSpeed {
+			min := 0.0
+			for c, l := range levels {
+				v := coef[c] * snap.Freq[c*nl+l] / 1e6
+				if c == 0 || v < min {
+					min = v
+				}
+			}
+			return min, true
+		}
+		val := 0.0
+		for c, l := range levels {
+			val += coef[c] * snap.Freq[c*nl+l] / 1e6
+		}
+		return val, true
+	}
 }
 
 // greedyInit builds SAnn's starting point: from the all-minimum
 // assignment, repeatedly raise by one level the core with the best
-// throughput-gain-per-watt, while the budget holds.
-func greedyInit(p Platform, b Budget, mins []int, obj Objective) []int {
-	n := p.NumCores()
-	levels := append([]int(nil), mins...)
-	top := p.NumLevels() - 1
+// throughput-gain-per-watt, while the budget holds. Upgrades that cost no
+// power (dp <= 0, possible on non-monotonic synthetic power curves) rank
+// above every paying upgrade — free throughput beats any finite
+// gain-per-watt ratio — and compete among themselves on raw throughput
+// gain. On monotonic power curves (all real platforms) no free upgrade
+// exists and the selection reduces to the pure ratio comparison.
+//
+// coef carries the per-core objective weights from Snapshot.ObjCoef; the
+// result is written into out (len >= cores), which is also returned.
+func greedyInit(s *Snapshot, b Budget, coef []float64, out []int) []int {
+	n, nl := s.Cores, s.Levels
+	levels := out[:n]
+	copy(levels, s.MinLev)
+	top := nl - 1
 	for {
 		bestCore := -1
 		bestRatio := 0.0
-		curPower := totalPower(p, levels)
+		bestFree := false
+		curPower := s.TotalPower(levels)
 		for c := 0; c < n; c++ {
 			if levels[c] >= top {
 				continue
 			}
-			dp := p.PowerAt(c, levels[c]+1) - p.PowerAt(c, levels[c])
-			if p.PowerAt(c, levels[c]+1) > b.PCoreMaxW {
+			row := s.Power[c*nl:]
+			dp := row[levels[c]+1] - row[levels[c]]
+			if row[levels[c]+1] > b.PCoreMaxW {
 				continue
 			}
 			if curPower+dp > b.PTargetW {
 				continue
 			}
-			dtp := obj.weight(p, c) * p.IPC(c) * (p.FreqAt(c, levels[c]+1) - p.FreqAt(c, levels[c])) / 1e6
+			dtp := coef[c] * (s.Freq[c*nl+levels[c]+1] - s.Freq[c*nl+levels[c]]) / 1e6
+			free := dp <= 0
 			ratio := dtp
-			if dp > 0 {
+			if !free {
 				ratio = dtp / dp
 			}
-			if bestCore < 0 || ratio > bestRatio {
-				bestCore, bestRatio = c, ratio
+			better := false
+			switch {
+			case bestCore < 0:
+				better = true
+			case free != bestFree:
+				better = free
+			default:
+				better = ratio > bestRatio
+			}
+			if better {
+				bestCore, bestRatio, bestFree = c, ratio, free
 			}
 		}
 		if bestCore < 0 {

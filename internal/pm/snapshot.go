@@ -1,0 +1,183 @@
+package pm
+
+// Snapshot is a dense, interface-free capture of a Platform: flat
+// cores×levels tables of frequency and power plus the per-core IPC and
+// reference-IPS observables, read once per Decide call. The managers'
+// inner loops (annealing candidate evaluation, LinOpt's trim/refine
+// feedback, Foxton's budget walk) evaluate millions of candidate level
+// assignments per experiment; reading arrays instead of making dynamic
+// Platform calls removes the interface dispatch — and, for simulated
+// platforms whose PowerAt recomputes a model, the recomputation — from
+// every one of those evaluations.
+//
+// Capture visits levels in ascending order within each core and cores in
+// ascending order, and every helper below consumes the tables in exactly
+// the same index order as the interface-based code it replaced, so all
+// accept/reject decisions and float accumulations are byte-identical to
+// the pre-snapshot path.
+//
+// A Snapshot also implements Platform itself (over the captured values),
+// so code that still wants the interface view — validation, tests, the
+// Exhaustive enumerator — can use one without re-dispatching to the
+// underlying platform.
+type Snapshot struct {
+	Cores  int
+	Levels int
+	// Volt[l] is the ladder voltage, shared by all cores.
+	Volt []float64
+	// Freq and Power are row-major cores×levels: entry [c*Levels+l].
+	Freq  []float64
+	Power []float64
+	// IPCs[c] and Refs[c] are the per-core sensor IPC and reference IPS.
+	IPCs []float64
+	Refs []float64
+	// Uncore is the shared-structure power counted against Ptarget.
+	Uncore float64
+	// MinLev[c] is the lowest feasible ladder level for core c (first
+	// level with non-zero frequency), precomputed during capture.
+	MinLev []int
+}
+
+// Capture fills the snapshot from p, reusing previously allocated tables
+// when the shape still fits, so a session-held Snapshot allocates only on
+// the first interval (or when the active-core count grows).
+func (s *Snapshot) Capture(p Platform) {
+	nc, nl := p.NumCores(), p.NumLevels()
+	s.Cores, s.Levels = nc, nl
+	s.Volt = growFloats(s.Volt, nl)
+	s.Freq = growFloats(s.Freq, nc*nl)
+	s.Power = growFloats(s.Power, nc*nl)
+	s.IPCs = growFloats(s.IPCs, nc)
+	s.Refs = growFloats(s.Refs, nc)
+	s.MinLev = growInts(s.MinLev, nc)
+	for l := 0; l < nl; l++ {
+		s.Volt[l] = p.VoltageAt(l)
+	}
+	for c := 0; c < nc; c++ {
+		s.IPCs[c] = p.IPC(c)
+		s.Refs[c] = p.RefIPS(c)
+		row := s.Freq[c*nl : (c+1)*nl]
+		prow := s.Power[c*nl : (c+1)*nl]
+		min, found := nl-1, false
+		for l := 0; l < nl; l++ {
+			f := p.FreqAt(c, l)
+			row[l] = f
+			prow[l] = p.PowerAt(c, l)
+			if !found && f > 0 {
+				min, found = l, true
+			}
+		}
+		s.MinLev[c] = min
+	}
+	s.Uncore = p.UncorePowerW()
+}
+
+// NumCores implements Platform.
+func (s *Snapshot) NumCores() int { return s.Cores }
+
+// NumLevels implements Platform.
+func (s *Snapshot) NumLevels() int { return s.Levels }
+
+// VoltageAt implements Platform.
+func (s *Snapshot) VoltageAt(level int) float64 { return s.Volt[level] }
+
+// FreqAt implements Platform.
+func (s *Snapshot) FreqAt(core, level int) float64 { return s.Freq[core*s.Levels+level] }
+
+// PowerAt implements Platform.
+func (s *Snapshot) PowerAt(core, level int) float64 { return s.Power[core*s.Levels+level] }
+
+// IPC implements Platform.
+func (s *Snapshot) IPC(core int) float64 { return s.IPCs[core] }
+
+// UncorePowerW implements Platform.
+func (s *Snapshot) UncorePowerW() float64 { return s.Uncore }
+
+// RefIPS implements Platform.
+func (s *Snapshot) RefIPS(core int) float64 { return s.Refs[core] }
+
+// TotalPower returns chip power for a level assignment, accumulating in
+// the same order as totalPower (uncore first, then cores ascending).
+func (s *Snapshot) TotalPower(levels []int) float64 {
+	sum := s.Uncore
+	for c, l := range levels {
+		sum += s.Power[c*s.Levels+l]
+	}
+	return sum
+}
+
+// ObjCoef fills dst (grown as needed) with the per-core objective
+// coefficient weight(c)*IPC(c), the level-independent factor of every
+// objective term: ObjMIPS uses weight 1, ObjWeighted and ObjMinSpeed
+// 1e9/RefIPS. Multiplying by 1 is exact in IEEE 754, so hoisting the
+// product out of the per-candidate loop leaves every objective value
+// bit-identical to the unhoisted expression.
+func (s *Snapshot) ObjCoef(obj Objective, dst []float64) []float64 {
+	dst = growFloats(dst, s.Cores)
+	for c := range dst {
+		w := 1.0
+		if obj != ObjMIPS {
+			if ref := s.Refs[c]; ref > 0 {
+				w = 1e9 / ref
+			}
+		}
+		dst[c] = w * s.IPCs[c]
+	}
+	return dst
+}
+
+// objWeight mirrors Objective.weight on the captured tables.
+func (s *Snapshot) objWeight(obj Objective, core int) float64 {
+	if obj == ObjWeighted {
+		if ref := s.Refs[core]; ref > 0 {
+			return 1e9 / ref
+		}
+	}
+	return 1
+}
+
+// minSpeedWeight mirrors the package-level minSpeedWeight on the
+// captured tables.
+func (s *Snapshot) minSpeedWeight(core int) float64 {
+	if ref := s.Refs[core]; ref > 0 {
+		return 1e9 / ref
+	}
+	return 1
+}
+
+// ObjectiveValue evaluates obj for a level assignment using coefficients
+// from ObjCoef, mirroring objectiveValue term by term.
+func (s *Snapshot) ObjectiveValue(levels []int, obj Objective, coef []float64) float64 {
+	nl := s.Levels
+	if obj == ObjMinSpeed {
+		min := 0.0
+		for c, l := range levels {
+			v := coef[c] * s.Freq[c*nl+l] / 1e6
+			if c == 0 || v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	sum := 0.0
+	for c, l := range levels {
+		sum += coef[c] * s.Freq[c*nl+l] / 1e6
+	}
+	return sum
+}
+
+// growFloats resizes a float64 scratch slice to n, reusing capacity.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInts resizes an int scratch slice to n, reusing capacity.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

@@ -171,7 +171,7 @@ func TestDefaultManagerIsLinOpt(t *testing.T) {
 
 func TestExperimentAPI(t *testing.T) {
 	ids := vasched.ExperimentIDs()
-	if len(ids) != 18 {
+	if len(ids) != 19 {
 		t.Fatalf("ids = %v", ids)
 	}
 	out, err := vasched.RunExperiment("table5", vasched.ScaleQuick)
