@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race bench benchsmoke ci fuzzseed benchcheck benchsnap clean
+.PHONY: all build test vet check race bench benchsmoke ci fuzzseed benchcheck benchsnap cover clean
 
 all: check
 
@@ -46,6 +46,21 @@ ci: vet build race fuzzseed benchcheck
 fuzzseed:
 	$(GO) test -fuzz FuzzSolve -fuzztime 10s ./internal/lp
 	$(GO) test -fuzz FuzzSolve -fuzztime 10s ./internal/anneal
+	$(GO) test -fuzz FuzzShardCodec -fuzztime 10s ./internal/cluster
+
+# cover prints per-package statement coverage and fails if any of the
+# gated packages (the concurrency- and protocol-heavy ones) drops below
+# 80%. Numbers are recorded in EXPERIMENTS.md ("Coverage gate").
+COVER_GATED = vasched/internal/cluster vasched/internal/pm vasched/internal/farm
+
+cover:
+	$(GO) test -count=1 -cover ./... | tee /tmp/vasched-cover.txt
+	@fail=0; for pkg in $(COVER_GATED); do \
+		pct=$$(grep -E "^ok[[:space:]]+$$pkg[[:space:]]" /tmp/vasched-cover.txt | grep -oE '[0-9.]+% of statements' | grep -oE '^[0-9.]+'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage line for $$pkg"; fail=1; \
+		elif awk "BEGIN{exit !($$pct < 80)}"; then echo "cover: $$pkg at $$pct% (< 80%)"; fail=1; \
+		else echo "cover: $$pkg at $$pct% (gate 80%)"; fi; \
+	done; exit $$fail
 
 # benchcheck compares the micro-benchmarks (not the multi-second paper
 # artefacts) against the committed baseline without writing a snapshot.

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -54,22 +55,34 @@ type Snapshot struct {
 }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchstatus:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI core: parse args, run the suite, write the
+// snapshot, and compare. Regressions beyond -threshold with -check set
+// surface as a non-nil error.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchstatus", flag.ContinueOnError)
 	var (
-		pkgs      = flag.String("pkgs", "./internal/grf,./internal/thermal,./internal/linsolve,./internal/lp,./internal/pm,./internal/anneal,./internal/cpusim,./internal/fft,.", "comma-separated packages to benchmark")
-		bench     = flag.String("bench", ".", "benchmark regex passed to go test -bench")
-		benchtime = flag.String("benchtime", "0.3s", "value passed to go test -benchtime")
-		out       = flag.String("out", "", "output snapshot path (default BENCH_<date>.json in the repo root)")
-		baseline  = flag.String("baseline", "", "snapshot to compare against (default: newest committed BENCH_*.json)")
-		threshold = flag.Float64("threshold", 20, "ns/op regression percentage treated as a failure with -check")
-		check     = flag.Bool("check", false, "exit non-zero if any benchmark regressed more than -threshold vs the baseline")
-		nowrite   = flag.Bool("nowrite", false, "skip writing the snapshot file")
+		pkgs      = fs.String("pkgs", "./internal/grf,./internal/thermal,./internal/linsolve,./internal/lp,./internal/pm,./internal/anneal,./internal/cpusim,./internal/fft,.", "comma-separated packages to benchmark")
+		bench     = fs.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime = fs.String("benchtime", "0.3s", "value passed to go test -benchtime")
+		out       = fs.String("out", "", "output snapshot path (default BENCH_<date>.json in the repo root)")
+		baseline  = fs.String("baseline", "", "snapshot to compare against (default: newest committed BENCH_*.json)")
+		threshold = fs.Float64("threshold", 20, "ns/op regression percentage treated as a failure with -check")
+		check     = fs.Bool("check", false, "exit non-zero if any benchmark regressed more than -threshold vs the baseline")
+		nowrite   = fs.Bool("nowrite", false, "skip writing the snapshot file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	snap, err := runSuite(strings.Split(*pkgs, ","), *bench, *benchtime)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchstatus:", err)
-		os.Exit(1)
+		return err
 	}
 
 	prevPath := *baseline
@@ -80,8 +93,7 @@ func main() {
 	if prevPath != "" {
 		prev, err = readSnapshot(prevPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchstatus: baseline:", err)
-			os.Exit(1)
+			return fmt.Errorf("baseline: %w", err)
 		}
 	}
 
@@ -92,25 +104,23 @@ func main() {
 	if !*nowrite {
 		buf, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchstatus:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "benchstatus:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("wrote %s (%d benchmarks)\n", outPath, len(snap.Benchmarks))
+		fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", outPath, len(snap.Benchmarks))
 	}
 
 	if prev == nil {
-		fmt.Println("no baseline snapshot found; nothing to compare")
-		return
+		fmt.Fprintln(stdout, "no baseline snapshot found; nothing to compare")
+		return nil
 	}
-	regressions := compare(prev, snap, prevPath, *threshold)
+	regressions := compare(stdout, prev, snap, prevPath, *threshold)
 	if *check && regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchstatus: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold)
-		os.Exit(1)
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", regressions, *threshold)
 	}
+	return nil
 }
 
 // runSuite runs go test -bench over each package and parses the output.
@@ -226,19 +236,19 @@ func readSnapshot(path string) (*Snapshot, error) {
 
 // compare prints a delta table against the baseline and returns how many
 // benchmarks regressed beyond threshold percent ns/op.
-func compare(prev, cur *Snapshot, prevPath string, threshold float64) int {
+func compare(w io.Writer, prev, cur *Snapshot, prevPath string, threshold float64) int {
 	base := map[string]Benchmark{}
 	for _, b := range prev.Benchmarks {
 		base[b.Package+"."+b.Name] = b
 	}
-	fmt.Printf("\ncomparison vs %s:\n", prevPath)
-	fmt.Printf("%-58s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "\ncomparison vs %s:\n", prevPath)
+	fmt.Fprintf(w, "%-58s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	regressions := 0
 	for _, b := range cur.Benchmarks {
 		key := b.Package + "." + b.Name
 		old, ok := base[key]
 		if !ok || old.NsPerOp == 0 {
-			fmt.Printf("%-58s %14s %14.0f %8s\n", shortKey(key), "-", b.NsPerOp, "new")
+			fmt.Fprintf(w, "%-58s %14s %14.0f %8s\n", shortKey(key), "-", b.NsPerOp, "new")
 			continue
 		}
 		delta := (b.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
@@ -247,7 +257,7 @@ func compare(prev, cur *Snapshot, prevPath string, threshold float64) int {
 			marker = "  << REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-58s %14.0f %14.0f %+7.1f%%%s\n", shortKey(key), old.NsPerOp, b.NsPerOp, delta, marker)
+		fmt.Fprintf(w, "%-58s %14.0f %14.0f %+7.1f%%%s\n", shortKey(key), old.NsPerOp, b.NsPerOp, delta, marker)
 	}
 	return regressions
 }

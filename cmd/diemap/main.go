@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	diemap [-die 3] [-sigma 0.12] [-seed 1]
+//	diemap [-die 3] [-sigma 0.12] [-seed 1] [-cores 20] [-grid 256]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vasched/internal/chip"
@@ -22,22 +23,37 @@ import (
 )
 
 func main() {
-	var (
-		die   = flag.Int("die", 0, "die index within the batch")
-		sigma = flag.Float64("sigma", 0.12, "Vth sigma/mu")
-		seed  = flag.Int64("seed", 1, "batch seed")
-	)
-	flag.Parse()
-
-	if err := run(*die, *sigma, *seed); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "diemap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(die int, sigma float64, seed int64) error {
+// run is the testable CLI core: parse args, characterise one die, render.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("diemap", flag.ContinueOnError)
+	var (
+		die   = fs.Int("die", 0, "die index within the batch")
+		sigma = fs.Float64("sigma", 0.12, "Vth sigma/mu")
+		seed  = fs.Int64("seed", 1, "batch seed")
+		cores = fs.Int("cores", 20, "number of cores on the die (area scales with the paper's 20-core/340mm2 chip)")
+		grid  = fs.Int("grid", 0, "variation-map resolution (grid x grid cells; 0 = package default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return render(stdout, *die, *sigma, *seed, *cores, *grid)
+}
+
+func render(w io.Writer, die int, sigma float64, seed int64, cores, grid int) error {
+	if cores <= 0 {
+		return fmt.Errorf("need at least one core, got %d", cores)
+	}
 	cfg := varmodel.DefaultConfig()
 	cfg.VthSigmaOverMu = sigma
+	if grid > 0 {
+		cfg.GridRows, cfg.GridCols = grid, grid
+	}
 	gen, err := varmodel.NewGenerator(cfg)
 	if err != nil {
 		return err
@@ -46,14 +62,16 @@ func run(die int, sigma float64, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fp := floorplan.New20CoreCMP()
+	// Scale die area linearly with core count from the paper's 20-core,
+	// 340 mm2 chip so per-core geometry stays constant.
+	fp := floorplan.NewCMP(cores, 340*float64(cores)/20)
 	c, err := chip.Build(maps, fp, delay.DefaultConfig(), power.DefaultModel(cfg.Tech), thermal.DefaultConfig())
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("die %d (batch seed %d, sigma/mu %.2f)\n\n", die, seed, sigma)
-	fmt.Println("systematic Vth map (. low / # high => fast&leaky .. slow&frugal):")
+	fmt.Fprintf(w, "die %d (batch seed %d, sigma/mu %.2f, %d cores)\n\n", die, seed, sigma, cores)
+	fmt.Fprintln(w, "systematic Vth map (. low / # high => fast&leaky .. slow&frugal):")
 	const cells = 40
 	ramp := []byte(" .:-=+*%#")
 	_, sysSigma, _ := cfg.SigmaVth()
@@ -68,15 +86,15 @@ func run(die int, sigma float64, seed int64) error {
 			if t > 0.999 {
 				t = 0.999
 			}
-			fmt.Printf("%c", ramp[int(t*float64(len(ramp)))])
+			fmt.Fprintf(w, "%c", ramp[int(t*float64(len(ramp)))])
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
-	fmt.Println("\nper-core characterisation (rated at worst-case temperature):")
-	fmt.Printf("%-6s %10s %14s %20s\n", "core", "Fmax(GHz)", "static@1V (W)", "min feasible level")
+	fmt.Fprintln(w, "\nper-core characterisation (rated at worst-case temperature):")
+	fmt.Fprintf(w, "%-6s %10s %14s %20s\n", "core", "Fmax(GHz)", "static@1V (W)", "min feasible level")
 	for core := 0; core < c.NumCores(); core++ {
-		fmt.Printf("C%-5d %10.2f %14.2f %17.2fV\n",
+		fmt.Fprintf(w, "C%-5d %10.2f %14.2f %17.2fV\n",
 			core+1,
 			c.FmaxNominal(core)/1e9,
 			c.StaticAtLevel[core][len(c.Levels)-1],

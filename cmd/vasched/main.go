@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -23,47 +24,58 @@ import (
 )
 
 func main() {
-	var (
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		expID   = flag.String("experiment", "", "experiment id to run, or 'all'")
-		scale   = flag.String("scale", "default", "experiment scale: quick or default")
-		asJSON  = flag.Bool("json", false, "emit experiment results as JSON instead of text")
-		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "die-farm worker goroutines (1 = serial; output is identical at any setting)")
-		run     = flag.Bool("run", false, "run a custom scenario instead of a paper experiment")
-		schedF  = flag.String("sched", vasched.SchedVarFAppIPC, "scheduling policy for -run")
-		manager = flag.String("manager", vasched.ManagerLinOpt, "power manager for -run (DVFS mode)")
-		mode    = flag.String("mode", vasched.ModeDVFS, "CMP configuration for -run")
-		threads = flag.Int("threads", 8, "thread count for -run (apps drawn from the SPEC pool)")
-		budget  = flag.Float64("budget", 60, "chip power target in watts for -run")
-		dur     = flag.Float64("duration", 200, "simulated milliseconds for -run")
-		die     = flag.Int("die", 0, "die index for -run")
-		sigma   = flag.Float64("sigma", 0.12, "Vth sigma/mu for -run")
-	)
-	flag.Parse()
-
-	switch {
-	case *list:
-		fmt.Println("experiments (DESIGN.md section 3 maps ids to paper artefacts):")
-		for _, id := range vasched.ExperimentIDs() {
-			fmt.Println("  " + id)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
 		}
-	case *run:
-		if err := runScenario(*schedF, *manager, *mode, *threads, *budget, *dur, *die, *sigma); err != nil {
-			fmt.Fprintln(os.Stderr, "vasched:", err)
-			os.Exit(1)
-		}
-	case *expID != "":
-		if err := runExperiments(*expID, *scale, *asJSON, *par); err != nil {
-			fmt.Fprintln(os.Stderr, "vasched:", err)
-			os.Exit(1)
-		}
-	default:
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "vasched:", err)
+		os.Exit(1)
 	}
 }
 
-func runExperiments(expID, scale string, asJSON bool, workers int) error {
+// run is the testable CLI core: it parses args, executes, and writes the
+// report to stdout. flag.ErrHelp is returned when there is nothing to do
+// (usage has already been printed).
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("vasched", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		expID   = fs.String("experiment", "", "experiment id to run, or 'all'")
+		scale   = fs.String("scale", "default", "experiment scale: quick or default")
+		asJSON  = fs.Bool("json", false, "emit experiment results as JSON instead of text")
+		par     = fs.Int("parallel", runtime.GOMAXPROCS(0), "die-farm worker goroutines (1 = serial; output is identical at any setting)")
+		runF    = fs.Bool("run", false, "run a custom scenario instead of a paper experiment")
+		schedF  = fs.String("sched", vasched.SchedVarFAppIPC, "scheduling policy for -run")
+		manager = fs.String("manager", vasched.ManagerLinOpt, "power manager for -run (DVFS mode)")
+		mode    = fs.String("mode", vasched.ModeDVFS, "CMP configuration for -run")
+		threads = fs.Int("threads", 8, "thread count for -run (apps drawn from the SPEC pool)")
+		budget  = fs.Float64("budget", 60, "chip power target in watts for -run")
+		dur     = fs.Float64("duration", 200, "simulated milliseconds for -run")
+		die     = fs.Int("die", 0, "die index for -run")
+		sigma   = fs.Float64("sigma", 0.12, "Vth sigma/mu for -run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *list:
+		fmt.Fprintln(stdout, "experiments (DESIGN.md section 3 maps ids to paper artefacts):")
+		for _, id := range vasched.ExperimentIDs() {
+			fmt.Fprintln(stdout, "  "+id)
+		}
+		return nil
+	case *runF:
+		return runScenario(stdout, *schedF, *manager, *mode, *threads, *budget, *dur, *die, *sigma)
+	case *expID != "":
+		return runExperiments(stdout, *expID, *scale, *asJSON, *par)
+	default:
+		fs.Usage()
+		return flag.ErrHelp
+	}
+}
+
+func runExperiments(stdout io.Writer, expID, scale string, asJSON bool, workers int) error {
 	ids := []string{expID}
 	if expID == "all" {
 		ids = vasched.ExperimentIDs()
@@ -79,19 +91,19 @@ func runExperiments(expID, scale string, asJSON bool, workers int) error {
 			if err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
-			fmt.Println(string(blob))
+			fmt.Fprintln(stdout, string(blob))
 			continue
 		}
 		out, err := vasched.RunExperiment(id, vasched.Scale(scale), vasched.WithWorkers(workers))
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		fmt.Printf("==== %s (%v) ====\n%s\n", id, time.Since(start).Round(time.Millisecond), strings.TrimRight(out, "\n"))
+		fmt.Fprintf(stdout, "==== %s (%v) ====\n%s\n", id, time.Since(start).Round(time.Millisecond), strings.TrimRight(out, "\n"))
 	}
 	return nil
 }
 
-func runScenario(schedName, manager, mode string, threads int, budget, durMS float64, die int, sigma float64) error {
+func runScenario(stdout io.Writer, schedName, manager, mode string, threads int, budget, durMS float64, die int, sigma float64) error {
 	opt := vasched.DefaultOptions()
 	opt.DieIndex = die
 	opt.VthSigmaOverMu = sigma
@@ -119,23 +131,23 @@ func runScenario(schedName, manager, mode string, threads int, budget, durMS flo
 	if err != nil {
 		return err
 	}
-	fmt.Printf("die %d (sigma/mu %.2f), %d threads, %s", die, sigma, threads, mode)
+	fmt.Fprintf(stdout, "die %d (sigma/mu %.2f), %d threads, %s", die, sigma, threads, mode)
 	if mode == vasched.ModeDVFS {
-		fmt.Printf(", %s @ %.0f W", manager, budget)
+		fmt.Fprintf(stdout, ", %s @ %.0f W", manager, budget)
 	}
-	fmt.Printf(", scheduler %s, %.0f ms simulated\n\n", schedName, durMS)
-	fmt.Printf("throughput   %9.0f MIPS (weighted %.2f)\n", st.MIPS, st.WeightedThroughput)
-	fmt.Printf("power        %9.1f W (dyn %.1f + static %.1f)\n", st.AvgPowerW, st.DynPowerW, st.StaticPowerW)
+	fmt.Fprintf(stdout, ", scheduler %s, %.0f ms simulated\n\n", schedName, durMS)
+	fmt.Fprintf(stdout, "throughput   %9.0f MIPS (weighted %.2f)\n", st.MIPS, st.WeightedThroughput)
+	fmt.Fprintf(stdout, "power        %9.1f W (dyn %.1f + static %.1f)\n", st.AvgPowerW, st.DynPowerW, st.StaticPowerW)
 	if mode == vasched.ModeDVFS {
-		fmt.Printf("deviation    %9.2f %% from target\n", st.PowerDeviationPct)
+		fmt.Fprintf(stdout, "deviation    %9.2f %% from target\n", st.PowerDeviationPct)
 	}
-	fmt.Printf("frequency    %9.2f GHz mean\n", st.AvgFrequencyGHz)
-	fmt.Printf("hottest block %8.1f C, worst core aging %.2fx nominal\n", st.MaxTempC, st.WearoutMax)
+	fmt.Fprintf(stdout, "frequency    %9.2f GHz mean\n", st.AvgFrequencyGHz)
+	fmt.Fprintf(stdout, "hottest block %8.1f C, worst core aging %.2fx nominal\n", st.MaxTempC, st.WearoutMax)
 	if len(st.Trace) > 1 {
 		const width = 60
-		fmt.Printf("\npower  %s\n", vasched.Sparkline(st.Trace, func(p vasched.TracePoint) float64 { return p.PowerW }, width))
-		fmt.Printf("MIPS   %s\n", vasched.Sparkline(st.Trace, func(p vasched.TracePoint) float64 { return p.MIPS }, width))
-		fmt.Printf("temp   %s\n", vasched.Sparkline(st.Trace, func(p vasched.TracePoint) float64 { return p.MaxTempC }, width))
+		fmt.Fprintf(stdout, "\npower  %s\n", vasched.Sparkline(st.Trace, func(p vasched.TracePoint) float64 { return p.PowerW }, width))
+		fmt.Fprintf(stdout, "MIPS   %s\n", vasched.Sparkline(st.Trace, func(p vasched.TracePoint) float64 { return p.MIPS }, width))
+		fmt.Fprintf(stdout, "temp   %s\n", vasched.Sparkline(st.Trace, func(p vasched.TracePoint) float64 { return p.MaxTempC }, width))
 	}
 	return nil
 }

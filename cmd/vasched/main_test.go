@@ -1,0 +1,108 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestListExperiments pins the -list output: every registered experiment
+// id appears, so operators can discover ext-cluster and friends.
+func TestListExperiments(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"fig4", "fig11", "table5", "ext-cluster"} {
+		if !strings.Contains(out, "\n  "+id+"\n") {
+			t.Errorf("-list output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+// TestNoActionPrintsUsage: bare invocation is a usage error, not a run.
+func TestNoActionPrintsUsage(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err != flag.ErrHelp {
+		t.Fatalf("err = %v, want flag.ErrHelp", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("usage path wrote to stdout: %q", buf.String())
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestUnknownExperiment: the error names the bad id and nothing is printed.
+func TestUnknownExperiment(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-experiment", "fig99"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("err = %v, want mention of fig99", err)
+	}
+}
+
+// TestUnknownScale: scale validation happens before any die work.
+func TestUnknownScale(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-experiment", "fig4", "-scale", "huge"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "huge") {
+		t.Fatalf("err = %v, want mention of scale huge", err)
+	}
+}
+
+// TestRunExperimentQuick runs one real quick-scale experiment through the
+// CLI core and checks the report framing.
+func TestRunExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full quick-scale experiment")
+	}
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "table5", "-scale", "quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "==== table5 (") || !strings.Contains(out, "Table 5") {
+		t.Fatalf("report framing missing:\n%s", out)
+	}
+}
+
+// TestRunExperimentJSON: -json emits a parseable envelope with the id.
+func TestRunExperimentJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full quick-scale experiment")
+	}
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "table5", "-scale", "quick", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"id": "table5"`) || !strings.Contains(out, `"result"`) {
+		t.Fatalf("JSON envelope missing fields:\n%s", out)
+	}
+}
+
+// TestRunScenario drives the -run path on a short simulation and checks
+// the report carries the headline statistics.
+func TestRunScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a platform simulation")
+	}
+	var buf strings.Builder
+	err := run([]string{"-run", "-threads", "4", "-duration", "20", "-budget", "30"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"throughput", "power", "deviation", "frequency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario report missing %q:\n%s", want, out)
+		}
+	}
+}

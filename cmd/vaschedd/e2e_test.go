@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vasched/internal/cluster"
+	"vasched/internal/experiments"
+	"vasched/internal/metrics"
+)
+
+// startWorkers boots n real worker processes-in-miniature: the same
+// cluster.Handler + experiments.Executor stack `vaschedd -worker` serves,
+// each on its own loopback listener.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		ts := httptest.NewServer(cluster.Handler(experiments.NewExecutor(2), metrics.NewRegistry()))
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// TestClusterEndToEnd is the full coordinator+workers acceptance flow on
+// real loopback listeners: submit → poll → result → cancel, with scrapes
+// of /healthz, /metrics, and /v1/cluster along the way, and the rendered
+// report checked byte-for-byte against the committed golden — proving a
+// clustered service run is indistinguishable from a local test run.
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end cluster flow runs full experiments")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	urls := startWorkers(t, 2)
+	srv := newServer(ctx, 2, 2, urls)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	go srv.probeLoop(ctx, 50*time.Millisecond)
+
+	// Liveness and worker registry respond before any job runs.
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	_, body := get(t, ts.URL+"/v1/cluster")
+	var cl struct {
+		Enabled bool                 `json:"enabled"`
+		Workers []cluster.WorkerInfo `json:"workers"`
+	}
+	if err := json.Unmarshal([]byte(body), &cl); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Enabled || len(cl.Workers) != 2 {
+		t.Fatalf("/v1/cluster = %s", body)
+	}
+
+	// Submit the sharded experiment, poll to completion, compare its
+	// rendered report against the committed golden byte for byte.
+	j := postJob(t, ts, `{"experiment":"ext-cluster","scale":"quick"}`)
+	m := waitStatus(t, ts, j.ID, "done", 5*time.Minute)
+	golden, err := os.ReadFile(filepath.Join("..", "..", "internal", "experiments", "testdata", "golden", "ext-cluster.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rendered, _ := m["rendered"].(string); rendered != string(golden) {
+		t.Fatalf("clustered service run diverges from golden:\n%q\nvs\n%q", rendered, golden)
+	}
+	if res, ok := m["result"].(map[string]any); !ok || res["Checksum"] == "" {
+		t.Fatalf("result not typed JSON: %v", m["result"])
+	}
+
+	// The shards really crossed the wire: the coordinator counted them,
+	// and the shared registry renders both job and cluster metrics.
+	_, mets := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`cluster_shards_total{status="ok"}`,
+		`vaschedd_jobs_total{status="done"} 1`,
+	} {
+		if !strings.Contains(mets, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mets)
+		}
+	}
+
+	// Cancel flow: a paper-scale job is aborted mid-flight.
+	j2 := postJob(t, ts, `{"experiment":"ext-cluster","scale":"default"}`)
+	waitStatus(t, ts, j2.ID, "running", time.Minute)
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, j2.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitStatus(t, ts, j2.ID, "cancelled", time.Minute)
+}
+
+// TestClusterSurvivesWorkerLoss kills one of two workers mid-service:
+// jobs keep succeeding (retried onto the survivor or degraded to local)
+// and render identically to the all-workers run.
+func TestClusterSurvivesWorkerLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end cluster flow runs full experiments")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w1 := httptest.NewServer(cluster.Handler(experiments.NewExecutor(2), metrics.NewRegistry()))
+	t.Cleanup(w1.Close)
+	w2 := httptest.NewServer(cluster.Handler(experiments.NewExecutor(2), metrics.NewRegistry()))
+	srv := newServer(ctx, 2, 2, []string{w1.URL, w2.URL})
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+
+	j1 := postJob(t, ts, `{"experiment":"ext-cluster","scale":"quick"}`)
+	m1 := waitStatus(t, ts, j1.ID, "done", 5*time.Minute)
+
+	w2.Close() // one worker dies between jobs
+
+	j2 := postJob(t, ts, `{"experiment":"ext-cluster","scale":"quick"}`)
+	m2 := waitStatus(t, ts, j2.ID, "done", 5*time.Minute)
+	if m1["rendered"] != m2["rendered"] {
+		t.Fatal("run after worker loss diverges from healthy run")
+	}
+}
+
+// TestSplitURLs pins the -workers flag parsing.
+func TestSplitURLs(t *testing.T) {
+	got := splitURLs(" http://a:1/, ,http://b:2 ,")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("splitURLs = %v", got)
+	}
+	if got := splitURLs(""); got != nil {
+		t.Fatalf("splitURLs(\"\") = %v", got)
+	}
+}

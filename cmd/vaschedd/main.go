@@ -5,17 +5,31 @@
 //
 // Usage:
 //
-//	vaschedd [-addr :8080] [-max-jobs N] [-parallel N]
+//	vaschedd [-addr :8080] [-max-jobs N] [-parallel N] [-workers URL,URL]
+//	vaschedd -worker [-addr :8081] [-parallel N]
 //
-// API:
+// The two modes form a sharded cluster: coordinators split every
+// kernel-based die loop into shards and dispatch them to the workers
+// named by -workers, retrying, hedging, and finally degrading back to
+// local execution when workers fail. Results are byte-identical at any
+// worker count, including zero (see internal/cluster and DESIGN.md §8).
+//
+// Coordinator API:
 //
 //	POST   /v1/jobs         {"experiment":"fig4","scale":"quick"}  → 202 + job
 //	GET    /v1/jobs         → all jobs, newest first
 //	GET    /v1/jobs/{id}    → job status + typed result when done
 //	DELETE /v1/jobs/{id}    → cancel a queued/running job
 //	GET    /v1/experiments  → runnable experiment ids
+//	GET    /v1/cluster      → attached worker registry + health
 //	GET    /healthz         → liveness
 //	GET    /metrics         → Prometheus-style counters & latency histograms
+//
+// Worker API (served by -worker):
+//
+//	POST   /v1/shard        → binary shard request/response (internal/cluster codec)
+//	GET    /healthz         → liveness (probed by coordinators)
+//	GET    /metrics         → worker-side shard counters
 //
 // Quick start:
 //
@@ -33,22 +47,56 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
+
+	"vasched/internal/cluster"
+	"vasched/internal/experiments"
+	"vasched/internal/metrics"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		maxJobs = flag.Int("max-jobs", 2, "experiment jobs allowed to run concurrently (others queue)")
-		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "die-farm worker goroutines per job")
+		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "die-farm worker goroutines per job (per shard in -worker mode)")
+		worker  = flag.Bool("worker", false, "run as a cluster worker: serve shard requests instead of the job API")
+		workers = flag.String("workers", "", "comma-separated worker base URLs; shards kernel-based die loops across them")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := newServer(ctx, *maxJobs, *par)
+	if *worker {
+		handler := cluster.Handler(experiments.NewExecutor(*par), metrics.NewRegistry())
+		httpSrv := &http.Server{Addr: *addr, Handler: handler}
+		errCh := make(chan error, 1)
+		go func() { errCh <- httpSrv.ListenAndServe() }()
+		fmt.Fprintf(os.Stderr, "vaschedd: worker listening on %s (parallel %d)\n", *addr, *par)
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(os.Stderr, "vaschedd: worker shutting down")
+			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := httpSrv.Shutdown(shutCtx); err != nil {
+				fmt.Fprintln(os.Stderr, "vaschedd: shutdown:", err)
+			}
+		case err := <-errCh:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "vaschedd:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	srv := newServer(ctx, *maxJobs, *par, splitURLs(*workers))
+	if srv.clust != nil {
+		go srv.probeLoop(ctx, 15*time.Second)
+		fmt.Fprintf(os.Stderr, "vaschedd: clustering across %d workers\n", srv.clust.NumWorkers())
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 
 	errCh := make(chan error, 1)
@@ -74,4 +122,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// splitURLs parses the -workers flag: comma-separated base URLs, empty
+// entries dropped, trailing slashes trimmed.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vasched"
+	"vasched/internal/cluster"
 	"vasched/internal/experiments"
 	"vasched/internal/metrics"
 )
@@ -68,6 +69,10 @@ type server struct {
 	workers int
 	sem     chan struct{}
 	reg     *metrics.Registry
+	// clust, when non-nil, shards every kernel-based die loop across the
+	// configured worker processes (-workers). Its counters land in reg, so
+	// /metrics shows coordinator and cluster health side by side.
+	clust *cluster.Client
 
 	mu     sync.Mutex
 	jobs   map[int]*job
@@ -75,17 +80,37 @@ type server struct {
 	wg     sync.WaitGroup
 }
 
-func newServer(ctx context.Context, maxJobs, workers int) *server {
+func newServer(ctx context.Context, maxJobs, workers int, workerURLs []string) *server {
 	if maxJobs <= 0 {
 		maxJobs = 1
 	}
-	return &server{
+	s := &server{
 		baseCtx: ctx,
 		workers: workers,
 		sem:     make(chan struct{}, maxJobs),
 		reg:     metrics.NewRegistry(),
 		jobs:    make(map[int]*job),
 		nextID:  1,
+	}
+	if len(workerURLs) > 0 {
+		s.clust = cluster.NewClient(workerURLs, cluster.Options{Metrics: s.reg})
+	}
+	return s
+}
+
+// probeLoop health-checks the cluster workers until ctx is cancelled, so
+// a worker that dies between jobs is already marked unavailable when the
+// next job dispatches.
+func (s *server) probeLoop(ctx context.Context, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		s.clust.ProbeAll(ctx)
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return
+		}
 	}
 }
 
@@ -96,6 +121,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -181,10 +207,15 @@ func (s *server) run(ctx context.Context, j *job) {
 	j.Started = time.Now()
 	s.mu.Unlock()
 
-	res, err := vasched.RunExperimentResult(j.Experiment, j.Scale,
+	opts := []vasched.RunOption{
 		vasched.WithWorkers(j.Workers), vasched.WithContext(ctx),
 		vasched.WithDecideHist(s.reg.Histogram(
-			fmt.Sprintf("vaschedd_decide_seconds{experiment=%q}", j.Experiment))))
+			fmt.Sprintf("vaschedd_decide_seconds{experiment=%q}", j.Experiment))),
+	}
+	if s.clust != nil {
+		opts = append(opts, vasched.WithCluster(s.clust))
+	}
+	res, err := vasched.RunExperimentResult(j.Experiment, j.Scale, opts...)
 	rendered := ""
 	if err == nil {
 		rendered = res.Render()
@@ -279,6 +310,14 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"experiments": vasched.ExperimentIDs()})
+}
+
+func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.clust == nil {
+		writeJSON(w, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, map[string]any{"enabled": true, "workers": s.clust.Workers()})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -14,7 +14,7 @@ import (
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(context.Background(), 2, 2)
+	srv := newServer(context.Background(), 2, 2, nil)
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -194,7 +194,7 @@ func TestCancelStopsInFlightWork(t *testing.T) {
 // the base context (what SIGTERM does) aborts queued and running jobs.
 func TestGracefulShutdownCancelsJobs(t *testing.T) {
 	ctx, stop := context.WithCancel(context.Background())
-	srv := newServer(ctx, 1, 2) // max-jobs 1: the second job queues
+	srv := newServer(ctx, 1, 2, nil) // max-jobs 1: the second job queues
 	ts := httptest.NewServer(srv.routes())
 	defer ts.Close()
 

@@ -32,6 +32,7 @@ type runConfig struct {
 	workers    int
 	ctx        context.Context
 	decideHist *metrics.LatencyHist
+	cluster    experiments.ShardRunner
 }
 
 // WithWorkers bounds the die-level parallelism of the farm engine: n
@@ -54,6 +55,16 @@ func WithContext(ctx context.Context) RunOption {
 // does not change any experiment output.
 func WithDecideHist(h *metrics.LatencyHist) RunOption {
 	return func(c *runConfig) { c.decideHist = h }
+}
+
+// WithCluster routes the experiment's kernel-based die loops through a
+// sharded worker cluster (internal/cluster's Client is the production
+// ShardRunner; cmd/vaschedd -workers wires it up). Clustered runs are
+// byte-identical to local ones, and a run degrades back to local
+// execution when the whole cluster is unavailable, so attaching a
+// cluster never changes any experiment output.
+func WithCluster(r experiments.ShardRunner) RunOption {
+	return func(c *runConfig) { c.cluster = r }
 }
 
 // RunExperiment executes one experiment and returns its rendered report.
@@ -101,5 +112,8 @@ func RunExperimentResult(id string, scale Scale, opts ...RunOption) (ExperimentR
 		env.SetContext(cfg.ctx)
 	}
 	env.DecideHist = cfg.decideHist
+	if cfg.cluster != nil {
+		env.Cluster = cfg.cluster
+	}
 	return experiments.Run(id, env)
 }

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []*ShardRequest{
+		{Kernel: "die-ratios", Scale: "quick", Seed: 2008, BatchSeed: 1, Dies: []int{0, 1, 2, 7}},
+		{Kernel: "", Scale: "", Seed: -5, BatchSeed: -9, Dies: nil},
+		{Kernel: "sched-pm", Scale: "default", Seed: 1 << 40, BatchSeed: -(1 << 40), Dies: []int{199}},
+	}
+	for _, req := range cases {
+		buf := EncodeRequest(req)
+		got, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", req, err)
+		}
+		if got.Kernel != req.Kernel || got.Scale != req.Scale || got.Seed != req.Seed || got.BatchSeed != req.BatchSeed {
+			t.Fatalf("round trip mangled header: %+v -> %+v", req, got)
+		}
+		if len(got.Dies) != len(req.Dies) || (len(req.Dies) > 0 && !reflect.DeepEqual(got.Dies, req.Dies)) {
+			t.Fatalf("round trip mangled dies: %v -> %v", req.Dies, got.Dies)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []*ShardResponse{
+		{Blobs: [][]byte{[]byte("a"), []byte(""), []byte("hello world")}},
+		{Blobs: nil},
+		{Blobs: [][]byte{bytes.Repeat([]byte{0xab}, 4096)}},
+	}
+	for _, resp := range cases {
+		buf := EncodeResponse(resp)
+		got, err := DecodeResponse(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got.Blobs) != len(resp.Blobs) {
+			t.Fatalf("blob count %d != %d", len(got.Blobs), len(resp.Blobs))
+		}
+		for i := range resp.Blobs {
+			if !bytes.Equal(got.Blobs[i], resp.Blobs[i]) {
+				t.Fatalf("blob %d mangled", i)
+			}
+		}
+	}
+}
+
+// TestDecodeMalformed feeds the decoders systematically broken payloads:
+// all must come back ErrCorrupt, none may panic or over-allocate.
+func TestDecodeMalformed(t *testing.T) {
+	goodReq := EncodeRequest(&ShardRequest{Kernel: "k", Scale: "quick", Seed: 1, BatchSeed: 2, Dies: []int{1, 2, 3}})
+	goodResp := EncodeResponse(&ShardResponse{Blobs: [][]byte{[]byte("xy"), []byte("z")}})
+
+	check := func(name string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: decode accepted malformed payload", name)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: error %v is not ErrCorrupt", name, err)
+		}
+	}
+
+	// Truncations at every length.
+	for i := 0; i < len(goodReq); i++ {
+		_, err := DecodeRequest(goodReq[:i])
+		check("request truncation", err)
+	}
+	for i := 0; i < len(goodResp); i++ {
+		_, err := DecodeResponse(goodResp[:i])
+		check("response truncation", err)
+	}
+	// Single-bit corruption anywhere must fail the checksum (or a later
+	// structural check).
+	for i := 0; i < len(goodReq); i++ {
+		bad := append([]byte(nil), goodReq...)
+		bad[i] ^= 0x40
+		if _, err := DecodeRequest(bad); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+	// Wrong magic (with a valid checksum).
+	swapped := append([]byte(nil), goodResp[:len(goodResp)-checksumLen]...)
+	copy(swapped, reqMagic[:])
+	_, err := DecodeResponse(appendChecksum(swapped))
+	check("response with request magic", err)
+	// Huge length fields with valid checksums must be rejected by the
+	// structural caps, not by an attempted allocation.
+	huge := append([]byte(nil), respMagic[:]...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0x7f) // ~2^31 blobs
+	_, err = DecodeResponse(appendChecksum(huge))
+	check("huge blob count", err)
+	// Trailing garbage behind a valid body.
+	trailing := append([]byte(nil), goodReq[:len(goodReq)-checksumLen]...)
+	trailing = append(trailing, 0xde, 0xad)
+	_, err = DecodeRequest(appendChecksum(trailing))
+	check("trailing bytes", err)
+	// Empty and tiny payloads.
+	for _, b := range [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0}, checksumLen)} {
+		if _, err := DecodeRequest(b); err == nil {
+			t.Fatal("tiny request accepted")
+		}
+		if _, err := DecodeResponse(b); err == nil {
+			t.Fatal("tiny response accepted")
+		}
+	}
+}
+
+// TestEncodeDeterministic pins that encoding is a pure function — the
+// checksum layer depends on it.
+func TestEncodeDeterministic(t *testing.T) {
+	req := &ShardRequest{Kernel: "die-ratios", Scale: "default", Seed: 3, BatchSeed: 4, Dies: []int{5, 6}}
+	if !bytes.Equal(EncodeRequest(req), EncodeRequest(req)) {
+		t.Fatal("request encoding varies")
+	}
+	resp := &ShardResponse{Blobs: [][]byte{[]byte("b0"), []byte("b1")}}
+	if !bytes.Equal(EncodeResponse(resp), EncodeResponse(resp)) {
+		t.Fatal("response encoding varies")
+	}
+}

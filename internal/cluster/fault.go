@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultAction is what a fault rule does to one shard dispatch.
+type FaultAction int
+
+// Fault actions. FaultDrop models a blackholed response: the dispatch
+// fails with a synthetic timeout *without waiting out the real per-shard
+// timeout*, so retry/degradation paths are testable deterministically.
+// FaultDelay holds the (correct) response back, which is how straggler
+// hedging is exercised. FaultError fails the dispatch with a transport
+// error, and FaultCorrupt flips bytes in the response so the checksum
+// layer has to catch it.
+const (
+	FaultNone FaultAction = iota
+	FaultError
+	FaultDrop
+	FaultCorrupt
+	FaultDelay
+)
+
+// String names the action for metrics labels.
+func (a FaultAction) String() string {
+	switch a {
+	case FaultError:
+		return "error"
+	case FaultDrop:
+		return "drop"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDelay:
+		return "delay"
+	default:
+		return "none"
+	}
+}
+
+// Fault is one injected failure.
+type Fault struct {
+	Action FaultAction
+	// Delay is how long a FaultDelay holds the response back.
+	Delay time.Duration
+}
+
+// errInjected marks coordinator-side injected failures so tests can tell
+// them from organic ones.
+var errInjected = errors.New("cluster: injected fault")
+
+// IsInjected reports whether err came from a FaultPlan rule.
+func IsInjected(err error) bool { return errors.Is(err, errInjected) }
+
+// FaultPlan deterministically injects failures into the coordinator's
+// shard dispatches. Dispatches are numbered 0,1,2,... in the order the
+// client issues them (retries and hedges count too); a rule installed
+// with On(n, f) fires on the nth dispatch exactly once. The plan is the
+// package's testing seam: the whole retry / hedge / degradation state
+// machine can be driven through its worst cases without a flaky network
+// or real timeouts.
+//
+// A plan is safe for concurrent use. The zero value injects nothing.
+type FaultPlan struct {
+	mu    sync.Mutex
+	next  int
+	rules map[int]Fault
+}
+
+// NewFaultPlan returns an empty plan.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+
+// On installs f on the nth dispatch (0-based) and returns the plan for
+// chaining.
+func (p *FaultPlan) On(n int, f Fault) *FaultPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rules == nil {
+		p.rules = make(map[int]Fault)
+	}
+	p.rules[n] = f
+	return p
+}
+
+// SeededFaultPlan builds a plan that flips a seeded coin for each of the
+// first n dispatches, injecting one of actions with probability rate.
+// Same seed, same plan — a chaos run is exactly reproducible.
+func SeededFaultPlan(seed int64, n int, rate float64, actions ...FaultAction) *FaultPlan {
+	if len(actions) == 0 {
+		actions = []FaultAction{FaultError, FaultDrop, FaultCorrupt}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := NewFaultPlan()
+	for i := 0; i < n; i++ {
+		if rng.Float64() < rate {
+			p.On(i, Fault{Action: actions[rng.Intn(len(actions))]})
+		}
+	}
+	return p
+}
+
+// take consumes the next dispatch ordinal and returns its fault (if any).
+// A nil plan injects nothing.
+func (p *FaultPlan) take() (int, Fault) {
+	if p == nil {
+		return -1, Fault{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.next
+	p.next++
+	f := p.rules[n]
+	delete(p.rules, n)
+	return n, f
+}
+
+// Dispatches returns how many dispatches the plan has observed.
+func (p *FaultPlan) Dispatches() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.next
+}
+
+// corrupt returns a copy of buf with one byte flipped (deterministically,
+// near the middle so both header- and payload-area corruption get hit
+// across different buffer sizes).
+func corrupt(buf []byte) []byte {
+	if len(buf) == 0 {
+		return []byte{0xff}
+	}
+	out := append([]byte(nil), buf...)
+	out[len(out)/2] ^= 0xa5
+	return out
+}
+
+// injectedErr builds the error for an injected fault at dispatch n.
+func injectedErr(n int, a FaultAction) error {
+	return fmt.Errorf("%w: %s at dispatch %d", errInjected, a, n)
+}

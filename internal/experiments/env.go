@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"vasched/internal/chip"
+	"vasched/internal/cluster"
 	"vasched/internal/cpusim"
 	"vasched/internal/delay"
 	"vasched/internal/farm"
@@ -77,6 +78,18 @@ type Env struct {
 	// Seed derives all randomness; BatchSeed selects the die batch.
 	Seed      int64
 	BatchSeed int64
+	// Scale names the stock configuration this Env was built from
+	// ("quick" or "default", set by QuickEnv/DefaultEnv). It is the
+	// cluster routing key: a shard request carries only (Scale, Seed,
+	// BatchSeed, kernel, indices), and the worker rebuilds the same stock
+	// Env from it. Leave empty for hand-customised Envs — an empty Scale
+	// disables remote routing, so a custom configuration can never be
+	// silently computed against a stock one on a worker.
+	Scale string
+	// Cluster, when non-nil, routes kernel-based die loops
+	// (ForDiesKernel) to remote workers, degrading to local execution if
+	// the whole cluster is unavailable. Nil runs everything locally.
+	Cluster ShardRunner
 	// Workers bounds the die-level parallelism of the farm engine: the
 	// experiments fan independent dies (and independent timeline trials)
 	// across this many goroutines. 0 means runtime.GOMAXPROCS(0); 1
@@ -131,6 +144,7 @@ func DefaultEnv() (*Env, error) {
 		SAnnEvals:  20000,
 		Seed:       2008,
 		BatchSeed:  1,
+		Scale:      "default",
 	}
 	return e, e.init()
 }
@@ -151,6 +165,7 @@ func QuickEnv() (*Env, error) {
 		SAnnEvals:  4000,
 		Seed:       2008,
 		BatchSeed:  1,
+		Scale:      "quick",
 	}
 	e.VarCfg.GridRows, e.VarCfg.GridCols = 128, 128
 	return e, e.init()
@@ -223,6 +238,59 @@ func (e *Env) ForTasks(n int, fn func(i int) error) error {
 	return farm.Map(e.Context(), e.Workers, n, func(_ context.Context, i int) error {
 		return fn(i)
 	})
+}
+
+// ShardRunner distributes a kernel's index space across remote workers
+// and returns one blob per index, in index order. internal/cluster's
+// Client is the production implementation.
+type ShardRunner interface {
+	Run(ctx context.Context, job cluster.Job, n int) ([][]byte, error)
+}
+
+// ForDiesKernel runs the registered kernel for every index in [0, n) and
+// reduces the serialized results serially in index order. This is the
+// distributable sibling of ForDies: with a Cluster attached (and a stock
+// Scale), the index space is sharded across remote workers; otherwise —
+// or when the whole cluster is down — the kernel runs locally through
+// the farm pool. Both paths produce byte-identical blobs, so the reduce
+// step (and therefore the experiment's rendered report) cannot tell them
+// apart; clustering, shard size, retries, hedging, and degradation are
+// all invisible in the output.
+func (e *Env) ForDiesKernel(name string, n int, reduce func(index int, blob []byte) error) error {
+	if e.Cluster != nil && e.Scale != "" {
+		job := cluster.Job{Kernel: name, Scale: e.Scale, Seed: e.Seed, BatchSeed: e.BatchSeed}
+		blobs, err := e.Cluster.Run(e.Context(), job, n)
+		if err == nil {
+			return reduceBlobs(blobs, reduce)
+		}
+		// Cancellation is not degradation: propagate it.
+		if ctxErr := e.Context().Err(); ctxErr != nil {
+			return ctxErr
+		}
+		// Graceful degradation: the cluster client has already counted
+		// the failed run; recompute everything locally.
+	}
+	k, err := kernelByName(name)
+	if err != nil {
+		return err
+	}
+	blobs, err := farm.Collect(e.Context(), e.Workers, n, func(_ context.Context, i int) ([]byte, error) {
+		return k(e, i)
+	})
+	if err != nil {
+		return err
+	}
+	return reduceBlobs(blobs, reduce)
+}
+
+// reduceBlobs applies reduce serially in index order.
+func reduceBlobs(blobs [][]byte, reduce func(index int, blob []byte) error) error {
+	for i, b := range blobs {
+		if err := reduce(i, b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Floorplan returns the shared 20-core floorplan.

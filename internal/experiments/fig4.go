@@ -1,12 +1,40 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"vasched/internal/chip"
 	"vasched/internal/stats"
 )
+
+// kernelDieRatios is the distributable form of dieRatios: one die in,
+// its max/min core power and frequency ratios out. JSON float64
+// serialisation is exact (shortest round-trip representation), so the
+// decoded values — and every statistic computed from them — are
+// bit-identical whether the kernel ran locally or on a remote worker.
+const kernelDieRatios = "die-ratios"
+
+// dieRatiosBlob is the kernel's wire shape.
+type dieRatiosBlob struct {
+	PowerRatio float64 `json:"pr"`
+	FreqRatio  float64 `json:"fr"`
+}
+
+func init() {
+	RegisterKernel(kernelDieRatios, func(e *Env, die int) ([]byte, error) {
+		c, err := e.Chip(die)
+		if err != nil {
+			return nil, err
+		}
+		pr, fr, err := dieRatios(e, c)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(dieRatiosBlob{PowerRatio: pr, FreqRatio: fr})
+	})
+}
 
 // Fig4Result reproduces Figure 4: histograms, over a batch of dies, of the
 // within-die ratios between the most and least power-consuming core (a)
@@ -29,26 +57,23 @@ func Fig4(e *Env) (*Fig4Result, error) {
 		PowerHist: stats.NewHistogram(1.2, 2.2, 10),
 		FreqHist:  stats.NewHistogram(1.0, 1.6, 12),
 	}
-	// Fan the batch across the farm: each worker fills its die's slot,
-	// then the slots are reduced serially in die order.
-	type ratios struct{ pr, fr float64 }
-	slots := make([]ratios, e.NumDies)
-	err := e.ForDies(e.NumDies, func(die int, c *chip.Chip) error {
-		pr, fr, err := dieRatios(e, c)
-		if err != nil {
-			return err
+	// Fan the batch through the distributable kernel path: locally the
+	// farm fills index-addressed slots, clustered the shards come back
+	// from remote workers — either way the reduction below runs serially
+	// in die order over byte-identical blobs.
+	err := e.ForDiesKernel(kernelDieRatios, e.NumDies, func(die int, blob []byte) error {
+		var s dieRatiosBlob
+		if err := json.Unmarshal(blob, &s); err != nil {
+			return fmt.Errorf("experiments: die %d ratios blob: %w", die, err)
 		}
-		slots[die] = ratios{pr: pr, fr: fr}
+		res.PowerRatio = append(res.PowerRatio, s.PowerRatio)
+		res.FreqRatio = append(res.FreqRatio, s.FreqRatio)
+		res.PowerHist.Add(s.PowerRatio)
+		res.FreqHist.Add(s.FreqRatio)
 		return nil
 	})
 	if err != nil {
 		return nil, err
-	}
-	for _, s := range slots {
-		res.PowerRatio = append(res.PowerRatio, s.pr)
-		res.FreqRatio = append(res.FreqRatio, s.fr)
-		res.PowerHist.Add(s.pr)
-		res.FreqHist.Add(s.fr)
 	}
 	return res, nil
 }
@@ -116,6 +141,10 @@ func Fig5(e *Env) (*Fig5Result, error) {
 	for _, sm := range []float64{0.03, 0.06, 0.09, 0.12} {
 		sub := *e
 		sub.VarCfg.VthSigmaOverMu = sm
+		// The sub-Env is no longer a stock configuration: clear the
+		// cluster routing key so its dies can never be computed remotely
+		// against an unmodified Env.
+		sub.Scale, sub.Cluster = "", nil
 		if err := sub.init(); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DieKernel computes one index's serialized contribution to a
+// distributable experiment loop. The index is usually a die number, but
+// a kernel may encode any index space (e.g. die*Trials+trial for the
+// timeline sweeps). The contract that makes clustering byte-identical to
+// local execution: the returned bytes must be a pure function of the
+// Env's stock configuration (Scale, Seed, BatchSeed) and the index —
+// never of worker identity, wall-clock, or map iteration order.
+type DieKernel func(e *Env, index int) ([]byte, error)
+
+var (
+	kernelMu sync.RWMutex
+	kernels  = map[string]DieKernel{}
+)
+
+// RegisterKernel names a die kernel so shard requests can refer to it on
+// remote workers. Registration happens in package init; duplicate names
+// are programming errors.
+func RegisterKernel(name string, k DieKernel) {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if _, dup := kernels[name]; dup {
+		panic(fmt.Sprintf("experiments: duplicate kernel %q", name))
+	}
+	kernels[name] = k
+}
+
+// kernelByName looks a kernel up.
+func kernelByName(name string) (DieKernel, error) {
+	kernelMu.RLock()
+	defer kernelMu.RUnlock()
+	k, ok := kernels[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown kernel %q (known: %v)", name, KernelNames())
+	}
+	return k, nil
+}
+
+// KernelNames lists the registered kernels in sorted order.
+func KernelNames() []string {
+	kernelMu.RLock()
+	defer kernelMu.RUnlock()
+	names := make([]string, 0, len(kernels))
+	for n := range kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -35,6 +35,7 @@ var registry = map[string]Runner{
 	"ext-sched":    func(e *Env) (Renderer, error) { return ExtSched(e) },
 	"ext-parallel": func(e *Env) (Renderer, error) { return ExtParallel(e) },
 	"ext-abb":      func(e *Env) (Renderer, error) { return ExtABB(e) },
+	"ext-cluster":  func(e *Env) (Renderer, error) { return ExtCluster(e) },
 	"ext-sann-par": func(e *Env) (Renderer, error) { return ExtSAnnPar(e) },
 }
 

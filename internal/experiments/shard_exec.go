@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"vasched/internal/cluster"
+	"vasched/internal/farm"
+)
+
+// Executor is the worker-side bridge between the cluster protocol and
+// the experiment kernels: it rebuilds the stock Env a shard request
+// names (by scale + seeds) and runs the requested kernel over the
+// shard's indices through the local farm pool. Envs are cached per
+// (scale, seed, batch seed), so repeated shards of one experiment share
+// the process-wide die cache exactly like a local run would.
+type Executor struct {
+	workers int
+
+	mu   sync.Mutex
+	envs map[envKey]*Env
+}
+
+type envKey struct {
+	scale     string
+	seed      int64
+	batchSeed int64
+}
+
+// NewExecutor returns an executor whose kernel loops use the given farm
+// worker count (0 = GOMAXPROCS).
+func NewExecutor(workers int) *Executor {
+	return &Executor{workers: workers, envs: make(map[envKey]*Env)}
+}
+
+// ExecuteShard implements cluster.Executor.
+func (x *Executor) ExecuteShard(ctx context.Context, req *cluster.ShardRequest) (*cluster.ShardResponse, error) {
+	base, err := x.env(req.Scale, req.Seed, req.BatchSeed)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernelByName(req.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	// Shallow copy so the request's context doesn't race with concurrent
+	// shards sharing the cached Env (the copy shares the generator mutex
+	// and die cache through pointers, like the fig5 sub-Envs do).
+	env := *base
+	env.SetContext(ctx)
+	blobs, err := farm.Collect(ctx, x.workers, len(req.Dies), func(_ context.Context, i int) ([]byte, error) {
+		return k(&env, req.Dies[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &cluster.ShardResponse{Blobs: blobs}, nil
+}
+
+// env returns the cached stock Env for the key, building it on first use.
+func (x *Executor) env(scale string, seed, batchSeed int64) (*Env, error) {
+	key := envKey{scale: scale, seed: seed, batchSeed: batchSeed}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if e, ok := x.envs[key]; ok {
+		return e, nil
+	}
+	var (
+		e   *Env
+		err error
+	)
+	switch scale {
+	case "quick":
+		e, err = QuickEnv()
+	case "default":
+		e, err = DefaultEnv()
+	default:
+		return nil, fmt.Errorf("experiments: shard request names unknown scale %q", scale)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.Seed = seed
+	e.BatchSeed = batchSeed
+	e.Workers = x.workers
+	x.envs[key] = e
+	return e, nil
+}

@@ -147,6 +147,21 @@ func (s *CirculantSampler) Sample(rng *stats.RNG) (*Field, error) {
 		s.spare = nil
 		return f, nil
 	}
+	a, b, err := s.SamplePair(rng)
+	if err != nil {
+		return nil, err
+	}
+	s.spare = b
+	return a, nil
+}
+
+// SamplePair draws the two independent realisations one transform yields,
+// without touching the spare-field cache that sequential Sample callers
+// rely on. Callers that need random access into the conceptual sequence
+// of fields (e.g. die k of a batch for odd k, regenerated in isolation on
+// a cluster worker) use it to rebuild a transform pair from its seed
+// alone, in any order.
+func (s *CirculantSampler) SamplePair(rng *stats.RNG) (*Field, *Field, error) {
 	n := s.prows * s.pcols
 	norm := 1.0 / math.Sqrt(float64(n))
 	for i := 0; i < n; i++ {
@@ -156,7 +171,7 @@ func (s *CirculantSampler) Sample(rng *stats.RNG) (*Field, error) {
 		s.scratch[i] = complex(rng.Norm()*s.sqrtLambda[i]*norm, rng.Norm()*s.sqrtLambda[i]*norm)
 	}
 	if err := fft.Forward2D(s.scratch, s.prows, s.pcols); err != nil {
-		return nil, fmt.Errorf("grf: sampling transform: %w", err)
+		return nil, nil, fmt.Errorf("grf: sampling transform: %w", err)
 	}
 	a := &Field{Rows: s.cfg.Rows, Cols: s.cfg.Cols, Data: make([]float64, s.cfg.Rows*s.cfg.Cols)}
 	b := &Field{Rows: s.cfg.Rows, Cols: s.cfg.Cols, Data: make([]float64, s.cfg.Rows*s.cfg.Cols)}
@@ -167,6 +182,5 @@ func (s *CirculantSampler) Sample(rng *stats.RNG) (*Field, error) {
 			b.Data[r*s.cfg.Cols+c] = imag(z)
 		}
 	}
-	s.spare = b
-	return a, nil
+	return a, b, nil
 }

@@ -170,7 +170,7 @@ func vertexOf(p *Problem, idx []int) ([]float64, bool) {
 // feasible vertex exists; and a warm-started re-solve of the same problem
 // must agree with the cold result.
 func FuzzSolve(f *testing.F) {
-	f.Add([]byte{0, 0, 32, 32, 16, 16, 0, 40})           // max x+y st x+y/2 <= 1.25
+	f.Add([]byte{0, 0, 32, 32, 16, 16, 0, 40})              // max x+y st x+y/2 <= 1.25
 	f.Add([]byte{1, 1, 32, 16, 32, 32, 1, 40, 16, 0, 2, 8}) // a GE and an EQ row
 	f.Add([]byte{2, 4, 32, 16, 8, 32, 32, 32, 0, 96, 32, 0, 0, 1, 8, 0, 32, 0, 1, 8, 0, 0, 32, 1, 8, 16, 16, 16, 0, 64})
 	f.Add([]byte{0, 2, 248, 32, 1, 16, 16, 2, 8, 224, 0, 40})

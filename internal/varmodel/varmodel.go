@@ -131,6 +131,19 @@ type Generator struct {
 	cfg         Config
 	vthSampler  grf.Sampler
 	leffSampler grf.Sampler
+	// pair holds the unconsumed halves of the last transform pair, so an
+	// in-order batch walk (die 2k, then 2k+1) still costs one FFT per die
+	// per parameter even though Die is addressable in any order.
+	pair *diePair
+}
+
+// diePair caches the second fields of the transform pair computed for an
+// even die, keyed by the (batchSeed, base) that seeded it.
+type diePair struct {
+	batchSeed int64
+	base      int
+	vthB      *grf.Field
+	leffB     *grf.Field
 }
 
 // NewGenerator validates cfg and prepares the field samplers.
@@ -158,18 +171,21 @@ func NewGenerator(cfg Config) (*Generator, error) {
 // Config returns the generator's configuration.
 func (g *Generator) Config() Config { return g.cfg }
 
-// Die generates the die with the given index using a seed derived from
-// (batchSeed, index), so die k of a batch is reproducible in isolation.
+// Die generates the die with the given index. The maps are a pure
+// function of (batchSeed, index): die k's fields do not depend on which
+// dies were generated before it, in what order, or on which process — the
+// property that makes a die batch shardable across cluster workers and a
+// parallel local build bit-identical to a serial one.
+//
+// Circulant sampling yields two independent fields per transform, so the
+// canonical sequence pairs dies: die 2k takes the real part and die 2k+1
+// the imaginary part of the transform seeded by die 2k. Addressing an odd
+// die in isolation recomputes its pair's transform from that seed.
 func (g *Generator) Die(batchSeed int64, index int) (*DieMaps, error) {
 	seed := batchSeed*1_000_003 + int64(index)
-	rng := stats.NewRNG(seed)
-	vth, err := g.vthSampler.Sample(rng.Derive(1))
+	vth, leff, err := g.fields(batchSeed, index)
 	if err != nil {
-		return nil, fmt.Errorf("varmodel: sampling Vth map: %w", err)
-	}
-	leff, err := g.leffSampler.Sample(rng.Derive(2))
-	if err != nil {
-		return nil, fmt.Errorf("varmodel: sampling Leff map: %w", err)
+		return nil, err
 	}
 	_, _, vthRan := g.cfg.SigmaVth()
 	_, _, leffRan := g.cfg.SigmaLeff()
@@ -181,6 +197,46 @@ func (g *Generator) Die(batchSeed int64, index int) (*DieMaps, error) {
 		LeffSigmaRan: leffRan,
 		Seed:         seed,
 	}, nil
+}
+
+// fields samples the systematic Vth and Leff maps for one die.
+func (g *Generator) fields(batchSeed int64, index int) (*grf.Field, *grf.Field, error) {
+	vcs, vok := g.vthSampler.(*grf.CirculantSampler)
+	lcs, lok := g.leffSampler.(*grf.CirculantSampler)
+	if !vok || !lok {
+		// Dense samplers draw one field per call from the die's own
+		// stream; they are order-independent as they stand.
+		rng := stats.NewRNG(batchSeed*1_000_003 + int64(index))
+		vth, err := g.vthSampler.Sample(rng.Derive(1))
+		if err != nil {
+			return nil, nil, fmt.Errorf("varmodel: sampling Vth map: %w", err)
+		}
+		leff, err := g.leffSampler.Sample(rng.Derive(2))
+		if err != nil {
+			return nil, nil, fmt.Errorf("varmodel: sampling Leff map: %w", err)
+		}
+		return vth, leff, nil
+	}
+	base := index &^ 1
+	if p := g.pair; p != nil && index&1 == 1 && p.batchSeed == batchSeed && p.base == base {
+		g.pair = nil
+		return p.vthB, p.leffB, nil
+	}
+	rng := stats.NewRNG(batchSeed*1_000_003 + int64(base))
+	vthA, vthB, err := vcs.SamplePair(rng.Derive(1))
+	if err != nil {
+		return nil, nil, fmt.Errorf("varmodel: sampling Vth map: %w", err)
+	}
+	leffA, leffB, err := lcs.SamplePair(rng.Derive(2))
+	if err != nil {
+		return nil, nil, fmt.Errorf("varmodel: sampling Leff map: %w", err)
+	}
+	if index&1 == 0 {
+		g.pair = &diePair{batchSeed: batchSeed, base: base, vthB: vthB, leffB: leffB}
+		return vthA, leffA, nil
+	}
+	g.pair = nil
+	return vthB, leffB, nil
 }
 
 // Batch generates n dies for the given batch seed.

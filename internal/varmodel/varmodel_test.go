@@ -197,3 +197,67 @@ func TestSigmaOverMuZero(t *testing.T) {
 		t.Fatalf("zero-sigma die has random sigma %v", d.VthSigmaRan)
 	}
 }
+
+// TestDieOrderIndependence pins the property the cluster layer depends
+// on: die k's maps are a pure function of (batchSeed, index), identical
+// whether the batch is walked in order, sampled out of order, or a
+// single die is regenerated in isolation (as a shard worker does). The
+// circulant sampler's pair caching must not leak one call's randomness
+// into the next.
+func TestDieOrderIndependence(t *testing.T) {
+	cfg := testConfig()
+	g1, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := g1.Batch(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order and isolated walks on fresh generators: every die must
+	// reproduce its in-order twin bit for bit (odd indices are the sharp
+	// case: their fields come from the preceding even die's transform).
+	for _, order := range [][]int{{5}, {3, 1}, {5, 0, 3, 4, 1, 2}, {1, 1}} {
+		g2, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range order {
+			d, err := g2.Die(3, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range d.VthSys.Data {
+				if d.VthSys.Data[i] != batch[k].VthSys.Data[i] {
+					t.Fatalf("die %d Vth map differs out of order (walk %v)", k, order)
+				}
+			}
+			for i := range d.LeffSys.Data {
+				if d.LeffSys.Data[i] != batch[k].LeffSys.Data[i] {
+					t.Fatalf("die %d Leff map differs out of order (walk %v)", k, order)
+				}
+			}
+		}
+	}
+	// A different batch seed interleaved mid-batch must not perturb the
+	// pair cache into serving a stale sibling.
+	g3, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g3.Die(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g3.Die(9, 0); err != nil {
+		t.Fatal(err)
+	}
+	d, err := g3.Die(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.VthSys.Data {
+		if d.VthSys.Data[i] != batch[1].VthSys.Data[i] {
+			t.Fatal("interleaved batch seeds perturbed die 1")
+		}
+	}
+}

@@ -171,8 +171,17 @@ func TestDefaultManagerIsLinOpt(t *testing.T) {
 
 func TestExperimentAPI(t *testing.T) {
 	ids := vasched.ExperimentIDs()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Fatalf("ids = %v", ids)
+	}
+	found := false
+	for _, id := range ids {
+		if id == "ext-cluster" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ids missing ext-cluster: %v", ids)
 	}
 	out, err := vasched.RunExperiment("table5", vasched.ScaleQuick)
 	if err != nil {
