@@ -36,12 +36,14 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # ci is the full gate: vet, build, race-enabled tests (includes the
-# golden-file experiment test), the lp and anneal fuzz targets run for
-# 10s each, and a benchmark pass of the hot-path micro-benchmarks
-# compared against the newest committed BENCH_*.json — more than 20%
-# ns/op regression fails. Benchmark baselines are machine-specific:
-# refresh with `make benchsnap` when the reference machine changes.
-ci: vet build race fuzzseed benchcheck
+# golden-file experiment test), the coverage gate, the lp / anneal /
+# shard-codec fuzz targets run for 10s each, and a benchmark pass of the
+# hot-path micro-benchmarks compared against the newest committed
+# BENCH_*.json — more than 20% ns/op regression fails. Benchmark
+# baselines are machine-specific: refresh with `make benchsnap` when the
+# reference machine changes. The hosted pipeline
+# (.github/workflows/ci.yml) runs the same steps as parallel jobs.
+ci: vet build race cover fuzzseed benchcheck
 
 fuzzseed:
 	$(GO) test -fuzz FuzzSolve -fuzztime 10s ./internal/lp
@@ -51,7 +53,7 @@ fuzzseed:
 # cover prints per-package statement coverage and fails if any of the
 # gated packages (the concurrency- and protocol-heavy ones) drops below
 # 80%. Numbers are recorded in EXPERIMENTS.md ("Coverage gate").
-COVER_GATED = vasched/internal/cluster vasched/internal/pm vasched/internal/farm
+COVER_GATED = vasched/internal/cluster vasched/internal/pm vasched/internal/farm vasched/internal/trace
 
 cover:
 	$(GO) test -count=1 -cover ./... | tee /tmp/vasched-cover.txt

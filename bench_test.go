@@ -7,6 +7,7 @@
 package vasched_test
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -183,7 +184,7 @@ func BenchmarkAblationFitPoints(b *testing.B) {
 			m := pm.LinOpt{FitPoints: fit}
 			var tp float64
 			for i := 0; i < b.N; i++ {
-				levels, err := m.Decide(plat, budget, stats.NewRNG(9))
+				levels, err := m.Decide(context.Background(), plat, budget, stats.NewRNG(9))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -213,7 +214,7 @@ func BenchmarkAblationIPCModel(b *testing.B) {
 		b.Run(mgr.Name(), func(b *testing.B) {
 			var tp float64
 			for i := 0; i < b.N; i++ {
-				levels, err := mgr.Decide(plat, budget, stats.NewRNG(9))
+				levels, err := mgr.Decide(context.Background(), plat, budget, stats.NewRNG(9))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -240,7 +241,7 @@ func BenchmarkSolverComparison(b *testing.B) {
 		b.Run(mgr.Name(), func(b *testing.B) {
 			var tp float64
 			for i := 0; i < b.N; i++ {
-				levels, err := mgr.Decide(plat, budget, stats.NewRNG(9))
+				levels, err := mgr.Decide(context.Background(), plat, budget, stats.NewRNG(9))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -46,12 +46,27 @@ type Benchmark struct {
 
 // Snapshot is the persisted BENCH_<date>.json document.
 type Snapshot struct {
-	Date       string      `json:"date"`
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU completes the host fingerprint: timings from machines with
+	// different core counts (or OS/arch) are not comparable, and compare
+	// warns loudly when fingerprints differ.
+	NumCPU     int         `json:"num_cpu,omitempty"`
 	BenchTime  string      `json:"benchtime"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Fingerprint renders the host identity a snapshot's timings are bound
+// to. Old snapshots without num_cpu render with cpu? so a mismatch
+// against them still warns rather than silently comparing.
+func (s *Snapshot) Fingerprint() string {
+	cpu := "cpu?"
+	if s.NumCPU > 0 {
+		cpu = fmt.Sprintf("cpu%d", s.NumCPU)
+	}
+	return fmt.Sprintf("%s/%s/%s", s.GOOS, s.GOARCH, cpu)
 }
 
 func main() {
@@ -130,6 +145,7 @@ func runSuite(pkgs []string, bench, benchtime string) (*Snapshot, error) {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
 		BenchTime: benchtime,
 	}
 	for _, pkg := range pkgs {
@@ -242,6 +258,13 @@ func compare(w io.Writer, prev, cur *Snapshot, prevPath string, threshold float6
 		base[b.Package+"."+b.Name] = b
 	}
 	fmt.Fprintf(w, "\ncomparison vs %s:\n", prevPath)
+	if pf, cf := prev.Fingerprint(), cur.Fingerprint(); pf != cf {
+		fmt.Fprintf(w, "\n"+
+			"  *** HOST FINGERPRINT MISMATCH: baseline %s, this machine %s ***\n"+
+			"  *** cross-machine timings are not comparable — deltas below  ***\n"+
+			"  *** are advisory only; refresh with `make benchsnap` on the  ***\n"+
+			"  *** reference machine before trusting any regression.        ***\n\n", pf, cf)
+	}
 	fmt.Fprintf(w, "%-58s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	regressions := 0
 	for _, b := range cur.Benchmarks {

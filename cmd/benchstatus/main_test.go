@@ -115,6 +115,35 @@ func TestCompareThresholdMath(t *testing.T) {
 	}
 }
 
+// TestFingerprintWarning: comparing snapshots from different hosts prints
+// the loud mismatch banner (including both fingerprints), same-host
+// comparisons stay quiet, and a legacy snapshot without num_cpu renders
+// as cpu? so the mismatch still surfaces.
+func TestFingerprintWarning(t *testing.T) {
+	ref := &Snapshot{GOOS: "linux", GOARCH: "amd64", NumCPU: 1}
+	other := &Snapshot{GOOS: "linux", GOARCH: "amd64", NumCPU: 16}
+	var buf strings.Builder
+	compare(&buf, ref, other, "base.json", 20)
+	out := buf.String()
+	if !strings.Contains(out, "HOST FINGERPRINT MISMATCH") ||
+		!strings.Contains(out, "linux/amd64/cpu1") || !strings.Contains(out, "linux/amd64/cpu16") {
+		t.Fatalf("mismatch banner missing or incomplete:\n%s", out)
+	}
+
+	buf.Reset()
+	compare(&buf, ref, ref, "base.json", 20)
+	if strings.Contains(buf.String(), "MISMATCH") {
+		t.Fatalf("same-host comparison warned:\n%s", buf.String())
+	}
+
+	legacy := &Snapshot{GOOS: "linux", GOARCH: "amd64"}
+	buf.Reset()
+	compare(&buf, legacy, other, "base.json", 20)
+	if !strings.Contains(buf.String(), "linux/amd64/cpu?") {
+		t.Fatalf("legacy snapshot fingerprint not rendered as cpu?:\n%s", buf.String())
+	}
+}
+
 func TestReadSnapshotErrors(t *testing.T) {
 	if _, err := readSnapshot(filepath.Join(t.TempDir(), "nope.json")); err == nil {
 		t.Fatal("missing file accepted")

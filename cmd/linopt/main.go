@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -76,7 +77,7 @@ func run(threads int, budgetW float64, die int) error {
 	managers := []pm.Manager{pm.NewFoxton(), pm.NewLinOpt(), pm.SAnn{MaxEvals: 50000}}
 	for _, m := range managers {
 		start := time.Now()
-		levels, err := m.Decide(plat, b, stats.NewRNG(9))
+		levels, err := m.Decide(context.Background(), plat, b, stats.NewRNG(9))
 		if err != nil {
 			return err
 		}

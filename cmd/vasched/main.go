@@ -7,20 +7,28 @@
 //	vasched -list
 //	vasched -experiment fig11 [-scale quick|default] [-json] [-parallel N]
 //	vasched -experiment all -scale quick
+//	vasched -experiment ext-cluster -cluster 3 -fault-rate 0.2 -trace out.json
 //	vasched -run -sched "VarF&AppIPC" -manager LinOpt -threads 16 -budget 60
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"vasched"
+	"vasched/internal/cluster"
+	"vasched/internal/experiments"
+	"vasched/internal/metrics"
+	"vasched/internal/trace"
 )
 
 func main() {
@@ -53,6 +61,11 @@ func run(args []string, stdout io.Writer) error {
 		dur     = fs.Float64("duration", 200, "simulated milliseconds for -run")
 		die     = fs.Int("die", 0, "die index for -run")
 		sigma   = fs.Float64("sigma", 0.12, "Vth sigma/mu for -run")
+
+		traceOut  = fs.String("trace", "", "write the run's spans as a Chrome trace_event JSON file (experiments only; open in chrome://tracing or Perfetto)")
+		clusterN  = fs.Int("cluster", 0, "spin up N in-process shard workers and route kernel-based die loops through them (output is identical to a local run)")
+		faultRate = fs.Float64("fault-rate", 0, "with -cluster, deterministically inject dispatch faults at this rate in [0,1]; retries recover and outputs are unchanged")
+		faultSeed = fs.Int64("fault-seed", 1, "seed for the -fault-rate fault plan (same seed, same faults)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,22 +81,51 @@ func run(args []string, stdout io.Writer) error {
 	case *runF:
 		return runScenario(stdout, *schedF, *manager, *mode, *threads, *budget, *dur, *die, *sigma)
 	case *expID != "":
-		return runExperiments(stdout, *expID, *scale, *asJSON, *par)
+		return runExperiments(stdout, expRun{
+			id: *expID, scale: *scale, asJSON: *asJSON, workers: *par,
+			traceOut: *traceOut, clusterN: *clusterN,
+			faultRate: *faultRate, faultSeed: *faultSeed,
+		})
 	default:
 		fs.Usage()
 		return flag.ErrHelp
 	}
 }
 
-func runExperiments(stdout io.Writer, expID, scale string, asJSON bool, workers int) error {
-	ids := []string{expID}
-	if expID == "all" {
+// expRun bundles the experiment-mode flags.
+type expRun struct {
+	id, scale string
+	asJSON    bool
+	workers   int
+	traceOut  string
+	clusterN  int
+	faultRate float64
+	faultSeed int64
+}
+
+func runExperiments(stdout io.Writer, cfg expRun) error {
+	opts := []vasched.RunOption{vasched.WithWorkers(cfg.workers)}
+	var tr *trace.Tracer
+	if cfg.traceOut != "" {
+		tr = trace.New(trace.DefaultCapacity)
+		opts = append(opts, vasched.WithContext(trace.WithTracer(context.Background(), tr)))
+	}
+	if cfg.clusterN > 0 {
+		client, stop, err := startLocalCluster(cfg.clusterN, cfg.workers, cfg.faultRate, cfg.faultSeed)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		opts = append(opts, vasched.WithCluster(client))
+	}
+	ids := []string{cfg.id}
+	if cfg.id == "all" {
 		ids = vasched.ExperimentIDs()
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if asJSON {
-			res, err := vasched.RunExperimentResult(id, vasched.Scale(scale), vasched.WithWorkers(workers))
+		if cfg.asJSON {
+			res, err := vasched.RunExperimentResult(id, vasched.Scale(cfg.scale), opts...)
 			if err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
@@ -94,13 +136,62 @@ func runExperiments(stdout io.Writer, expID, scale string, asJSON bool, workers 
 			fmt.Fprintln(stdout, string(blob))
 			continue
 		}
-		out, err := vasched.RunExperiment(id, vasched.Scale(scale), vasched.WithWorkers(workers))
+		out, err := vasched.RunExperiment(id, vasched.Scale(cfg.scale), opts...)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Fprintf(stdout, "==== %s (%v) ====\n%s\n", id, time.Since(start).Round(time.Millisecond), strings.TrimRight(out, "\n"))
 	}
+	if tr != nil {
+		if err := writeTrace(cfg.traceOut, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace: %d spans written to %s (%d evicted)\n", tr.Len(), cfg.traceOut, tr.Dropped())
+	}
 	return nil
+}
+
+// writeTrace dumps the collected spans as Chrome trace_event JSON.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// startLocalCluster boots n in-process shard workers on loopback listeners
+// and returns a coordinator client over them. It is the single-binary
+// version of `vaschedd -worker` x n: same handler, same codec, same retry
+// and fault-injection machinery, no extra processes.
+func startLocalCluster(n, par int, faultRate float64, faultSeed int64) (*cluster.Client, func(), error) {
+	var urls []string
+	var srvs []*http.Server
+	stop := func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("cluster worker %d: %w", i, err)
+		}
+		srv := &http.Server{Handler: cluster.Handler(experiments.NewExecutor(par), metrics.NewRegistry())}
+		go srv.Serve(ln)
+		srvs = append(srvs, srv)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	opt := cluster.Options{}
+	if faultRate > 0 {
+		opt.Fault = cluster.SeededFaultPlan(faultSeed, 4096, faultRate)
+	}
+	return cluster.NewClient(urls, opt), stop, nil
 }
 
 func runScenario(stdout io.Writer, schedName, manager, mode string, threads int, budget, durMS float64, die int, sigma float64) error {

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -85,6 +88,67 @@ func TestRunExperimentJSON(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, `"id": "table5"`) || !strings.Contains(out, `"result"`) {
 		t.Fatalf("JSON envelope missing fields:\n%s", out)
+	}
+}
+
+// TestTracedClusteredRun is the single-binary acceptance path: a clustered
+// ext-cluster run with fault injection and -trace writes a Chrome
+// trace_event file whose span set covers the kernel fan-out and every
+// shard dispatch — while the report matches an untraced local run of the
+// same experiment byte for byte.
+func TestTracedClusteredRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full quick-scale experiment")
+	}
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	var clustered strings.Builder
+	err := run([]string{"-experiment", "ext-cluster", "-scale", "quick",
+		"-cluster", "2", "-fault-rate", "0.3", "-fault-seed", "7",
+		"-trace", tracePath}, &clustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var local strings.Builder
+	if err := run([]string{"-experiment", "ext-cluster", "-scale", "quick"}, &local); err != nil {
+		t.Fatal(err)
+	}
+	trim := func(s string) string {
+		var keep []string
+		for _, l := range strings.Split(s, "\n") {
+			// Wall-clock in the banner and the trace summary differ by design.
+			if strings.HasPrefix(l, "==== ") || strings.HasPrefix(l, "trace: ") {
+				continue
+			}
+			keep = append(keep, l)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if trim(clustered.String()) != trim(local.String()) {
+		t.Errorf("clustered+faulted run diverges from local:\n--- clustered ---\n%s\n--- local ---\n%s",
+			clustered.String(), local.String())
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &chrome); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, ev := range chrome.TraceEvents {
+		names[ev.Name]++
+	}
+	for _, want := range []string{"env.kernel", "cluster.run", "cluster.shard", "cluster.dispatch"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q spans (got %v)", want, names)
+		}
 	}
 }
 

@@ -105,6 +105,42 @@ func TestClusterEndToEnd(t *testing.T) {
 			t.Fatalf("metrics missing %q:\n%s", want, mets)
 		}
 	}
+	validatePrometheus(t, mets)
+
+	// The debug surface serves the clustered run's spans as Chrome trace
+	// JSON: the kernel fan-out and every shard dispatch are in there.
+	dbg := httptest.NewServer(srv.debugMux())
+	t.Cleanup(dbg.Close)
+	_, traceBody := get(t, dbg.URL+"/debug/trace")
+	var chrome struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(traceBody), &chrome); err != nil {
+		t.Fatalf("/debug/trace is not valid JSON: %v\n%s", err, traceBody)
+	}
+	spanNames := map[string]int{}
+	okDispatch := false
+	for _, ev := range chrome.TraceEvents {
+		spanNames[ev.Name]++
+		if ev.Name == "cluster.dispatch" && ev.Args["status"] == "ok" {
+			okDispatch = true
+		}
+	}
+	for _, want := range []string{"env.kernel", "cluster.run", "cluster.shard", "cluster.dispatch"} {
+		if spanNames[want] == 0 {
+			t.Fatalf("/debug/trace missing %q spans (got %v)", want, spanNames)
+		}
+	}
+	if !okDispatch {
+		t.Fatal("/debug/trace has no successful cluster.dispatch span")
+	}
+	if code, _ := get(t, dbg.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d", code)
+	}
 
 	// Cancel flow: a paper-scale job is aborted mid-flight.
 	j2 := postJob(t, ts, `{"experiment":"ext-cluster","scale":"default"}`)
@@ -119,6 +155,43 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 	resp.Body.Close()
 	waitStatus(t, ts, j2.ID, "cancelled", time.Minute)
+}
+
+// validatePrometheus checks text-exposition shape: every sample belongs
+// to a family declared by a preceding # TYPE line (histogram samples via
+// their _bucket/_sum/_count suffixes), and label blocks are balanced.
+func validatePrometheus(t *testing.T, body string) {
+	t.Helper()
+	declared := map[string]string{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) == 4 && f[1] == "TYPE" {
+				declared[f[2]] = f[3]
+			}
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if strings.Contains(line, "{") != strings.Contains(line, "}") {
+			t.Fatalf("unbalanced label braces: %q", line)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suffix); ok && declared[f] == "histogram" {
+				family = f
+				break
+			}
+		}
+		if declared[family] == "" {
+			t.Fatalf("sample %q has no preceding # TYPE for %q", line, family)
+		}
+	}
 }
 
 // TestClusterSurvivesWorkerLoss kills one of two workers mid-service:

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	vaschedd [-addr :8080] [-max-jobs N] [-parallel N] [-workers URL,URL]
+//	vaschedd [-addr :8080] [-max-jobs N] [-parallel N] [-workers URL,URL] [-debug-addr :6060]
 //	vaschedd -worker [-addr :8081] [-parallel N]
 //
 // The two modes form a sharded cluster: coordinators split every
@@ -63,6 +63,7 @@ func main() {
 		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "die-farm worker goroutines per job (per shard in -worker mode)")
 		worker  = flag.Bool("worker", false, "run as a cluster worker: serve shard requests instead of the job API")
 		workers = flag.String("workers", "", "comma-separated worker base URLs; shards kernel-based die loops across them")
+		debug   = flag.String("debug-addr", "", "serve /debug/pprof and /debug/trace (Chrome trace JSON) on this extra address; empty disables")
 	)
 	flag.Parse()
 
@@ -96,6 +97,16 @@ func main() {
 	if srv.clust != nil {
 		go srv.probeLoop(ctx, 15*time.Second)
 		fmt.Fprintf(os.Stderr, "vaschedd: clustering across %d workers\n", srv.clust.NumWorkers())
+	}
+	if *debug != "" {
+		dbgSrv := &http.Server{Addr: *debug, Handler: srv.debugMux()}
+		defer dbgSrv.Close()
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "vaschedd: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "vaschedd: debug endpoints on %s\n", *debug)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 

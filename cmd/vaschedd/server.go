@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"vasched/internal/cluster"
 	"vasched/internal/experiments"
 	"vasched/internal/metrics"
+	"vasched/internal/trace"
 )
 
 // jobStatus is a job's lifecycle state.
@@ -69,6 +71,9 @@ type server struct {
 	workers int
 	sem     chan struct{}
 	reg     *metrics.Registry
+	// tracer ring-buffers spans from every job (farm fan-out, cluster
+	// dispatch, pm decisions); /debug/trace serves them as Chrome JSON.
+	tracer *trace.Tracer
 	// clust, when non-nil, shards every kernel-based die loop across the
 	// configured worker processes (-workers). Its counters land in reg, so
 	// /metrics shows coordinator and cluster health side by side.
@@ -89,6 +94,7 @@ func newServer(ctx context.Context, maxJobs, workers int, workerURLs []string) *
 		workers: workers,
 		sem:     make(chan struct{}, maxJobs),
 		reg:     metrics.NewRegistry(),
+		tracer:  trace.New(trace.DefaultCapacity),
 		jobs:    make(map[int]*job),
 		nextID:  1,
 	}
@@ -208,7 +214,8 @@ func (s *server) run(ctx context.Context, j *job) {
 	s.mu.Unlock()
 
 	opts := []vasched.RunOption{
-		vasched.WithWorkers(j.Workers), vasched.WithContext(ctx),
+		vasched.WithWorkers(j.Workers),
+		vasched.WithContext(trace.WithTracer(ctx, s.tracer)),
 		vasched.WithDecideHist(s.reg.Histogram(
 			fmt.Sprintf("vaschedd_decide_seconds{experiment=%q}", j.Experiment))),
 	}
@@ -327,8 +334,31 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := experiments.SharedDieCacheStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "vaschedd_die_cache_hits_total %d\nvaschedd_die_cache_misses_total %d\n", hits, misses)
+	fmt.Fprintf(w, "# TYPE vaschedd_die_cache_hits_total counter\nvaschedd_die_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# TYPE vaschedd_die_cache_misses_total counter\nvaschedd_die_cache_misses_total %d\n", misses)
 	fmt.Fprint(w, s.reg.Render())
+}
+
+// debugMux is the operator-only debug surface (-debug-addr): pprof
+// profiles plus the collected spans as Chrome trace_event JSON. It is a
+// separate listener so profiling and trace dumps never ride the job API's
+// address (or its exposure).
+func (s *server) debugMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleDebugTrace dumps the span ring buffer in Chrome trace_event
+// format — load it in chrome://tracing or Perfetto.
+func (s *server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	trace.WriteChrome(w, s.tracer.Snapshot())
 }
 
 // view snapshots a job for serialisation.

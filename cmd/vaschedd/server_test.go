@@ -234,9 +234,12 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	body := string(raw)
 	for _, want := range []string{
+		"# TYPE vaschedd_jobs_submitted_total counter",
 		"vaschedd_jobs_submitted_total 1",
 		`vaschedd_jobs_total{status="done"} 1`,
-		`vaschedd_job_seconds{experiment="table5"}_count 1`,
+		"# TYPE vaschedd_job_seconds histogram",
+		`vaschedd_job_seconds_count{experiment="table5"} 1`,
+		`vaschedd_job_seconds_bucket{experiment="table5",le="+Inf"} 1`,
 		"vaschedd_die_cache_hits_total",
 	} {
 		if !strings.Contains(body, want) {

@@ -67,6 +67,9 @@ type Result struct {
 	X     []int
 	Value float64
 	Evals int
+	// Chain is the index of the chain that produced X when solving via
+	// SolveParallel (0 for single-chain solves).
+	Chain int
 }
 
 // Scratch holds the solver's working vectors so repeated solves (one per
@@ -227,7 +230,9 @@ func SolveParallel(prob func(chain int) *Problem, cfg Config, rng *stats.RNG, ch
 		rngs[k] = rng.Derive(int64(k + 1))
 	}
 	results, err := farm.Collect(context.Background(), workers, chains, func(_ context.Context, k int) (Result, error) {
-		return SolveScratch(prob(k), cfg, rngs[k], &Scratch{})
+		r, err := SolveScratch(prob(k), cfg, rngs[k], &Scratch{})
+		r.Chain = k
+		return r, err
 	})
 	if err != nil {
 		return Result{}, err

@@ -13,6 +13,7 @@ import (
 
 	"vasched/internal/farm"
 	"vasched/internal/metrics"
+	"vasched/internal/trace"
 )
 
 // Job identifies the distributable work: which registered kernel to run
@@ -252,6 +253,9 @@ func (c *Client) Run(ctx context.Context, job Job, n int) ([][]byte, error) {
 	}
 	blobs := make([][]byte, n)
 	shards := (n + c.opt.ShardSize - 1) / c.opt.ShardSize
+	ctx, sp := trace.Start(ctx, "cluster.run",
+		trace.String("kernel", job.Kernel), trace.Int("indices", n), trace.Int("shards", shards))
+	defer sp.End()
 	// The shard fan-out reuses the farm engine: index-slotted writes into
 	// blobs, serial reduction by the caller.
 	err := farm.Map(ctx, c.opt.Concurrency, shards, func(ctx context.Context, s int) error {
@@ -260,6 +264,8 @@ func (c *Client) Run(ctx context.Context, job Job, n int) ([][]byte, error) {
 		if hi > n {
 			hi = n
 		}
+		ctx, ssp := trace.Start(ctx, "cluster.shard", trace.Int("lo", lo), trace.Int("hi", hi))
+		defer ssp.End()
 		dies := make([]int, 0, hi-lo)
 		for d := lo; d < hi; d++ {
 			dies = append(dies, d)
@@ -299,11 +305,19 @@ func (c *Client) runShard(ctx context.Context, job Job, dies []int) ([][]byte, e
 		if attempt > 0 {
 			c.opt.Metrics.Counter(`cluster_shard_retries_total`).Inc()
 		}
-		resp, err := c.dispatch(ctx, w, payload, len(dies))
+		dctx, dsp := trace.Start(ctx, "cluster.dispatch", trace.Int("attempt", attempt))
+		resp, err := c.dispatch(dctx, w, payload, len(dies))
 		if err == nil {
+			dsp.AddAttr(trace.String("status", "ok"))
+			dsp.End()
 			c.opt.Metrics.Counter(`cluster_shards_total{status="ok"}`).Inc()
 			return resp.Blobs, nil
 		}
+		dsp.AddAttr(trace.String("status", "error"))
+		if IsInjected(err) {
+			dsp.AddAttr(trace.Bool("fault", true))
+		}
+		dsp.End()
 		lastErr = err
 		avoid = w
 		if ctx.Err() != nil {
@@ -405,6 +419,7 @@ func (c *Client) dispatch(ctx context.Context, w *worker, payload []byte, wantBl
 			hedged = true
 			if w2 := c.pick(w); w2 != nil && w2 != w {
 				c.opt.Metrics.Counter(`cluster_shards_hedged_total`).Inc()
+				trace.Event(ctx, "cluster.hedge")
 				launch(w2)
 				inFlight++
 			}

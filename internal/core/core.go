@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -105,6 +106,10 @@ type Config struct {
 	// can export decision-latency distributions without touching the
 	// aggregate DecideTime/DecideCount statistics.
 	DecideHist *metrics.LatencyHist
+	// Ctx, when non-nil, is threaded into Manager.Decide so tracing
+	// spans opened by the power manager nest under the caller's span.
+	// It is observability-only: the simulation ignores cancellation.
+	Ctx context.Context
 }
 
 func (c *Config) setDefaults() {
@@ -226,6 +231,10 @@ func (s *System) Run(apps []*workload.AppProfile, durationMS float64) (*RunStats
 	if sm, ok := manager.(pm.SessionManager); ok {
 		manager = sm.NewSession()
 	}
+	ctx := s.cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	coreInfos := sensors.CoreInfos(c)
 	aging, err := wearout.NewAccumulator(wearout.DefaultParams(), c.NumCores())
@@ -311,7 +320,7 @@ func (s *System) Run(apps []*workload.AppProfile, durationMS float64) (*RunStats
 				return nil, err
 			}
 			start := time.Now()
-			lv, err := manager.Decide(plat, s.cfg.Budget, pmRNG)
+			lv, err := manager.Decide(ctx, plat, s.cfg.Budget, pmRNG)
 			d := time.Since(start)
 			decideTime += d
 			decideCount++

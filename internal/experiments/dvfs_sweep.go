@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -62,7 +63,7 @@ func dvfsSweep(e *Env, env PowerEnv, combos []Combo, threads []int, obj pm.Objec
 			// values, so sharing them across workers is safe).
 			tasks := e.RunDies * e.Trials
 			slots := make([]*core.RunStats, tasks)
-			err := e.ForTasks(tasks, func(i int) error {
+			err := e.ForTasks(tasks, func(ctx context.Context, i int) error {
 				die, trial := i/e.Trials, i%e.Trials
 				c, err := e.Chip(die)
 				if err != nil {
@@ -74,7 +75,7 @@ func dvfsSweep(e *Env, env PowerEnv, combos []Combo, threads []int, obj pm.Objec
 					Chip: c, CPU: e.CPU(), Scheduler: policy,
 					Mode: core.ModeDVFS, Manager: mgr, Budget: budget,
 					SampleIntervalMS: e.SampleMS, Seed: seed,
-					DecideHist: e.DecideHist,
+					DecideHist: e.DecideHist, Ctx: ctx,
 				})
 				if err != nil {
 					return err

@@ -22,6 +22,7 @@ import (
 	"vasched/internal/pm"
 	"vasched/internal/power"
 	"vasched/internal/thermal"
+	"vasched/internal/trace"
 	"vasched/internal/varmodel"
 	"vasched/internal/workload"
 )
@@ -217,27 +218,27 @@ func (e *Env) Context() context.Context {
 // SetContext attaches a cancellation context to the Env.
 func (e *Env) SetContext(ctx context.Context) { e.ctx = ctx }
 
-// ForDies runs fn(die, chip) for every die in [0, n) through the farm
-// worker pool (Workers-wide). Characterised dies come from the shared
-// cache. fn must only write to state addressed by its die index; callers
-// reduce the slots serially afterwards, which keeps parallel results
-// bit-identical to the serial path.
-func (e *Env) ForDies(n int, fn func(die int, c *chip.Chip) error) error {
-	return farm.Map(e.Context(), e.Workers, n, func(_ context.Context, die int) error {
+// ForDies runs fn(ctx, die, chip) for every die in [0, n) through the
+// farm worker pool (Workers-wide). Characterised dies come from the
+// shared cache. fn must only write to state addressed by its die index;
+// callers reduce the slots serially afterwards, which keeps parallel
+// results bit-identical to the serial path. The callback's context
+// carries the per-task tracing span (fn must not let it affect results).
+func (e *Env) ForDies(n int, fn func(ctx context.Context, die int, c *chip.Chip) error) error {
+	return farm.Map(e.Context(), e.Workers, n, func(ctx context.Context, die int) error {
 		c, err := e.Chip(die)
 		if err != nil {
 			return err
 		}
-		return fn(die, c)
+		return fn(ctx, die, c)
 	})
 }
 
-// ForTasks runs fn(i) for every task index in [0, n) through the farm
-// worker pool — the die×trial fan-out used by the timeline sweeps.
-func (e *Env) ForTasks(n int, fn func(i int) error) error {
-	return farm.Map(e.Context(), e.Workers, n, func(_ context.Context, i int) error {
-		return fn(i)
-	})
+// ForTasks runs fn(ctx, i) for every task index in [0, n) through the
+// farm worker pool — the die×trial fan-out used by the timeline sweeps.
+// The callback's context carries the per-task tracing span.
+func (e *Env) ForTasks(n int, fn func(ctx context.Context, i int) error) error {
+	return farm.Map(e.Context(), e.Workers, n, fn)
 }
 
 // ShardRunner distributes a kernel's index space across remote workers
@@ -257,25 +258,34 @@ type ShardRunner interface {
 // apart; clustering, shard size, retries, hedging, and degradation are
 // all invisible in the output.
 func (e *Env) ForDiesKernel(name string, n int, reduce func(index int, blob []byte) error) error {
-	if e.Cluster != nil && e.Scale != "" {
+	clustered := e.Cluster != nil && e.Scale != ""
+	path := "local"
+	if clustered {
+		path = "cluster"
+	}
+	ctx, sp := trace.Start(e.Context(), "env.kernel",
+		trace.String("kernel", name), trace.Int("n", n), trace.String("path", path))
+	defer sp.End()
+	if clustered {
 		job := cluster.Job{Kernel: name, Scale: e.Scale, Seed: e.Seed, BatchSeed: e.BatchSeed}
-		blobs, err := e.Cluster.Run(e.Context(), job, n)
+		blobs, err := e.Cluster.Run(ctx, job, n)
 		if err == nil {
 			return reduceBlobs(blobs, reduce)
 		}
 		// Cancellation is not degradation: propagate it.
-		if ctxErr := e.Context().Err(); ctxErr != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
 			return ctxErr
 		}
 		// Graceful degradation: the cluster client has already counted
 		// the failed run; recompute everything locally.
+		trace.Event(ctx, "cluster.degrade")
 	}
 	k, err := kernelByName(name)
 	if err != nil {
 		return err
 	}
-	blobs, err := farm.Collect(e.Context(), e.Workers, n, func(_ context.Context, i int) ([]byte, error) {
-		return k(e, i)
+	blobs, err := farm.Collect(ctx, e.Workers, n, func(ctx context.Context, i int) ([]byte, error) {
+		return k(ctx, e, i)
 	})
 	if err != nil {
 		return err

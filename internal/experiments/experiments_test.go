@@ -21,6 +21,33 @@ func quickEnv(t *testing.T) *Env {
 	return envVal
 }
 
+var (
+	quickRunMu  sync.Mutex
+	quickRunRes = map[string]Renderer{}
+)
+
+// quickRun executes one experiment on the shared quick Env, memoized
+// process-wide. Every experiment is a pure function of (Env, id) — the
+// property TestGolden pins — so the full-registry sweeps (goldens,
+// smoke, render anchors) can all assert on the same single run instead
+// of tripling the most expensive work in the suite. Under -race that
+// sharing is what keeps this package inside the test binary's timeout.
+func quickRun(t *testing.T, id string) Renderer {
+	t.Helper()
+	e := quickEnv(t)
+	quickRunMu.Lock()
+	defer quickRunMu.Unlock()
+	if r, ok := quickRunRes[id]; ok {
+		return r
+	}
+	r, err := Run(id, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quickRunRes[id] = r
+	return r
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ext-abb", "ext-cluster", "ext-parallel", "ext-sann-par", "ext-sched",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
@@ -229,8 +256,11 @@ func TestFig15GrowsWithThreads(t *testing.T) {
 	if twenty < one {
 		t.Fatalf("20-thread solve (%v) faster than 1-thread (%v)", twenty, one)
 	}
-	// Solves must stay well under the 10 ms re-solve interval.
-	if twenty > 5*time.Millisecond {
+	// Solves must stay well under the 10 ms re-solve interval. The race
+	// detector slows the simplex several-fold, which would turn this
+	// real-time claim into a benchmark of the detector — assert the
+	// wall-clock bound only in normal builds.
+	if !raceEnabled && twenty > 5*time.Millisecond {
 		t.Fatalf("20-thread solve %v too slow to run every 10 ms", twenty)
 	}
 }

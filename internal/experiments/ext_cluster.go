@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -33,7 +34,7 @@ type schedPMBlob struct {
 }
 
 func init() {
-	RegisterKernel(kernelSchedPM, func(e *Env, index int) ([]byte, error) {
+	RegisterKernel(kernelSchedPM, func(ctx context.Context, e *Env, index int) ([]byte, error) {
 		die, trial := index/e.Trials, index%e.Trials
 		c, err := e.Chip(die)
 		if err != nil {
@@ -49,7 +50,7 @@ func init() {
 		}
 		budget := CostPerformance.Budget(clusterThreads, e.Floorplan().NumCores)
 		mgr := pm.LinOpt{FitPoints: 3}
-		levels, err := mgr.Decide(plat, budget, stats.NewRNG(seed))
+		levels, err := mgr.Decide(ctx, plat, budget, stats.NewRNG(seed))
 		if err != nil {
 			return nil, err
 		}

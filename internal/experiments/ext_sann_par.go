@@ -56,7 +56,7 @@ func ExtSAnnPar(e *Env) (*ExtSAnnParResult, error) {
 				return nil, err
 			}
 			mgr := pm.SAnn{MaxEvals: e.SAnnEvals, Chains: chains, Workers: e.Workers}
-			levels, err := mgr.Decide(plat, budget, stats.NewRNG(seed))
+			levels, err := mgr.Decide(e.Context(), plat, budget, stats.NewRNG(seed))
 			if err != nil {
 				return nil, err
 			}

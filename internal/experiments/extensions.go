@@ -153,7 +153,7 @@ func ExtParallel(e *Env) (*ExtParallelResult, error) {
 		{"similar + LinOpt(min-speed)", similar, pm.LinOpt{FitPoints: 3, Objective: pm.ObjMinSpeed}},
 	}
 	for _, cs := range cases {
-		r, err := parallel.Budgeted(c, e.CPU(), job, cs.cores, cs.mgr, budget, e.Seed)
+		r, err := parallel.Budgeted(e.Context(), c, e.CPU(), job, cs.cores, cs.mgr, budget, e.Seed)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -23,7 +24,7 @@ type dieRatiosBlob struct {
 }
 
 func init() {
-	RegisterKernel(kernelDieRatios, func(e *Env, die int) ([]byte, error) {
+	RegisterKernel(kernelDieRatios, func(_ context.Context, e *Env, die int) ([]byte, error) {
 		c, err := e.Chip(die)
 		if err != nil {
 			return nil, err
@@ -150,7 +151,7 @@ func Fig5(e *Env) (*Fig5Result, error) {
 		}
 		type ratios struct{ pr, fr float64 }
 		slots := make([]ratios, e.NumDies)
-		err := sub.ForDies(e.NumDies, func(die int, c *chip.Chip) error {
+		err := sub.ForDies(e.NumDies, func(_ context.Context, die int, c *chip.Chip) error {
 			pr, fr, err := dieRatios(&sub, c)
 			if err != nil {
 				return err

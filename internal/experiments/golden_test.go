@@ -43,15 +43,10 @@ func TestGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden sweep runs every experiment; skipped in -short")
 	}
-	e := quickEnv(t)
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			r, err := Run(id, e)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := normalizeGolden(id, r.Render())
+			got := normalizeGolden(id, quickRun(t, id).Render())
 			path := filepath.Join("testdata", "golden", id+".txt")
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

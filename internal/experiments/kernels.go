@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,8 +13,10 @@ import (
 // timeline sweeps). The contract that makes clustering byte-identical to
 // local execution: the returned bytes must be a pure function of the
 // Env's stock configuration (Scale, Seed, BatchSeed) and the index —
-// never of worker identity, wall-clock, or map iteration order.
-type DieKernel func(e *Env, index int) ([]byte, error)
+// never of worker identity, wall-clock, or map iteration order. The
+// context carries tracing state only (and cancellation through the
+// Env); it must not influence the returned bytes.
+type DieKernel func(ctx context.Context, e *Env, index int) ([]byte, error)
 
 var (
 	kernelMu sync.RWMutex

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The full-experiment observability tests skip under it: they
+// pin determinism, not concurrency, and the ~10x race slowdown on the
+// quick experiment suite would push the package past the test timeout
+// on small machines.
+const raceEnabled = true

@@ -11,7 +11,6 @@ import (
 // paper. (The numeric correctness is asserted by the per-experiment tests;
 // this guards the human-facing reports.)
 func TestRendersContainKeyContent(t *testing.T) {
-	e := quickEnv(t)
 	cases := map[string][]string{
 		"table5":       {"Table 5", "bzip2", "vortex", "IPC"},
 		"fig4":         {"Figure 4", "power ratio", "frequency ratio", "paper"},
@@ -36,11 +35,7 @@ func TestRendersContainKeyContent(t *testing.T) {
 	for id, anchors := range cases {
 		id, anchors := id, anchors
 		t.Run(id, func(t *testing.T) {
-			r, err := Run(id, e)
-			if err != nil {
-				t.Fatal(err)
-			}
-			out := r.Render()
+			out := quickRun(t, id).Render()
 			for _, a := range anchors {
 				if !strings.Contains(out, a) {
 					t.Errorf("rendering missing %q:\n%s", a, out)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -37,7 +38,7 @@ func schedSweep(e *Env, mode core.Mode, policyNames []string, threads []int) (ma
 			// trial), so slots reduce in the serial loop's order.
 			tasks := e.RunDies * e.Trials
 			slots := make([]*core.RunStats, tasks)
-			err := e.ForTasks(tasks, func(i int) error {
+			err := e.ForTasks(tasks, func(ctx context.Context, i int) error {
 				die, trial := i/e.Trials, i%e.Trials
 				c, err := e.Chip(die)
 				if err != nil {
@@ -47,7 +48,7 @@ func schedSweep(e *Env, mode core.Mode, policyNames []string, threads []int) (ma
 				apps := workload.Mix(stats.NewRNG(seed), n)
 				sys, err := core.New(core.Config{
 					Chip: c, CPU: e.CPU(), Scheduler: policy, Mode: mode,
-					SampleIntervalMS: e.SampleMS, Seed: seed,
+					SampleIntervalMS: e.SampleMS, Seed: seed, Ctx: ctx,
 				})
 				if err != nil {
 					return err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,7 +31,7 @@ func Sec74(e *Env) (*Sec74Result, error) {
 		// Die×trial fan-out through the farm; reduce in serial order.
 		tasks := e.RunDies * e.Trials
 		slots := make([]*core.RunStats, tasks)
-		err = e.ForTasks(tasks, func(i int) error {
+		err = e.ForTasks(tasks, func(ctx context.Context, i int) error {
 			die, trial := i/e.Trials, i%e.Trials
 			c, err := e.Chip(die)
 			if err != nil {
@@ -40,7 +41,7 @@ func Sec74(e *Env) (*Sec74Result, error) {
 			apps := workload.Mix(stats.NewRNG(seed), 20)
 			sys, err := core.New(core.Config{
 				Chip: c, CPU: e.CPU(), Scheduler: policy, Mode: mode,
-				SampleIntervalMS: e.SampleMS, Seed: seed,
+				SampleIntervalMS: e.SampleMS, Seed: seed, Ctx: ctx,
 			})
 			if err != nil {
 				return err
@@ -125,15 +126,15 @@ func SAnnVsExhaustive(e *Env) (*SAnnValidationResult, error) {
 				}
 				return sum
 			}
-			exh, err := pm.NewExhaustive().Decide(plat, budget, stats.NewRNG(seed))
+			exh, err := pm.NewExhaustive().Decide(e.Context(), plat, budget, stats.NewRNG(seed))
 			if err != nil {
 				return nil, err
 			}
-			sann, err := pm.SAnn{MaxEvals: e.SAnnEvals * 5}.Decide(plat, budget, stats.NewRNG(seed))
+			sann, err := pm.SAnn{MaxEvals: e.SAnnEvals * 5}.Decide(e.Context(), plat, budget, stats.NewRNG(seed))
 			if err != nil {
 				return nil, err
 			}
-			lin, err := pm.NewLinOpt().Decide(plat, budget, stats.NewRNG(seed))
+			lin, err := pm.NewLinOpt().Decide(e.Context(), plat, budget, stats.NewRNG(seed))
 			if err != nil {
 				return nil, err
 			}

@@ -49,8 +49,8 @@ func (x *Executor) ExecuteShard(ctx context.Context, req *cluster.ShardRequest) 
 	// and die cache through pointers, like the fig5 sub-Envs do).
 	env := *base
 	env.SetContext(ctx)
-	blobs, err := farm.Collect(ctx, x.workers, len(req.Dies), func(_ context.Context, i int) ([]byte, error) {
-		return k(&env, req.Dies[i])
+	blobs, err := farm.Collect(ctx, x.workers, len(req.Dies), func(ctx context.Context, i int) ([]byte, error) {
+		return k(ctx, &env, req.Dies[i])
 	})
 	if err != nil {
 		return nil, err

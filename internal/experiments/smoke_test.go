@@ -8,18 +8,10 @@ import (
 // TestQuickSmoke runs every registered experiment on the quick Env and
 // checks the outputs render.
 func TestQuickSmoke(t *testing.T) {
-	e, err := QuickEnv()
-	if err != nil {
-		t.Fatal(err)
-	}
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			r, err := Run(id, e)
-			if err != nil {
-				t.Fatal(err)
-			}
-			out := r.Render()
+			out := quickRun(t, id).Render()
 			if len(strings.TrimSpace(out)) == 0 {
 				t.Fatal("empty render")
 			}

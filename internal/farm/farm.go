@@ -22,6 +22,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"vasched/internal/trace"
 )
 
 // Workers normalises a worker-count request: n if positive, otherwise
@@ -48,12 +50,23 @@ func Map(ctx context.Context, workers, n int, fn func(ctx context.Context, i int
 	if workers > n {
 		workers = n
 	}
+	ctx, sp := trace.Start(ctx, "farm.map",
+		trace.Int("tasks", n), trace.Int("workers", workers))
+	defer sp.End()
+	// task wraps fn in a per-index span. The span structure (one
+	// farm.task per index, children under it) is identical for every
+	// workers value; only timestamps differ.
+	task := func(ctx context.Context, i int) error {
+		ctx, tsp := trace.Start(ctx, "farm.task", trace.Int("index", i))
+		defer tsp.End()
+		return fn(ctx, i)
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := task(ctx, i); err != nil {
 				return err
 			}
 		}
@@ -93,7 +106,7 @@ func Map(ctx context.Context, workers, n int, fn func(ctx context.Context, i int
 				if i < 0 {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := task(ctx, i); err != nil {
 					mu.Lock()
 					errs[i] = err
 					fail = true

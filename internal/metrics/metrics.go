@@ -231,19 +231,50 @@ func (h *LatencyHist) Sum() float64 {
 	return h.sum
 }
 
-// render writes the histogram as Prometheus bucket/sum/count lines.
-func (h *LatencyHist) render(b *strings.Builder, name string) {
+// render writes the histogram as Prometheus bucket/sum/count lines for
+// the series family + labels ("" for an unlabelled series). The le label
+// merges into the series' own label set, as the text exposition format
+// requires.
+func (h *LatencyHist) render(b *strings.Builder, family, labels string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	cum := int64(0)
 	for i, bound := range h.bounds {
 		cum += h.counts[i]
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		fmt.Fprintf(b, "%s %d\n", series(family+"_bucket", labels, `le="`+strconv.FormatFloat(bound, 'g', -1, 64)+`"`), cum)
 	}
 	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(b, "%s_sum %g\n", name, h.sum)
-	fmt.Fprintf(b, "%s_count %d\n", name, h.n)
+	fmt.Fprintf(b, "%s %d\n", series(family+"_bucket", labels, `le="+Inf"`), cum)
+	fmt.Fprintf(b, "%s %g\n", series(family+"_sum", labels, ""), h.sum)
+	fmt.Fprintf(b, "%s %d\n", series(family+"_count", labels, ""), h.n)
+}
+
+// splitName separates a metric name into its family and label-body parts:
+// `jobs_total{status="done"}` → ("jobs_total", `status="done"`). A name
+// without labels returns ("name", "").
+func splitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	family = name[:i]
+	labels = strings.TrimSuffix(name[i+1:], "}")
+	return family, labels
+}
+
+// series renders one sample line's name part, merging the metric's own
+// labels with an extra label (both optional).
+func series(family, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return family
+	case labels == "":
+		return family + "{" + extra + "}"
+	case extra == "":
+		return family + "{" + labels + "}"
+	default:
+		return family + "{" + labels + "," + extra + "}"
+	}
 }
 
 // Registry is a named collection of counters and latency histograms. All
@@ -290,8 +321,12 @@ func (r *Registry) Histogram(name string) *LatencyHist {
 	return h
 }
 
-// Render returns the registry as Prometheus-style text, metrics sorted by
-// name so the output is deterministic.
+// Render returns the registry in the Prometheus text exposition format
+// (version 0.0.4): every metric family gets a `# TYPE` line (counter or
+// histogram), label sets on histogram series merge with the generated
+// `le` label, and families and series are sorted by name so the output
+// is deterministic and scrape-diffable. Counters render before
+// histograms.
 func (r *Registry) Render() string {
 	r.mu.Lock()
 	cnames := make([]string, 0, len(r.counters))
@@ -312,14 +347,29 @@ func (r *Registry) Render() string {
 	}
 	r.mu.Unlock()
 
+	// Sorting full names groups the series of one family contiguously
+	// (the family is a prefix of every series name), which the text
+	// format requires: all samples of a family must follow its TYPE line.
 	sort.Strings(cnames)
 	sort.Strings(hnames)
 	var b strings.Builder
+	lastFamily := ""
 	for _, name := range cnames {
+		family, _ := splitName(name)
+		if family != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s counter\n", family)
+			lastFamily = family
+		}
 		fmt.Fprintf(&b, "%s %d\n", name, counters[name].Value())
 	}
+	lastFamily = ""
 	for _, name := range hnames {
-		hists[name].render(&b, name)
+		family, labels := splitName(name)
+		if family != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", family)
+			lastFamily = family
+		}
+		hists[name].render(&b, family, labels)
 	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -158,18 +159,122 @@ func TestRegistryRenderDeterministic(t *testing.T) {
 		t.Fatal("render not deterministic")
 	}
 	for _, want := range []string{
+		"# TYPE jobs_total counter",
 		`jobs_total{status="done"} 3`,
 		`jobs_total{status="failed"} 1`,
-		`job_seconds{experiment="fig4"}_count 1`,
-		`job_seconds{experiment="fig4"}_bucket{le="+Inf"} 1`,
+		"# TYPE job_seconds histogram",
+		`job_seconds_count{experiment="fig4"} 1`,
+		`job_seconds_sum{experiment="fig4"} 1.5`,
+		`job_seconds_bucket{experiment="fig4",le="+Inf"} 1`,
+		`job_seconds_bucket{experiment="fig4",le="4.096"} 1`,
 	} {
 		if !strings.Contains(out1, want) {
 			t.Fatalf("render missing %q:\n%s", want, out1)
 		}
 	}
 	// Counters render before histograms, both sorted by name.
-	if strings.Index(out1, "jobs_total") > strings.Index(out1, "job_seconds{experiment=\"fig4\"}_bucket") {
+	if strings.Index(out1, "jobs_total") > strings.Index(out1, "job_seconds_bucket") {
 		t.Fatal("counters must render before histograms")
+	}
+}
+
+// TestRegistryRenderGolden pins the exact exposition text so the format
+// never drifts: one labelled counter family with two series, one
+// unlabelled histogram with a single sub-millisecond observation (only
+// cumulative bucket counts and +Inf vary thereafter).
+func TestRegistryRenderGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`rpc_total{code="ok"}`).Add(2)
+	r.Counter(`rpc_total{code="err"}`).Inc()
+	r.Histogram("wait_seconds").Observe(0.0005)
+	want := `# TYPE rpc_total counter
+rpc_total{code="err"} 1
+rpc_total{code="ok"} 2
+# TYPE wait_seconds histogram
+wait_seconds_bucket{le="0.001"} 1
+wait_seconds_bucket{le="0.004"} 1
+wait_seconds_bucket{le="0.016"} 1
+wait_seconds_bucket{le="0.064"} 1
+wait_seconds_bucket{le="0.256"} 1
+wait_seconds_bucket{le="1.024"} 1
+wait_seconds_bucket{le="4.096"} 1
+wait_seconds_bucket{le="16.384"} 1
+wait_seconds_bucket{le="65.536"} 1
+wait_seconds_bucket{le="262.144"} 1
+wait_seconds_bucket{le="1048.576"} 1
+wait_seconds_bucket{le="+Inf"} 1
+wait_seconds_sum 0.0005
+wait_seconds_count 1
+`
+	if got := r.Render(); got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRenderPrometheusValidity checks structural invariants of the text
+// exposition format on a mixed registry: every sample line's family is
+// declared by a preceding # TYPE line, label bodies are well-formed, and
+// histogram buckets are cumulative ending at +Inf == _count.
+func TestRenderPrometheusValidity(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total").Add(7)
+	r.Counter(`multi_total{a="1",b="2"}`).Inc()
+	h := r.Histogram(`lat_seconds{op="solve"}`)
+	h.Observe(0.002)
+	h.Observe(0.1)
+	h.Observe(3000)
+	typed := map[string]string{}
+	var lastCum int64 = -1
+	var infCum, count int64
+	for _, line := range strings.Split(strings.TrimSuffix(r.Render(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[fields[2]] = fields[3]
+			continue
+		}
+		name, _, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		family, labels := splitName(name)
+		base := family
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if cut, found := strings.CutSuffix(family, suffix); found && typed[cut] == "histogram" {
+				base = cut
+			}
+		}
+		if typed[base] == "" {
+			t.Fatalf("sample %q has no preceding # TYPE for %q", line, base)
+		}
+		if labels != "" && (strings.HasPrefix(labels, ",") || strings.Contains(labels, "{")) {
+			t.Fatalf("malformed labels in %q", line)
+		}
+		val, _ := strings.CutPrefix(line, name+" ")
+		if strings.HasSuffix(family, "_bucket") {
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q not integer: %v", val, err)
+			}
+			if n < lastCum {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			lastCum = n
+			if strings.Contains(labels, `le="+Inf"`) {
+				infCum = n
+			}
+		}
+		if strings.HasSuffix(family, "_count") && base == "lat_seconds" {
+			count, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	if typed["plain_total"] != "counter" || typed["multi_total"] != "counter" || typed["lat_seconds"] != "histogram" {
+		t.Fatalf("TYPE declarations wrong: %v", typed)
+	}
+	if infCum != 3 || count != 3 {
+		t.Fatalf("+Inf bucket %d and _count %d must both equal 3", infCum, count)
 	}
 }
 

@@ -13,6 +13,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -253,13 +254,14 @@ func (p *jobPlatform) RefIPS(c int) float64     { return p.refIPS[c] }
 
 // Budgeted solves the job's operating points with the given manager and
 // budget on the given cores, then runs the job. It is the glue the
-// ext-parallel experiment and tests use.
-func Budgeted(c *chip.Chip, cpu *cpusim.Model, job Job, cores []int, mgr pm.Manager, budget pm.Budget, rngSeed int64) (*Result, error) {
+// ext-parallel experiment and tests use. The context only carries
+// tracing state for the manager's decision span.
+func Budgeted(ctx context.Context, c *chip.Chip, cpu *cpusim.Model, job Job, cores []int, mgr pm.Manager, budget pm.Budget, rngSeed int64) (*Result, error) {
 	plat, err := NewJobPlatform(c, cpu, job, cores)
 	if err != nil {
 		return nil, err
 	}
-	levels, err := mgr.Decide(plat, budget, stats.NewRNG(rngSeed))
+	levels, err := mgr.Decide(ctx, plat, budget, stats.NewRNG(rngSeed))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -162,11 +163,11 @@ func TestMinSpeedObjectiveBeatsMIPSForBarriers(t *testing.T) {
 		t.Fatal(err)
 	}
 	budget := pm.Budget{PTargetW: 22, PCoreMaxW: 7}
-	mips, err := Budgeted(c, cpu, job, cores, pm.NewLinOpt(), budget, 1)
+	mips, err := Budgeted(context.Background(), c, cpu, job, cores, pm.NewLinOpt(), budget, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	minSpeed, err := Budgeted(c, cpu, job, cores,
+	minSpeed, err := Budgeted(context.Background(), c, cpu, job, cores,
 		pm.LinOpt{FitPoints: 3, Objective: pm.ObjMinSpeed}, budget, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -196,11 +197,11 @@ func TestMinSpeedObjectiveEqualisesSpeeds(t *testing.T) {
 		}
 		return hi / lo
 	}
-	mips, err := Budgeted(c, cpu, job, cores, pm.NewLinOpt(), budget, 1)
+	mips, err := Budgeted(context.Background(), c, cpu, job, cores, pm.NewLinOpt(), budget, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	minSpeed, err := Budgeted(c, cpu, job, cores,
+	minSpeed, err := Budgeted(context.Background(), c, cpu, job, cores,
 		pm.LinOpt{FitPoints: 3, Objective: pm.ObjMinSpeed}, budget, 1)
 	if err != nil {
 		t.Fatal(err)

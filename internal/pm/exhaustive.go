@@ -1,6 +1,7 @@
 package pm
 
 import (
+	"context"
 	"fmt"
 
 	"vasched/internal/stats"
@@ -39,10 +40,12 @@ func (m Exhaustive) Name() string {
 }
 
 // Decide implements Manager.
-func (m Exhaustive) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
+func (m Exhaustive) Decide(ctx context.Context, p Platform, b Budget, _ *stats.RNG) ([]int, error) {
 	if err := validatePlatform(p); err != nil {
 		return nil, err
 	}
+	_, sp := startDecide(ctx, m.Name(), p)
+	defer sp.End()
 	n := p.NumCores()
 	mins := make([]int, n)
 	total := 1

@@ -1,6 +1,10 @@
 package pm
 
-import "vasched/internal/stats"
+import (
+	"context"
+
+	"vasched/internal/stats"
+)
 
 // Foxton is the paper's baseline power manager: a small extension of the
 // Itanium II Foxton controller to per-core (V, f) pairs. Starting from
@@ -21,9 +25,9 @@ func NewFoxton() Foxton { return Foxton{} }
 func (Foxton) Name() string { return NameFoxton }
 
 // Decide implements Manager.
-func (Foxton) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
+func (Foxton) Decide(ctx context.Context, p Platform, b Budget, _ *stats.RNG) ([]int, error) {
 	var snap Snapshot
-	return foxtonDecide(&snap, p, b)
+	return foxtonDecide(ctx, &snap, p, b)
 }
 
 // NewSession implements SessionManager: the returned manager decides
@@ -36,14 +40,16 @@ type foxtonSession struct {
 
 func (s *foxtonSession) Name() string { return NameFoxton }
 
-func (s *foxtonSession) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
-	return foxtonDecide(&s.snap, p, b)
+func (s *foxtonSession) Decide(ctx context.Context, p Platform, b Budget, _ *stats.RNG) ([]int, error) {
+	return foxtonDecide(ctx, &s.snap, p, b)
 }
 
-func foxtonDecide(snap *Snapshot, p Platform, b Budget) ([]int, error) {
+func foxtonDecide(ctx context.Context, snap *Snapshot, p Platform, b Budget) ([]int, error) {
 	if err := validatePlatform(p); err != nil {
 		return nil, err
 	}
+	_, sp := startDecide(ctx, NameFoxton, p)
+	defer sp.End()
 	snap.Capture(p)
 	n, nl := snap.Cores, snap.Levels
 	top := nl - 1

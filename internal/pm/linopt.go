@@ -1,11 +1,13 @@
 package pm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"vasched/internal/lp"
 	"vasched/internal/stats"
+	"vasched/internal/trace"
 )
 
 // LinOpt is the paper's linear-programming power manager (Section 4.3.1).
@@ -46,9 +48,9 @@ func (LinOpt) Name() string { return NameLinOpt }
 // Decide implements Manager. Each call solves the LP from scratch; use
 // NewSession when running many consecutive intervals so the simplex can
 // warm-start from the previous optimum.
-func (m LinOpt) Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error) {
+func (m LinOpt) Decide(ctx context.Context, p Platform, b Budget, rng *stats.RNG) ([]int, error) {
 	var snap Snapshot
-	return m.decide(p, b, nil, &snap)
+	return m.decide(ctx, p, b, nil, &snap)
 }
 
 // NewSession implements SessionManager: the returned manager decides
@@ -79,8 +81,8 @@ type linOptSession struct {
 
 func (s *linOptSession) Name() string { return s.m.Name() }
 
-func (s *linOptSession) Decide(p Platform, b Budget, _ *stats.RNG) ([]int, error) {
-	return s.m.decide(p, b, s.solver, &s.snap)
+func (s *linOptSession) Decide(ctx context.Context, p Platform, b Budget, _ *stats.RNG) ([]int, error) {
+	return s.m.decide(ctx, p, b, s.solver, &s.snap)
 }
 
 // solveWith dispatches to the session solver when one is present.
@@ -91,10 +93,30 @@ func solveWith(s *lp.Solver, prob *lp.Problem) (*lp.Solution, error) {
 	return s.Solve(prob)
 }
 
-func (m LinOpt) decide(p Platform, b Budget, solver *lp.Solver, snap *Snapshot) ([]int, error) {
+func (m LinOpt) decide(ctx context.Context, p Platform, b Budget, solver *lp.Solver, snap *Snapshot) ([]int, error) {
 	if err := validatePlatform(p); err != nil {
 		return nil, err
 	}
+	_, sp := startDecide(ctx, NameLinOpt, p)
+	defer sp.End()
+	attempts0, hits0 := 0, 0
+	if solver != nil {
+		attempts0, hits0 = solver.WarmAttempts, solver.WarmHits
+	}
+	defer func() {
+		// Attribute the simplex warm-start outcome: cold for stateless
+		// solves (and the always-cold ObjMinSpeed LP), hit when the
+		// previous optimal basis skipped phase 1, miss when the warm
+		// attempt had to restart cold.
+		switch {
+		case solver == nil || solver.WarmAttempts == attempts0:
+			sp.AddAttr(trace.String("warm", "cold"))
+		case solver.WarmHits > hits0:
+			sp.AddAttr(trace.String("warm", "hit"))
+		default:
+			sp.AddAttr(trace.String("warm", "miss"))
+		}
+	}()
 	snap.Capture(p)
 	fitPoints := m.FitPoints
 	if fitPoints < 2 {

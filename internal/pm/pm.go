@@ -22,10 +22,12 @@
 package pm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"vasched/internal/stats"
+	"vasched/internal/trace"
 )
 
 // Platform exposes the Table 3 observables for the currently active cores.
@@ -106,8 +108,19 @@ type Budget struct {
 type Manager interface {
 	// Name returns the paper's name for the algorithm.
 	Name() string
-	// Decide returns one ladder level per active core.
-	Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error)
+	// Decide returns one ladder level per active core. The context is
+	// used only for observability (tracing spans); decisions must not
+	// depend on it.
+	Decide(ctx context.Context, p Platform, b Budget, rng *stats.RNG) ([]int, error)
+}
+
+// startDecide opens the per-decision tracing span shared by every
+// manager. The attributes (manager name, active-core count, plus
+// whatever the caller appends before End) are deterministic functions of
+// the workload, so trace trees golden-test cleanly.
+func startDecide(ctx context.Context, name string, p Platform) (context.Context, *trace.ActiveSpan) {
+	return trace.Start(ctx, "pm.decide",
+		trace.String("manager", name), trace.Int("cores", p.NumCores()))
 }
 
 // SessionManager is implemented by managers that can carry mutable state

@@ -1,6 +1,7 @@
 package pm
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -88,7 +89,7 @@ func assertFeasible(t *testing.T, p Platform, b Budget, levels []int, name strin
 func TestFoxtonMeetsBudget(t *testing.T) {
 	p := newFake(8)
 	b := Budget{PTargetW: 25, PCoreMaxW: 6}
-	levels, err := NewFoxton().Decide(p, b, stats.NewRNG(1))
+	levels, err := NewFoxton().Decide(context.Background(), p, b, stats.NewRNG(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFoxtonMeetsBudget(t *testing.T) {
 func TestFoxtonGenerousBudgetKeepsTopLevels(t *testing.T) {
 	p := newFake(4)
 	b := Budget{PTargetW: 1000, PCoreMaxW: 100}
-	levels, err := NewFoxton().Decide(p, b, stats.NewRNG(1))
+	levels, err := NewFoxton().Decide(context.Background(), p, b, stats.NewRNG(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFoxtonGenerousBudgetKeepsTopLevels(t *testing.T) {
 func TestFoxtonImpossibleBudgetParksAtFloor(t *testing.T) {
 	p := newFake(4)
 	b := Budget{PTargetW: 0.1, PCoreMaxW: 0.1}
-	levels, err := NewFoxton().Decide(p, b, stats.NewRNG(1))
+	levels, err := NewFoxton().Decide(context.Background(), p, b, stats.NewRNG(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,11 +128,11 @@ func TestLinOptMeetsBudgetAndBeatsFoxton(t *testing.T) {
 	p := newFake(12)
 	b := Budget{PTargetW: 35, PCoreMaxW: 6}
 	rng := stats.NewRNG(2)
-	fox, err := NewFoxton().Decide(p, b, rng)
+	fox, err := NewFoxton().Decide(context.Background(), p, b, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lin, err := NewLinOpt().Decide(p, b, rng)
+	lin, err := NewLinOpt().Decide(context.Background(), p, b, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestLinOptMeetsBudgetAndBeatsFoxton(t *testing.T) {
 func TestLinOptInfeasibleBudgetParksAtFloor(t *testing.T) {
 	p := newFake(4)
 	b := Budget{PTargetW: 0.5, PCoreMaxW: 0.5}
-	levels, err := NewLinOpt().Decide(p, b, stats.NewRNG(3))
+	levels, err := NewLinOpt().Decide(context.Background(), p, b, stats.NewRNG(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestLinOptRespectsPerCoreCap(t *testing.T) {
 	p := newFake(6)
 	// Loose chip budget but a tight per-core cap: the cap must bind.
 	b := Budget{PTargetW: 1000, PCoreMaxW: 3.5}
-	levels, err := NewLinOpt().Decide(p, b, stats.NewRNG(4))
+	levels, err := NewLinOpt().Decide(context.Background(), p, b, stats.NewRNG(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestLinOptTwoPointFit(t *testing.T) {
 	p := newFake(6)
 	b := Budget{PTargetW: 22, PCoreMaxW: 6}
 	m := LinOpt{FitPoints: 2}
-	levels, err := m.Decide(p, b, stats.NewRNG(5))
+	levels, err := m.Decide(context.Background(), p, b, stats.NewRNG(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,12 +184,12 @@ func TestSAnnMeetsBudgetAndIsCompetitive(t *testing.T) {
 	p := newFake(8)
 	b := Budget{PTargetW: 28, PCoreMaxW: 6}
 	rng := stats.NewRNG(6)
-	sann, err := NewSAnn().Decide(p, b, rng)
+	sann, err := NewSAnn().Decide(context.Background(), p, b, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertFeasible(t, p, b, sann, "SAnn")
-	lin, err := NewLinOpt().Decide(p, b, rng)
+	lin, err := NewLinOpt().Decide(context.Background(), p, b, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,12 +207,12 @@ func TestSAnnWithinOnePercentOfExhaustive(t *testing.T) {
 	p := newFake(4)
 	b := Budget{PTargetW: 14, PCoreMaxW: 5}
 	rng := stats.NewRNG(7)
-	ex, err := NewExhaustive().Decide(p, b, rng)
+	ex, err := NewExhaustive().Decide(context.Background(), p, b, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sa := SAnn{MaxEvals: 30000}
-	sann, err := sa.Decide(p, b, rng)
+	sann, err := sa.Decide(context.Background(), p, b, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,11 +227,11 @@ func TestLinOptCloseToExhaustive(t *testing.T) {
 	p := newFake(4)
 	b := Budget{PTargetW: 14, PCoreMaxW: 5}
 	rng := stats.NewRNG(8)
-	ex, err := NewExhaustive().Decide(p, b, rng)
+	ex, err := NewExhaustive().Decide(context.Background(), p, b, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lin, err := NewLinOpt().Decide(p, b, rng)
+	lin, err := NewLinOpt().Decide(context.Background(), p, b, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,14 +245,14 @@ func TestExhaustiveOptimal(t *testing.T) {
 	p := newFake(3)
 	b := Budget{PTargetW: 11, PCoreMaxW: 5}
 	rng := stats.NewRNG(9)
-	ex, err := NewExhaustive().Decide(p, b, rng)
+	ex, err := NewExhaustive().Decide(context.Background(), p, b, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertFeasible(t, p, b, ex, "Exhaustive")
 	tEx := throughput(p, ex)
 	for _, m := range []Manager{NewFoxton(), NewLinOpt(), NewSAnn()} {
-		levels, err := m.Decide(p, b, rng)
+		levels, err := m.Decide(context.Background(), p, b, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,7 +265,7 @@ func TestExhaustiveOptimal(t *testing.T) {
 func TestExhaustiveRejectsHugeSpaces(t *testing.T) {
 	p := newFake(20)
 	b := Budget{PTargetW: 80, PCoreMaxW: 6}
-	if _, err := NewExhaustive().Decide(p, b, stats.NewRNG(10)); err == nil {
+	if _, err := NewExhaustive().Decide(context.Background(), p, b, stats.NewRNG(10)); err == nil {
 		t.Fatal("20-core exhaustive search accepted")
 	}
 }
@@ -278,11 +279,11 @@ func TestOracleUsesTrueIPC(t *testing.T) {
 	p.droop = []float64{0.2, 0.0}
 	b := Budget{PTargetW: 9, PCoreMaxW: 6}
 	rng := stats.NewRNG(11)
-	oracle, err := NewOracle().Decide(p, b, rng)
+	oracle, err := NewOracle().Decide(context.Background(), p, b, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := NewExhaustive().Decide(p, b, rng)
+	plain, err := NewExhaustive().Decide(context.Background(), p, b, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestOracleUsesTrueIPC(t *testing.T) {
 func TestManagersRejectDegeneratePlatforms(t *testing.T) {
 	empty := &fakePlatform{levels: ladder()}
 	for _, m := range []Manager{NewFoxton(), NewLinOpt(), NewSAnn(), NewExhaustive()} {
-		if _, err := m.Decide(empty, Budget{PTargetW: 10, PCoreMaxW: 5}, stats.NewRNG(1)); err == nil {
+		if _, err := m.Decide(context.Background(), empty, Budget{PTargetW: 10, PCoreMaxW: 5}, stats.NewRNG(1)); err == nil {
 			t.Fatalf("%s accepted a platform with no cores", m.Name())
 		}
 	}
@@ -316,7 +317,7 @@ func TestMinLevelRespected(t *testing.T) {
 	p.minLev = []int{0, 4, 0, 2}
 	b := Budget{PTargetW: 13, PCoreMaxW: 6}
 	for _, m := range []Manager{NewFoxton(), NewLinOpt(), NewSAnn(), NewExhaustive()} {
-		levels, err := m.Decide(p, b, stats.NewRNG(12))
+		levels, err := m.Decide(context.Background(), p, b, stats.NewRNG(12))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -356,7 +357,7 @@ func BenchmarkLinOpt20Cores(b *testing.B) {
 	rng := stats.NewRNG(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Decide(p, budget, rng); err != nil {
+		if _, err := m.Decide(context.Background(), p, budget, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -369,7 +370,7 @@ func BenchmarkSAnn20Cores(b *testing.B) {
 	rng := stats.NewRNG(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Decide(p, budget, rng); err != nil {
+		if _, err := m.Decide(context.Background(), p, budget, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -382,7 +383,7 @@ func BenchmarkFoxton20Cores(b *testing.B) {
 	rng := stats.NewRNG(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Decide(p, budget, rng); err != nil {
+		if _, err := m.Decide(context.Background(), p, budget, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -405,7 +406,7 @@ func TestManagersFeasibleOrFloorProperty(t *testing.T) {
 			PCoreMaxW: 1 + rng.Float64()*6,
 		}
 		for _, m := range []Manager{NewFoxton(), NewLinOpt()} {
-			levels, err := m.Decide(p, b, rng)
+			levels, err := m.Decide(context.Background(), p, b, rng)
 			if err != nil {
 				return false
 			}

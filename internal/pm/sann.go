@@ -1,10 +1,12 @@
 package pm
 
 import (
+	"context"
 	"fmt"
 
 	"vasched/internal/anneal"
 	"vasched/internal/stats"
+	"vasched/internal/trace"
 )
 
 // SAnn is the paper's simulated-annealing power manager (Section 4.3.2).
@@ -44,9 +46,9 @@ func NewSAnn() SAnn { return SAnn{} }
 func (SAnn) Name() string { return NameSAnn }
 
 // Decide implements Manager.
-func (m SAnn) Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error) {
+func (m SAnn) Decide(ctx context.Context, p Platform, b Budget, rng *stats.RNG) ([]int, error) {
 	var k sannKernel
-	return m.decide(p, b, rng, &k)
+	return m.decide(ctx, p, b, rng, &k)
 }
 
 // NewSession implements SessionManager: the returned manager decides
@@ -62,8 +64,8 @@ type sannSession struct {
 
 func (s *sannSession) Name() string { return s.m.Name() }
 
-func (s *sannSession) Decide(p Platform, b Budget, rng *stats.RNG) ([]int, error) {
-	return s.m.decide(p, b, rng, &s.k)
+func (s *sannSession) Decide(ctx context.Context, p Platform, b Budget, rng *stats.RNG) ([]int, error) {
+	return s.m.decide(ctx, p, b, rng, &s.k)
 }
 
 // sannKernel is the reusable per-session state: the dense platform
@@ -80,10 +82,12 @@ type sannKernel struct {
 	scr      anneal.Scratch
 }
 
-func (m SAnn) decide(p Platform, b Budget, rng *stats.RNG, k *sannKernel) ([]int, error) {
+func (m SAnn) decide(ctx context.Context, p Platform, b Budget, rng *stats.RNG, k *sannKernel) ([]int, error) {
 	if err := validatePlatform(p); err != nil {
 		return nil, err
 	}
+	_, sp := startDecide(ctx, NameSAnn, p)
+	defer sp.End()
 	k.snap.Capture(p)
 	snap := &k.snap
 	n := snap.Cores
@@ -160,6 +164,10 @@ func (m SAnn) decide(p Platform, b Budget, rng *stats.RNG, k *sannKernel) ([]int
 	}
 	if err != nil {
 		return nil, fmt.Errorf("pm: SAnn: %w", err)
+	}
+	sp.AddAttr(trace.Int("evals", res.Evals))
+	if m.Chains > 1 {
+		sp.AddAttr(trace.Int("chains", m.Chains), trace.Int("chain", res.Chain))
 	}
 	out := make([]int, n)
 	for c, x := range res.X {

@@ -1,6 +1,7 @@
 package pm
 
 import (
+	"context"
 	"testing"
 
 	"vasched/internal/stats"
@@ -38,11 +39,11 @@ func TestLinOptSessionMatchesCold(t *testing.T) {
 				PTargetW:  35 + 30*rng.Float64(),
 				PCoreMaxW: 4 + 3*rng.Float64(),
 			}
-			want, err := m.Decide(f, b, nil)
+			want, err := m.Decide(context.Background(), f, b, nil)
 			if err != nil {
 				t.Fatalf("%v interval %d: cold: %v", obj, interval, err)
 			}
-			got, err := sess.Decide(f, b, nil)
+			got, err := sess.Decide(context.Background(), f, b, nil)
 			if err != nil {
 				t.Fatalf("%v interval %d: warm: %v", obj, interval, err)
 			}
@@ -70,11 +71,11 @@ func TestLinOptSessionInfeasibleRecovers(t *testing.T) {
 		{PTargetW: 60, PCoreMaxW: 7},
 	}
 	for i, b := range budgets {
-		want, err := m.Decide(f, b, nil)
+		want, err := m.Decide(context.Background(), f, b, nil)
 		if err != nil {
 			t.Fatalf("interval %d: cold: %v", i, err)
 		}
-		got, err := sess.Decide(f, b, nil)
+		got, err := sess.Decide(context.Background(), f, b, nil)
 		if err != nil {
 			t.Fatalf("interval %d: warm: %v", i, err)
 		}

@@ -1,6 +1,7 @@
 package pm
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -82,7 +83,7 @@ func TestSnapshotDecideMatchesInterfacePath(t *testing.T) {
 			t.Fatalf("seed %d: legacy Foxton: %v", seed, err)
 		}
 		for name, mgr := range map[string]Manager{"stateless": Foxton{}, "session": foxSess} {
-			got, err := mgr.Decide(p, b, nil)
+			got, err := mgr.Decide(context.Background(), p, b, nil)
 			if err != nil {
 				t.Fatalf("seed %d: Foxton %s: %v", seed, name, err)
 			}
@@ -99,14 +100,14 @@ func TestSnapshotDecideMatchesInterfacePath(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d obj %d: legacy LinOpt: %v", seed, obj, err)
 			}
-			got, err := lin.Decide(p, b, nil)
+			got, err := lin.Decide(context.Background(), p, b, nil)
 			if err != nil {
 				t.Fatalf("seed %d obj %d: LinOpt: %v", seed, obj, err)
 			}
 			if !eqLevels(got, want) {
 				t.Fatalf("seed %d obj %d: LinOpt = %v, legacy %v", seed, obj, got, want)
 			}
-			got, err = linSess[obj].Decide(p, b, nil)
+			got, err = linSess[obj].Decide(context.Background(), p, b, nil)
 			if err != nil {
 				t.Fatalf("seed %d obj %d: LinOpt session: %v", seed, obj, err)
 			}
@@ -121,14 +122,14 @@ func TestSnapshotDecideMatchesInterfacePath(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d obj %d: legacy SAnn: %v", seed, obj, err)
 			}
-			got, err = sm.m.Decide(p, b, stats.NewRNG(seed))
+			got, err = sm.m.Decide(context.Background(), p, b, stats.NewRNG(seed))
 			if err != nil {
 				t.Fatalf("seed %d obj %d: SAnn: %v", seed, obj, err)
 			}
 			if !eqLevels(got, want) {
 				t.Fatalf("seed %d obj %d: SAnn = %v, legacy %v", seed, obj, got, want)
 			}
-			got, err = sm.sess.Decide(p, b, stats.NewRNG(seed))
+			got, err = sm.sess.Decide(context.Background(), p, b, stats.NewRNG(seed))
 			if err != nil {
 				t.Fatalf("seed %d obj %d: SAnn session: %v", seed, obj, err)
 			}
@@ -267,7 +268,7 @@ func TestSAnnChainsDeterministicAcrossWorkers(t *testing.T) {
 	var want []int
 	for _, workers := range []int{1, 2, 8} {
 		m := SAnn{MaxEvals: 1500, Chains: 4, Workers: workers}
-		got, err := m.Decide(p, b, stats.NewRNG(42))
+		got, err := m.Decide(context.Background(), p, b, stats.NewRNG(42))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -292,11 +293,11 @@ func TestSAnnChainsNeverWorse(t *testing.T) {
 	// Chains=2 includes chain 1's stream (Derive(1)) plus one more.
 	m1 := SAnn{MaxEvals: 1500, Chains: 1}
 	m4 := SAnn{MaxEvals: 1500, Chains: 4}
-	l1, err := m1.Decide(p, b, stats.NewRNG(7))
+	l1, err := m1.Decide(context.Background(), p, b, stats.NewRNG(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	l4, err := m4.Decide(p, b, stats.NewRNG(7))
+	l4, err := m4.Decide(context.Background(), p, b, stats.NewRNG(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func BenchmarkSAnnSession20Cores(bench *testing.B) {
 	rng := stats.NewRNG(1)
 	bench.ReportAllocs()
 	for i := 0; i < bench.N; i++ {
-		if _, err := sess.Decide(p, b, rng); err != nil {
+		if _, err := sess.Decide(context.Background(), p, b, rng); err != nil {
 			bench.Fatal(err)
 		}
 	}
@@ -329,7 +330,7 @@ func BenchmarkSAnnChains4(bench *testing.B) {
 	rng := stats.NewRNG(1)
 	bench.ReportAllocs()
 	for i := 0; i < bench.N; i++ {
-		if _, err := m.Decide(p, b, rng); err != nil {
+		if _, err := m.Decide(context.Background(), p, b, rng); err != nil {
 			bench.Fatal(err)
 		}
 	}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace_event "complete" event (ph "X"). The
+// format is documented in the Trace Event Format spec and loads in
+// chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object container format (the array format is
+// also legal, but the object form lets viewers read metadata).
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes spans as Chrome trace_event JSON. Each root span
+// and its descendants share a thread row (tid = root span ID), so a
+// clustered run renders one row per shard tree with dispatch/retry
+// spans nested inside; overlapping rows are concurrent shards.
+func WriteChrome(w io.Writer, spans []Span) error {
+	// Resolve each span's root ancestor for the tid; spans whose parent
+	// is missing from the batch root themselves.
+	parent := make(map[uint64]uint64, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
+	rootOf := make(map[uint64]uint64, len(spans))
+	var resolve func(id uint64) uint64
+	resolve = func(id uint64) uint64 {
+		if r, ok := rootOf[id]; ok {
+			return r
+		}
+		p, ok := parent[id]
+		r := id
+		if ok && p != 0 {
+			if _, known := parent[p]; known {
+				r = resolve(p)
+			}
+		}
+		rootOf[id] = r
+		return r
+	}
+
+	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayUnit: "ms"}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  "vasched",
+			Ph:   "X",
+			TS:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  resolve(s.ID),
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

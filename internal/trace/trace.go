@@ -1,0 +1,268 @@
+// Package trace is a dependency-free, span-based tracing layer for the
+// hot control paths of the repository: experiment fan-out (internal/farm),
+// cluster shard dispatch/retry/hedge/degrade (internal/cluster), and
+// power-manager decisions (internal/pm). A Tracer collects completed
+// spans into a fixed-capacity ring buffer; exporters render the buffer as
+// Chrome trace_event JSON (chrome.go, loadable in chrome://tracing and
+// Perfetto) or as an indented text tree (tree.go, used for test goldens).
+//
+// Design rules:
+//
+//   - Context propagation. A span's parent is whatever span the caller's
+//     context carries; code that never installs a Tracer pays one context
+//     lookup per Start and allocates nothing (Start returns a nil
+//     *ActiveSpan, whose methods are all nil-safe no-ops).
+//   - Observation only. Tracing must never change an experiment output:
+//     spans read no RNG, and every traced code path runs identically with
+//     and without a Tracer attached (regression-tested in
+//     internal/experiments).
+//   - Deterministic structure. Under a fixed seed and serial execution
+//     (farm Workers=1), the tree of span names and attributes is a pure
+//     function of the workload, so tests can golden the tree rendering.
+//     Timestamps and durations are wall-clock and excluded from goldens.
+package trace
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute. Values are pre-rendered strings so spans
+// can be compared and goldened byte-for-byte.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// Int64 builds an int64 attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: strconv.FormatBool(v)} }
+
+// Span is one completed span as stored in the collector ring.
+type Span struct {
+	// ID is unique within the Tracer; Parent is 0 for root spans.
+	ID, Parent uint64
+	// Name identifies the operation (dotted lower-case, e.g.
+	// "cluster.dispatch"; see DESIGN.md section 9 for the vocabulary).
+	Name string
+	// Attrs are in insertion order (deterministic: code adds them in
+	// program order).
+	Attrs []Attr
+	// Start is the monotonic offset from the Tracer's epoch; Dur the
+	// span's duration.
+	Start, Dur time.Duration
+}
+
+// Tracer collects completed spans into a fixed-capacity ring buffer.
+// All methods are safe for concurrent use.
+type Tracer struct {
+	clock func() time.Duration
+
+	mu      sync.Mutex
+	nextID  uint64
+	ring    []Span
+	head    int // next write position
+	filled  int
+	dropped uint64
+}
+
+// DefaultCapacity is the ring size used when New is given a
+// non-positive capacity: large enough to hold a quick-scale experiment
+// end to end, small enough (~a few MB) for a long-running service.
+const DefaultCapacity = 16384
+
+// New returns a Tracer whose ring holds up to capacity completed spans
+// (<= 0 means DefaultCapacity). When the ring is full the oldest
+// completed span is evicted and counted in Dropped.
+func New(capacity int) *Tracer {
+	epoch := time.Now()
+	return NewWithClock(capacity, func() time.Duration { return time.Since(epoch) })
+}
+
+// NewWithClock is New with an injectable monotonic clock (tests pin it
+// to get stable timestamps in exporter output).
+func NewWithClock(capacity int, clock func() time.Duration) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{clock: clock, ring: make([]Span, capacity)}
+}
+
+// record appends one completed span to the ring, evicting the oldest
+// when full.
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.filled == len(t.ring) {
+		t.dropped++
+	} else {
+		t.filled++
+	}
+	t.ring[t.head] = s
+	t.head = (t.head + 1) % len(t.ring)
+}
+
+// Snapshot returns the completed spans ordered by (Start, ID). Spans
+// still active (started, not yet ended) are not included.
+func (t *Tracer) Snapshot() []Span {
+	t.mu.Lock()
+	out := make([]Span, 0, t.filled)
+	start := (t.head - t.filled + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.filled; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns how many completed spans the ring currently holds.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.filled
+}
+
+// Dropped returns how many completed spans have been evicted from the
+// ring.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all completed spans (the ring keeps its capacity).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.head, t.filled, t.dropped = 0, 0, 0
+}
+
+// ActiveSpan is a started, not-yet-ended span. The zero of the type is
+// a nil pointer: every method is nil-safe, so call sites need no tracer
+// checks.
+type ActiveSpan struct {
+	tracer *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Duration
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// ctxKey carries the current ActiveSpan (and through it the Tracer).
+type ctxKey struct{}
+
+// tracerKey carries the Tracer when no span is open yet.
+type tracerKey struct{}
+
+// WithTracer returns a context whose Start calls record into t.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// FromContext returns the context's Tracer, or nil.
+func FromContext(ctx context.Context) *Tracer {
+	if sp, ok := ctx.Value(ctxKey{}).(*ActiveSpan); ok && sp != nil {
+		return sp.tracer
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// Start opens a span named name under the context's current span. The
+// returned context carries the new span (children started from it link
+// here); the caller must End the span. With no Tracer in ctx both return
+// values are the inputs' no-ops: the original ctx and a nil span.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *ActiveSpan) {
+	var (
+		t      *Tracer
+		parent uint64
+	)
+	if sp, ok := ctx.Value(ctxKey{}).(*ActiveSpan); ok && sp != nil {
+		t, parent = sp.tracer, sp.id
+	} else if tr, ok := ctx.Value(tracerKey{}).(*Tracer); ok {
+		t = tr
+	}
+	if t == nil {
+		return ctx, nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	sp := &ActiveSpan{
+		tracer: t,
+		id:     id,
+		parent: parent,
+		name:   name,
+		start:  t.clock(),
+	}
+	if len(attrs) > 0 {
+		sp.attrs = append(sp.attrs, attrs...)
+	}
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// Event records a zero-duration marker span under the context's current
+// span (e.g. "cluster.degrade"). With no Tracer it is a no-op.
+func Event(ctx context.Context, name string, attrs ...Attr) {
+	_, sp := Start(ctx, name, attrs...)
+	sp.End()
+}
+
+// AddAttr appends attributes to the span (call before End). Nil-safe.
+func (s *ActiveSpan) AddAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	s.mu.Unlock()
+}
+
+// End completes the span and commits it to the tracer's ring. Ending
+// twice is a no-op; ending a nil span is a no-op.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	now := s.tracer.clock()
+	s.tracer.record(Span{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Attrs:  attrs,
+		Start:  s.start,
+		Dur:    now - s.start,
+	})
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock that advances one millisecond per call, so
+// exporter output has stable, strictly increasing timestamps.
+func fakeClock() func() time.Duration {
+	var n time.Duration
+	return func() time.Duration {
+		n += time.Millisecond
+		return n
+	}
+}
+
+func TestNoTracerIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "anything", Int("i", 1))
+	if sp != nil {
+		t.Fatal("Start without a tracer must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without a tracer must return the input context")
+	}
+	// All nil-safe methods.
+	sp.AddAttr(String("k", "v"))
+	sp.End()
+	Event(ctx, "marker")
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext on a bare context must be nil")
+	}
+}
+
+func TestSpanNestingAndAttrs(t *testing.T) {
+	tr := NewWithClock(0, fakeClock())
+	ctx := WithTracer(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext must return the installed tracer")
+	}
+
+	ctx1, root := Start(ctx, "root", String("kind", "test"))
+	if FromContext(ctx1) != tr {
+		t.Fatal("FromContext must find the tracer through a span")
+	}
+	ctx2, child := Start(ctx1, "child", Int("i", 0))
+	_, grand := Start(ctx2, "grandchild")
+	grand.End()
+	child.AddAttr(Bool("ok", true))
+	child.End()
+	child.End() // double End is a no-op
+	Event(ctx1, "marker", Int64("n", 42))
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	want := `root {kind=test}
+  child {i=0 ok=true}
+    grandchild
+  marker {n=42}
+`
+	if got := Tree(spans); got != want {
+		t.Fatalf("tree mismatch:\n%s\nwant:\n%s", got, want)
+	}
+	// Attributes added after End are discarded.
+	child.AddAttr(String("late", "x"))
+	for _, s := range tr.Snapshot() {
+		for _, a := range s.Attrs {
+			if a.Key == "late" {
+				t.Fatal("attribute added after End must be dropped")
+			}
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewWithClock(4, fakeClock())
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := Start(ctx, fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring holds %d spans, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	spans := tr.Snapshot()
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", 6+i); s.Name != want {
+			t.Fatalf("span %d = %q, want %q (oldest must be evicted first)", i, s.Name, want)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("after Reset: len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestOrphanedChildrenBecomeRoots(t *testing.T) {
+	tr := NewWithClock(0, fakeClock())
+	ctx := WithTracer(context.Background(), tr)
+	ctx1, parent := Start(ctx, "parent")
+	_, child := Start(ctx1, "child")
+	child.End()
+	// parent never ends: the child has no committed parent and must
+	// render at the root.
+	_ = parent
+	if got := Tree(tr.Snapshot()); got != "child\n" {
+		t.Fatalf("orphan tree = %q", got)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(128)
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, sp := Start(ctx, "outer", Int("g", g))
+				_, inner := Start(c, "inner", Int("i", i))
+				inner.AddAttr(Bool("done", true))
+				inner.End()
+				sp.End()
+				_ = tr.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 128 {
+		t.Fatalf("ring holds %d, want full 128", tr.Len())
+	}
+	if int(tr.Dropped()) != 8*50*2-128 {
+		t.Fatalf("dropped = %d, want %d", tr.Dropped(), 8*50*2-128)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewWithClock(0, fakeClock())
+	ctx := WithTracer(context.Background(), tr)
+	ctx1, root := Start(ctx, "cluster.run", String("kernel", "sched-pm"))
+	_, shard := Start(ctx1, "cluster.shard", Int("lo", 0), Int("hi", 8))
+	shard.End()
+	root.End()
+
+	var b strings.Builder
+	if err := WriteChrome(&b, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	run, shardEv := doc.TraceEvents[0], doc.TraceEvents[1]
+	if run.Name != "cluster.run" || shardEv.Name != "cluster.shard" {
+		t.Fatalf("event order/name wrong: %+v", doc.TraceEvents)
+	}
+	if run.Ph != "X" || run.PID != 1 || run.Dur <= 0 {
+		t.Fatalf("bad complete event: %+v", run)
+	}
+	// Child shares the root's thread row.
+	if shardEv.TID != run.TID {
+		t.Fatalf("child tid %d != root tid %d", shardEv.TID, run.TID)
+	}
+	if shardEv.Args["lo"] != "0" || shardEv.Args["hi"] != "8" {
+		t.Fatalf("args not exported: %+v", shardEv.Args)
+	}
+	// The child must be time-contained in the parent (Perfetto nests by
+	// containment).
+	if shardEv.TS < run.TS || shardEv.TS+shardEv.Dur > run.TS+run.Dur {
+		t.Fatalf("child [%v,%v] not contained in parent [%v,%v]",
+			shardEv.TS, shardEv.TS+shardEv.Dur, run.TS, run.TS+run.Dur)
+	}
+}
+
+func TestSnapshotOrderedByStart(t *testing.T) {
+	tr := NewWithClock(0, fakeClock())
+	ctx := WithTracer(context.Background(), tr)
+	_, a := Start(ctx, "a")
+	_, b := Start(ctx, "b")
+	b.End() // b ends first but started second
+	a.End()
+	spans := tr.Snapshot()
+	if spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("snapshot not start-ordered: %v, %v", spans[0].Name, spans[1].Name)
+	}
+}

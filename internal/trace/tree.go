@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree renders spans as an indented text tree — the golden-testable
+// export. Each line is "name {k=v k=v}" (attributes in insertion order);
+// children are indented two spaces under their parent and ordered by
+// (Start, ID), so with serial execution and a fixed seed the output is a
+// deterministic pure function of the traced workload. Timestamps and
+// durations are deliberately omitted.
+//
+// Spans whose parent is absent (never ended, or evicted from the ring)
+// render as roots, so a truncated ring still produces a readable tree.
+func Tree(spans []Span) string {
+	byID := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = true
+	}
+	children := make(map[uint64][]Span, len(spans))
+	var roots []Span
+	for _, s := range spans {
+		if s.Parent != 0 && byID[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	order := func(list []Span) {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Start != list[j].Start {
+				return list[i].Start < list[j].Start
+			}
+			return list[i].ID < list[j].ID
+		})
+	}
+	order(roots)
+	for _, c := range children {
+		order(c)
+	}
+
+	var b strings.Builder
+	var walk func(s Span, depth int)
+	walk = func(s Span, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(s.Name)
+		if len(s.Attrs) > 0 {
+			b.WriteString(" {")
+			for i, a := range s.Attrs {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%s=%s", a.Key, a.Value)
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte('\n')
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
