@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"vasched/internal/jobstore"
+)
+
+// buildVaschedd compiles the real binary once per test run.
+func buildVaschedd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vaschedd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// coordProc is one spawned coordinator process.
+type coordProc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startCoordinator launches the binary against dataDir on an ephemeral
+// port and parses the bound address from its startup log line.
+func startCoordinator(t *testing.T, bin, dataDir string, extra ...string) *coordProc {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-max-jobs", "1",
+		"-drain", "5s",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "vaschedd: listening on "); ok {
+				addr, _, _ := strings.Cut(rest, " ")
+				addrCh <- addr
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &coordProc{cmd: cmd, url: "http://" + addr}
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator did not report its listen address")
+		return nil
+	}
+}
+
+func (p *coordProc) submit(t *testing.T, body string) uint64 {
+	t.Helper()
+	resp, err := http.Post(p.url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit = %d: %s", resp.StatusCode, raw)
+	}
+	var v struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+func (p *coordProc) job(t *testing.T, id uint64) map[string]any {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", p.url, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func (p *coordProc) waitDone(t *testing.T, id uint64, timeout time.Duration) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		m := p.job(t, id)
+		switch m["status"] {
+		case "done":
+			return m
+		case "failed", "cancelled":
+			t.Fatalf("job %d ended %v: %v", id, m["status"], m["error"])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %d not done within %v", id, timeout)
+	return nil
+}
+
+// TestCrashRecoveryEndToEnd is the durability acceptance test on the
+// real binary: a coordinator is SIGKILLed mid-run, restarted over the
+// same WAL directory, and every submitted job still finishes — with
+// output byte-identical to the committed goldens. A final SIGTERM
+// seals the log so a third lifetime sees a clean shutdown, and job IDs
+// never collide across all three lifetimes.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real coordinator processes and runs full experiments")
+	}
+	bin := buildVaschedd(t)
+	dataDir := t.TempDir()
+
+	p1 := startCoordinator(t, bin, dataDir, "-coord-id", "life-1")
+	ids := []uint64{
+		p1.submit(t, `{"experiment":"fig4","scale":"quick"}`),
+		p1.submit(t, `{"experiment":"table5","scale":"quick","lane":"control"}`),
+		p1.submit(t, `{"experiment":"fig6","scale":"quick","lane":"batch"}`),
+	}
+	if ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+
+	// Kill -9 as soon as the first job is observed running (or the
+	// instant it finished — either way the log has unfinished work).
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st := p1.job(t, ids[0])["status"]
+		if st == "running" || st == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 never started")
+		}
+	}
+	if err := p1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no shutdown record
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	// Lifetime 2 replays the torn log and finishes everything.
+	p2 := startCoordinator(t, bin, dataDir, "-coord-id", "life-2")
+	for i, exp := range []string{"fig4", "table5", "fig6"} {
+		m := p2.waitDone(t, ids[i], 5*time.Minute)
+		golden, err := os.ReadFile(filepath.Join("..", "..", "internal", "experiments", "testdata", "golden", exp+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rendered, _ := m["rendered"].(string); rendered != string(golden) {
+			t.Fatalf("job %d (%s) diverges from golden after crash recovery:\n%q", ids[i], exp, rendered)
+		}
+	}
+
+	// The replay is visible on /metrics, and IDs continue monotonically.
+	resp, err := http.Get(p2.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "vaschedd_crash_recovered 1") {
+		t.Fatalf("metrics missing crash-recovery gauge:\n%s", raw)
+	}
+	if id := p2.submit(t, `{"experiment":"fig6","scale":"quick"}`); id != 4 {
+		t.Fatalf("post-crash submit id = %d, want 4", id)
+	}
+	p2.waitDone(t, 4, 5*time.Minute)
+
+	// Lifetime 2 exits cleanly; the sealed log replays without the
+	// crash flag and with every job terminal.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.cmd.Wait(); err != nil {
+		t.Fatalf("graceful exit: %v", err)
+	}
+	store, err := jobstore.Open(jobstore.Options{Dir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if st := store.Stats(); st.CrashRecovered {
+		t.Fatalf("clean shutdown replayed as crash: %+v", st)
+	}
+	for id := uint64(1); id <= 4; id++ {
+		j, ok := store.Get(id)
+		if !ok || j.Status != jobstore.StatusDone {
+			t.Fatalf("job %d after two lifetimes = %+v", id, j)
+		}
+	}
+}

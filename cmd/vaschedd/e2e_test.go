@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -58,9 +57,7 @@ func TestClusterEndToEnd(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	urls := startWorkers(t, 2)
-	srv := newServer(ctx, 2, 2, urls)
-	ts := httptest.NewServer(srv.routes())
-	t.Cleanup(ts.Close)
+	srv, ts := startServer(t, serverConfig{MaxJobs: 2, Workers: 2, WorkerURLs: urls})
 	go srv.probeLoop(ctx, 50*time.Millisecond)
 
 	// Liveness and worker registry respond before any job runs.
@@ -145,15 +142,7 @@ func TestClusterEndToEnd(t *testing.T) {
 	// Cancel flow: a paper-scale job is aborted mid-flight.
 	j2 := postJob(t, ts, `{"experiment":"ext-cluster","scale":"default"}`)
 	waitStatus(t, ts, j2.ID, "running", time.Minute)
-	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, j2.ID), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
+	cancelJob(t, ts, j2.ID)
 	waitStatus(t, ts, j2.ID, "cancelled", time.Minute)
 }
 
@@ -201,14 +190,10 @@ func TestClusterSurvivesWorkerLoss(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end cluster flow runs full experiments")
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	w1 := httptest.NewServer(cluster.Handler(experiments.NewExecutor(2), metrics.NewRegistry()))
 	t.Cleanup(w1.Close)
 	w2 := httptest.NewServer(cluster.Handler(experiments.NewExecutor(2), metrics.NewRegistry()))
-	srv := newServer(ctx, 2, 2, []string{w1.URL, w2.URL})
-	ts := httptest.NewServer(srv.routes())
-	t.Cleanup(ts.Close)
+	_, ts := startServer(t, serverConfig{MaxJobs: 2, Workers: 2, WorkerURLs: []string{w1.URL, w2.URL}})
 
 	j1 := postJob(t, ts, `{"experiment":"ext-cluster","scale":"quick"}`)
 	m1 := waitStatus(t, ts, j1.ID, "done", 5*time.Minute)

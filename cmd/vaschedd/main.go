@@ -1,12 +1,33 @@
-// Command vaschedd serves the paper's experiments as a long-running HTTP
-// service on top of the internal/farm execution engine: clients submit
-// experiment jobs, poll their status, and fetch typed JSON results, while
-// the farm's shared die cache amortises die characterisation across jobs.
+// Command vaschedd serves the paper's experiments as a durable,
+// multi-tenant job platform on top of the internal/farm execution
+// engine: clients submit experiment jobs, poll their status, and fetch
+// typed JSON results, while the farm's shared die cache amortises die
+// characterisation across jobs.
 //
 // Usage:
 //
-//	vaschedd [-addr :8080] [-max-jobs N] [-parallel N] [-workers URL,URL] [-debug-addr :6060]
+//	vaschedd [-addr :8080] [-data-dir DIR] [-coord-id ID] [-max-jobs N]
+//	         [-parallel N] [-workers URL,URL] [-tenant-quota N] [-lane-cap N]
+//	         [-drain 30s] [-fsync] [-debug-addr :6060]
 //	vaschedd -worker [-addr :8081] [-parallel N]
+//
+// With -data-dir every job mutation is appended to a checksummed
+// write-ahead log before it is applied, and boot replays the log: a
+// coordinator can be SIGKILLed mid-run, restarted, and every submitted
+// job either still carries its completed result or runs again —
+// byte-identically, because experiments are deterministic. Job IDs are
+// monotonic across restarts. Each boot acquires a new epoch; a stale
+// coordinator sharing the same log has all of its writes fenced and
+// reports 503 until it is retired (see internal/jobstore and DESIGN.md
+// §10). Without -data-dir the store runs in memory.
+//
+// Submissions are admission-controlled per tenant (the X-Tenant
+// request header, default "default"): each tenant gets -tenant-quota
+// open jobs, each priority lane ("lane" in the submit body: control,
+// interactive, or batch) holds -lane-cap queued jobs, and a rejected
+// submit gets 429 with a Retry-After hint. Claims drain the lanes by
+// smooth weighted round-robin (16/4/1), so control work wins contended
+// slots but batch work never starves.
 //
 // The two modes form a sharded cluster: coordinators split every
 // kernel-based die loop into shards and dispatch them to the workers
@@ -16,14 +37,16 @@
 //
 // Coordinator API:
 //
-//	POST   /v1/jobs         {"experiment":"fig4","scale":"quick"}  → 202 + job
-//	GET    /v1/jobs         → all jobs, newest first
+//	POST   /v1/jobs         {"experiment":"fig4","scale":"quick","lane":"batch"}  → 202 + job
+//	                        (X-Tenant header selects the tenant; 429 + Retry-After on quota)
+//	GET    /v1/jobs         → jobs, newest first; ?limit= caps the page (default 100),
+//	                        ?after=ID returns jobs with IDs strictly below the cursor
 //	GET    /v1/jobs/{id}    → job status + typed result when done
 //	DELETE /v1/jobs/{id}    → cancel a queued/running job
 //	GET    /v1/experiments  → runnable experiment ids
 //	GET    /v1/cluster      → attached worker registry + health
-//	GET    /healthz         → liveness
-//	GET    /metrics         → Prometheus-style counters & latency histograms
+//	GET    /healthz         → liveness (503 once fenced by a newer epoch)
+//	GET    /metrics         → Prometheus-style counters, gauges & latency histograms
 //
 // Worker API (served by -worker):
 //
@@ -33,8 +56,9 @@
 //
 // Quick start:
 //
-//	vaschedd &
-//	curl -s -X POST localhost:8080/v1/jobs -d '{"experiment":"fig4","scale":"quick"}'
+//	vaschedd -data-dir /var/lib/vaschedd &
+//	curl -s -X POST -H 'X-Tenant: acme' localhost:8080/v1/jobs \
+//	     -d '{"experiment":"fig4","scale":"quick","lane":"interactive"}'
 //	curl -s localhost:8080/v1/jobs/1
 package main
 
@@ -43,6 +67,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -59,8 +84,14 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
+		dataDir = flag.String("data-dir", "", "write-ahead log directory; empty runs the job store in memory")
+		coordID = flag.String("coord-id", "", "coordinator identity recorded in claim leases (default vaschedd-<pid>)")
+		fsync   = flag.Bool("fsync", false, "fsync the WAL after every append (survives machine crashes, not just process kills)")
 		maxJobs = flag.Int("max-jobs", 2, "experiment jobs allowed to run concurrently (others queue)")
 		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "die-farm worker goroutines per job (per shard in -worker mode)")
+		quota   = flag.Int("tenant-quota", 16, "open (queued+running) jobs allowed per tenant")
+		laneCap = flag.Int("lane-cap", 64, "queued jobs allowed per priority lane")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown window for in-flight jobs before they are requeued")
 		worker  = flag.Bool("worker", false, "run as a cluster worker: serve shard requests instead of the job API")
 		workers = flag.String("workers", "", "comma-separated worker base URLs; shards kernel-based die loops across them")
 		debug   = flag.String("debug-addr", "", "serve /debug/pprof and /debug/trace (Chrome trace JSON) on this extra address; empty disables")
@@ -93,7 +124,24 @@ func main() {
 		return
 	}
 
-	srv := newServer(ctx, *maxJobs, *par, splitURLs(*workers))
+	srv, err := newServer(serverConfig{
+		MaxJobs:      *maxJobs,
+		Workers:      *par,
+		WorkerURLs:   splitURLs(*workers),
+		CoordID:      *coordID,
+		DataDir:      *dataDir,
+		Fsync:        *fsync,
+		TenantQuota:  *quota,
+		LaneCapacity: *laneCap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaschedd:", err)
+		os.Exit(1)
+	}
+	if st := srv.store.Stats(); st.Records > 0 {
+		fmt.Fprintf(os.Stderr, "vaschedd: replayed %d records from %d segment(s), requeued %d job(s), crash_recovered=%v\n",
+			st.Records, st.Segments, st.Requeued, st.CrashRecovered)
+	}
 	if srv.clust != nil {
 		go srv.probeLoop(ctx, 15*time.Second)
 		fmt.Fprintf(os.Stderr, "vaschedd: clustering across %d workers\n", srv.clust.NumWorkers())
@@ -108,25 +156,31 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "vaschedd: debug endpoints on %s\n", *debug)
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaschedd:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.routes()}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "vaschedd: listening on %s (max-jobs %d, parallel %d)\n", *addr, *maxJobs, *par)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "vaschedd: listening on %s (epoch %d, max-jobs %d, parallel %d)\n",
+		ln.Addr(), srv.epoch, *maxJobs, *par)
 
 	select {
 	case <-ctx.Done():
-		// Graceful shutdown: stop accepting requests, cancel in-flight
-		// jobs (their contexts thread through farm into the die loops),
-		// then wait briefly for both to drain.
-		fmt.Fprintln(os.Stderr, "vaschedd: shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful shutdown: stop accepting requests, give in-flight
+		// jobs the drain window to finish (their results are persisted),
+		// requeue whatever remains, and seal the log with the
+		// clean-shutdown record.
+		fmt.Fprintln(os.Stderr, "vaschedd: draining")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		srv.cancelAll()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "vaschedd: shutdown:", err)
 		}
-		srv.wait(shutCtx)
+		srv.Shutdown(shutCtx)
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "vaschedd:", err)

@@ -7,70 +7,101 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
-	"sort"
+	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vasched"
 	"vasched/internal/cluster"
 	"vasched/internal/experiments"
+	"vasched/internal/jobstore"
 	"vasched/internal/metrics"
+	"vasched/internal/tenant"
 	"vasched/internal/trace"
 )
 
-// jobStatus is a job's lifecycle state.
-type jobStatus string
+// defaultListLimit bounds GET /v1/jobs pages when ?limit= is absent.
+const defaultListLimit = 100
 
-const (
-	statusQueued    jobStatus = "queued"
-	statusRunning   jobStatus = "running"
-	statusDone      jobStatus = "done"
-	statusFailed    jobStatus = "failed"
-	statusCancelled jobStatus = "cancelled"
+// defaultTenant is the tenant charged when a request carries no
+// X-Tenant header.
+const defaultTenant = "default"
+
+// Cancellation causes, distinguished in finish: a user cancel persists
+// a cancelled completion, a drain cancel leaves the claim open so the
+// next lifetime's replay re-queues the job.
+var (
+	errUserCancel  = errors.New("cancelled by client")
+	errDrainCancel = errors.New("requeued by graceful shutdown")
 )
 
-// job is one submitted experiment run. Mutable fields are guarded by the
-// owning server's mu.
-type job struct {
-	ID         int
-	Experiment string
-	Scale      vasched.Scale
-	Workers    int
-	Status     jobStatus
-	Error      string
-	Submitted  time.Time
-	Started    time.Time
-	Finished   time.Time
-	Result     vasched.ExperimentResult
-	Rendered   string
-	cancel     context.CancelFunc
+// serverConfig assembles a coordinator. Zero fields take documented
+// defaults.
+type serverConfig struct {
+	// MaxJobs bounds concurrently running experiments (default 1).
+	MaxJobs int
+	// Workers is the per-job die-farm goroutine count.
+	Workers int
+	// WorkerURLs, when non-empty, shards kernel die loops across the
+	// named cluster workers.
+	WorkerURLs []string
+	// CoordID names this coordinator in claim leases and the epoch
+	// record (default "vaschedd-<pid>").
+	CoordID string
+	// DataDir is the WAL directory; empty runs the store in memory
+	// (no durability). Ignored when Store is set.
+	DataDir string
+	// Fsync syncs the WAL after every append.
+	Fsync bool
+	// Store, when set, is a pre-opened job store the server attaches
+	// to instead of opening DataDir — how tests model two coordinator
+	// pods sharing one log. The caller keeps ownership: Shutdown will
+	// not close it.
+	Store *jobstore.Store
+	// TenantQuota caps each tenant's open (queued+running) jobs.
+	TenantQuota int
+	// LaneCapacity caps each priority lane's queue depth.
+	LaneCapacity int
+	// RetryAfter is the backoff hint attached to 429 responses.
+	RetryAfter time.Duration
 }
 
 // jobView is the JSON shape served for a job.
 type jobView struct {
-	ID         int                      `json:"id"`
-	Experiment string                   `json:"experiment"`
-	Scale      string                   `json:"scale"`
-	Workers    int                      `json:"workers"`
-	Status     string                   `json:"status"`
-	Error      string                   `json:"error,omitempty"`
-	Submitted  time.Time                `json:"submitted"`
-	Started    *time.Time               `json:"started,omitempty"`
-	Finished   *time.Time               `json:"finished,omitempty"`
-	ElapsedSec float64                  `json:"elapsed_seconds,omitempty"`
-	Result     vasched.ExperimentResult `json:"result,omitempty"`
-	Rendered   string                   `json:"rendered,omitempty"`
+	ID         uint64          `json:"id"`
+	Tenant     string          `json:"tenant"`
+	Lane       string          `json:"lane"`
+	Experiment string          `json:"experiment"`
+	Scale      string          `json:"scale"`
+	Workers    int             `json:"workers"`
+	Status     string          `json:"status"`
+	Error      string          `json:"error,omitempty"`
+	Requeues   int             `json:"requeues,omitempty"`
+	Submitted  time.Time       `json:"submitted"`
+	Started    *time.Time      `json:"started,omitempty"`
+	Finished   *time.Time      `json:"finished,omitempty"`
+	ElapsedSec float64         `json:"elapsed_seconds,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Rendered   string          `json:"rendered,omitempty"`
 }
 
-// server is the job manager: it bounds experiment concurrency with a
-// semaphore, threads per-job cancellation contexts through the farm
-// engine, and keeps job history in memory.
+// server is the coordinator: admission-controlled submits feed the
+// durable job store, a dispatcher drains the lane queues into the
+// concurrency semaphore, and every store write is fenced by the epoch
+// acquired at boot.
 type server struct {
-	baseCtx context.Context
+	coordID string
+	epoch   uint64
 	workers int
-	sem     chan struct{}
-	reg     *metrics.Registry
+	store   *jobstore.Store
+	// ownsStore: Shutdown closes the store only if this server opened
+	// it (a shared store belongs to the caller).
+	ownsStore bool
+	adm       *tenant.Controller
+	sem       chan struct{}
+	reg       *metrics.Registry
 	// tracer ring-buffers spans from every job (farm fan-out, cluster
 	// dispatch, pm decisions); /debug/trace serves them as Chrome JSON.
 	tracer *trace.Tracer
@@ -79,44 +110,192 @@ type server struct {
 	// /metrics shows coordinator and cluster health side by side.
 	clust *cluster.Client
 
-	mu     sync.Mutex
-	jobs   map[int]*job
-	nextID int
-	wg     sync.WaitGroup
+	// runCtx parents every job context and the dispatcher; runCancel
+	// fires only at the end of Shutdown, after the drain window.
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	// wake nudges the dispatcher after a submit or a freed slot.
+	wake chan struct{}
+	// fenced flips once a store write returns ErrStaleEpoch: another
+	// coordinator superseded this one. The server stops claiming and
+	// reports 503 on /healthz and submits.
+	fenced atomic.Bool
+
+	// admitMu serialises quota check → WAL append → enqueue so
+	// concurrent submits cannot oversubscribe a tenant between the
+	// check and the charge.
+	admitMu sync.Mutex
+
+	mu sync.Mutex
+	// cancels holds the cancel funcs of running jobs, keyed by job ID.
+	cancels  map[uint64]context.CancelCauseFunc
+	draining bool
+	wg       sync.WaitGroup // running job goroutines
+	dispWG   sync.WaitGroup // the dispatcher
 }
 
-func newServer(ctx context.Context, maxJobs, workers int, workerURLs []string) *server {
-	if maxJobs <= 0 {
-		maxJobs = 1
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1
+	}
+	if cfg.CoordID == "" {
+		cfg.CoordID = fmt.Sprintf("vaschedd-%d", os.Getpid())
 	}
 	s := &server{
-		baseCtx: ctx,
-		workers: workers,
-		sem:     make(chan struct{}, maxJobs),
+		coordID: cfg.CoordID,
+		workers: cfg.Workers,
+		sem:     make(chan struct{}, cfg.MaxJobs),
 		reg:     metrics.NewRegistry(),
 		tracer:  trace.New(trace.DefaultCapacity),
-		jobs:    make(map[int]*job),
-		nextID:  1,
+		wake:    make(chan struct{}, 1),
+		cancels: make(map[uint64]context.CancelCauseFunc),
+		adm: tenant.NewController(tenant.Config{
+			MaxOpenPerTenant: cfg.TenantQuota,
+			LaneCapacity:     cfg.LaneCapacity,
+			RetryAfter:       cfg.RetryAfter,
+		}),
 	}
-	if len(workerURLs) > 0 {
-		s.clust = cluster.NewClient(workerURLs, cluster.Options{Metrics: s.reg})
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	if len(cfg.WorkerURLs) > 0 {
+		s.clust = cluster.NewClient(cfg.WorkerURLs, cluster.Options{Metrics: s.reg})
 	}
-	return s
+
+	s.store = cfg.Store
+	if s.store == nil {
+		_, span := trace.Start(trace.WithTracer(context.Background(), s.tracer), "jobstore.replay",
+			trace.String("dir", cfg.DataDir))
+		st, err := jobstore.Open(jobstore.Options{Dir: cfg.DataDir, Fsync: cfg.Fsync})
+		span.End()
+		if err != nil {
+			s.runCancel()
+			return nil, fmt.Errorf("open job store: %w", err)
+		}
+		s.store = st
+		s.ownsStore = true
+	}
+	epoch, err := s.store.AcquireEpoch(s.coordID)
+	if err != nil {
+		if s.ownsStore {
+			s.store.Close()
+		}
+		s.runCancel()
+		return nil, fmt.Errorf("acquire epoch: %w", err)
+	}
+	s.epoch = epoch
+
+	// Replay evidence on /metrics: how the previous lifetime ended and
+	// how much work came back.
+	st := s.store.Stats()
+	if st.CrashRecovered {
+		s.reg.Gauge("vaschedd_crash_recovered").Set(1)
+	}
+	s.reg.Gauge("vaschedd_replay_records").Set(int64(st.Records))
+	s.reg.Gauge("vaschedd_replay_requeued").Set(int64(st.Requeued))
+	s.reg.Gauge("vaschedd_epoch").Set(int64(epoch))
+
+	// Re-enqueue surviving work: everything queued, plus running jobs
+	// whose lease this epoch just fenced. Requeue bypasses quota —
+	// these jobs were admitted in a previous lifetime.
+	for _, j := range s.store.Reclaimable(epoch) {
+		s.adm.Requeue(tenant.Item{ID: j.ID, Tenant: j.Tenant, Lane: j.Lane})
+	}
+	s.updateLaneGauges()
+
+	s.dispWG.Add(1)
+	go s.dispatch()
+	s.kick()
+	return s, nil
 }
 
-// probeLoop health-checks the cluster workers until ctx is cancelled, so
-// a worker that dies between jobs is already marked unavailable when the
-// next job dispatches.
-func (s *server) probeLoop(ctx context.Context, every time.Duration) {
-	tick := time.NewTicker(every)
-	defer tick.Stop()
+// kick nudges the dispatcher without blocking.
+func (s *server) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// fence marks this coordinator superseded. No further claims are made;
+// /healthz and submits answer 503 so a load balancer drains it.
+func (s *server) fence() {
+	if s.fenced.CompareAndSwap(false, true) {
+		s.reg.Counter("vaschedd_fenced_total").Inc()
+	}
+}
+
+// dispatch is the scheduling loop: one slot from the semaphore, one
+// item from the weighted lane queues, one claim in the store, one run
+// goroutine. It exits when the server shuts down or is fenced.
+func (s *server) dispatch() {
+	defer s.dispWG.Done()
 	for {
-		s.clust.ProbeAll(ctx)
 		select {
-		case <-tick.C:
-		case <-ctx.Done():
+		case <-s.runCtx.Done():
 			return
+		case <-s.wake:
 		}
+		for {
+			if s.fenced.Load() || s.stopping() {
+				return
+			}
+			select {
+			case s.sem <- struct{}{}:
+			case <-s.runCtx.Done():
+				return
+			}
+			// Re-check after a potentially long wait for a slot: a drain
+			// that started meanwhile must not claim fresh work.
+			if s.fenced.Load() || s.stopping() {
+				<-s.sem
+				return
+			}
+			it, ok := s.adm.Dequeue()
+			if !ok {
+				<-s.sem
+				break // all lanes empty: back to waiting for a kick
+			}
+			s.updateLaneGauges()
+			j, err := s.store.Claim(it.ID, s.coordID, s.epoch)
+			if err != nil {
+				<-s.sem
+				if errors.Is(err, jobstore.ErrStaleEpoch) {
+					s.fence()
+					return
+				}
+				// The job left the queued state between dequeue and
+				// claim (cancelled): drop it and release its charge.
+				s.adm.Release(it.Tenant)
+				continue
+			}
+			jobCtx, cancel := context.WithCancelCause(s.runCtx)
+			s.mu.Lock()
+			if s.draining {
+				// Shutdown won the race: undo the claim in memory (the
+				// open claim in the log re-queues it on replay).
+				s.mu.Unlock()
+				cancel(errDrainCancel)
+				s.store.Requeue(j.ID)
+				<-s.sem
+				return
+			}
+			s.cancels[j.ID] = cancel
+			s.wg.Add(1)
+			s.mu.Unlock()
+			go s.run(jobCtx, cancel, j)
+		}
+	}
+}
+
+func (s *server) stopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *server) updateLaneGauges() {
+	d := s.adm.Depths()
+	for l := 0; l < tenant.NumLanes; l++ {
+		s.reg.Gauge(fmt.Sprintf("vaschedd_lane_depth{lane=%q}", tenant.Lane(l))).Set(int64(d[l]))
 	}
 }
 
@@ -137,9 +316,14 @@ type submitRequest struct {
 	Experiment string `json:"experiment"`
 	Scale      string `json:"scale,omitempty"`
 	Workers    int    `json:"workers,omitempty"`
+	Lane       string `json:"lane,omitempty"`
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.fenced.Load() {
+		httpError(w, http.StatusServiceUnavailable, "coordinator superseded by a newer epoch")
+		return
+	}
 	var req submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
@@ -164,29 +348,61 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown scale %q (quick or default)", req.Scale)
 		return
 	}
+	lane, err := tenant.ParseLane(req.Lane)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ten := r.Header.Get("X-Tenant")
+	if ten == "" {
+		ten = defaultTenant
+	}
+	if len(ten) > 128 {
+		httpError(w, http.StatusBadRequest, "X-Tenant longer than 128 bytes")
+		return
+	}
 	workers := req.Workers
 	if workers <= 0 {
 		workers = s.workers
 	}
 
-	jobCtx, cancel := context.WithCancel(s.baseCtx)
-	s.mu.Lock()
-	j := &job{
-		ID:         s.nextID,
-		Experiment: req.Experiment,
-		Scale:      scale,
-		Workers:    workers,
-		Status:     statusQueued,
-		Submitted:  time.Now(),
-		cancel:     cancel,
+	// Admission and the durable submit are one serialised step, so two
+	// racing submits cannot both pass the quota check and oversubscribe
+	// the tenant between check and charge.
+	s.admitMu.Lock()
+	if s.stopping() {
+		s.admitMu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
 	}
-	s.nextID++
-	s.jobs[j.ID] = j
-	s.wg.Add(1)
-	s.mu.Unlock()
-	s.reg.Counter(`vaschedd_jobs_submitted_total`).Inc()
+	if err := s.adm.Check(ten, lane); err != nil {
+		s.admitMu.Unlock()
+		s.writeBackpressure(w, err)
+		return
+	}
+	_, span := trace.Start(trace.WithTracer(r.Context(), s.tracer), "job.submit",
+		trace.String("tenant", ten), trace.String("lane", lane.String()),
+		trace.String("experiment", req.Experiment))
+	j, err := s.store.Submit(jobstore.Spec{
+		Tenant:     ten,
+		Lane:       lane,
+		Experiment: req.Experiment,
+		Scale:      string(scale),
+		Workers:    workers,
+	})
+	span.End()
+	if err != nil {
+		s.admitMu.Unlock()
+		httpError(w, http.StatusInternalServerError, "persist job: %v", err)
+		return
+	}
+	s.adm.Requeue(tenant.Item{ID: j.ID, Tenant: ten, Lane: lane})
+	s.admitMu.Unlock()
 
-	go s.run(jobCtx, j)
+	s.updateLaneGauges()
+	s.reg.Counter("vaschedd_jobs_submitted_total").Inc()
+	s.reg.Counter(`vaschedd_admission_total{decision="admitted"}`).Inc()
+	s.kick()
 
 	v, _ := s.view(j.ID)
 	w.Header().Set("Content-Type", "application/json")
@@ -194,24 +410,33 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// run executes one job: it waits for a concurrency slot, runs the
-// experiment with the job's context threaded through the farm engine,
-// and records the outcome plus latency metrics.
-func (s *server) run(ctx context.Context, j *job) {
-	defer s.wg.Done()
-	defer j.cancel()
-
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		s.finish(j, nil, "", ctx.Err())
-		return
+// writeBackpressure maps admission errors to 429 + Retry-After.
+func (s *server) writeBackpressure(w http.ResponseWriter, err error) {
+	var qe *tenant.QuotaError
+	var lf *tenant.LaneFullError
+	switch {
+	case errors.As(err, &qe):
+		s.reg.Counter(`vaschedd_admission_total{decision="quota"}`).Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(qe.RetryAfter/time.Second)))
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.As(err, &lf):
+		s.reg.Counter(`vaschedd_admission_total{decision="lane_full"}`).Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(lf.RetryAfter/time.Second)))
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
 	}
-	s.mu.Lock()
-	j.Status = statusRunning
-	j.Started = time.Now()
-	s.mu.Unlock()
+}
+
+// run executes one claimed job with the job's context threaded through
+// the farm engine, then records the outcome.
+func (s *server) run(ctx context.Context, cancel context.CancelCauseFunc, j jobstore.Job) {
+	defer s.wg.Done()
+	defer func() {
+		<-s.sem
+		s.kick()
+	}()
+	defer cancel(nil)
 
 	opts := []vasched.RunOption{
 		vasched.WithWorkers(j.Workers),
@@ -222,63 +447,94 @@ func (s *server) run(ctx context.Context, j *job) {
 	if s.clust != nil {
 		opts = append(opts, vasched.WithCluster(s.clust))
 	}
-	res, err := vasched.RunExperimentResult(j.Experiment, j.Scale, opts...)
-	rendered := ""
-	if err == nil {
-		rendered = res.Render()
-	}
-	s.finish(j, res, rendered, err)
+	res, err := vasched.RunExperimentResult(j.Experiment, vasched.Scale(j.Scale), opts...)
+	s.finish(j, res, err, context.Cause(ctx))
 }
 
-// finish records a job outcome and its metrics.
-func (s *server) finish(j *job, res vasched.ExperimentResult, rendered string, err error) {
+// finish persists a job outcome and its metrics. A drain cancellation
+// is the exception: the claim is left open in the log (replay will
+// re-queue the job) and only the in-memory view is reset.
+func (s *server) finish(j jobstore.Job, res vasched.ExperimentResult, err, cause error) {
 	s.mu.Lock()
-	j.Finished = time.Now()
-	switch {
-	case err == nil:
-		j.Status = statusDone
-		j.Result = res
-		j.Rendered = rendered
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		j.Status = statusCancelled
-		j.Error = err.Error()
-	default:
-		j.Status = statusFailed
-		j.Error = err.Error()
-	}
-	status := j.Status
-	var elapsed time.Duration
-	if !j.Started.IsZero() {
-		elapsed = j.Finished.Sub(j.Started)
-	}
-	exp := j.Experiment
+	delete(s.cancels, j.ID)
 	s.mu.Unlock()
 
+	var status jobstore.Status
+	var errMsg, rendered string
+	var resultJSON []byte
+	switch {
+	case err == nil:
+		status = jobstore.StatusDone
+		rendered = res.Render()
+		var mErr error
+		resultJSON, mErr = json.Marshal(res)
+		if mErr != nil {
+			status, errMsg = jobstore.StatusFailed, fmt.Sprintf("marshal result: %v", mErr)
+			rendered, resultJSON = "", nil
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if errors.Is(cause, errDrainCancel) {
+			s.store.Requeue(j.ID)
+			s.reg.Counter("vaschedd_drain_requeued_total").Inc()
+			return
+		}
+		status = jobstore.StatusCancelled
+		errMsg = err.Error()
+	default:
+		status = jobstore.StatusFailed
+		errMsg = err.Error()
+	}
+
+	cerr := s.store.Complete(j.ID, s.coordID, s.epoch, status, errMsg, rendered, resultJSON)
+	if cerr != nil {
+		if errors.Is(cerr, jobstore.ErrStaleEpoch) {
+			// A newer coordinator owns the log now; our result is void.
+			s.fence()
+			return
+		}
+		fmt.Fprintf(os.Stderr, "vaschedd: persist completion of job %d: %v\n", j.ID, cerr)
+		return
+	}
+	s.adm.Release(j.Tenant)
+
 	s.reg.Counter(fmt.Sprintf("vaschedd_jobs_total{status=%q}", status)).Inc()
-	if status == statusDone {
-		s.reg.Histogram(fmt.Sprintf("vaschedd_job_seconds{experiment=%q}", exp)).Observe(elapsed.Seconds())
+	if status == jobstore.StatusDone {
+		if g, ok := s.store.Get(j.ID); ok && !g.Started.IsZero() {
+			s.reg.Histogram(fmt.Sprintf("vaschedd_job_seconds{experiment=%q}", j.Experiment)).
+				Observe(g.Finished.Sub(g.Started).Seconds())
+		}
 	}
 }
 
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	ids := make([]int, 0, len(s.jobs))
-	for id := range s.jobs {
-		ids = append(ids, id)
-	}
-	s.mu.Unlock()
-	sort.Sort(sort.Reverse(sort.IntSlice(ids)))
-	views := make([]jobView, 0, len(ids))
-	for _, id := range ids {
-		if v, ok := s.view(id); ok {
-			views = append(views, v)
+	limit := defaultListLimit
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "bad limit %q (positive integer)", q)
+			return
 		}
+		limit = n
+	}
+	var after uint64
+	if q := r.URL.Query().Get("after"); q != "" {
+		n, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad after cursor %q (job id)", q)
+			return
+		}
+		after = n
+	}
+	jobs := s.store.List(after, limit)
+	views := make([]jobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, viewOf(j))
 	}
 	writeJSON(w, views)
 }
 
 func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
 		return
@@ -292,27 +548,54 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
 		return
 	}
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	var cancel context.CancelFunc
-	if ok && (j.Status == statusQueued || j.Status == statusRunning) {
-		cancel = j.cancel
-	}
-	s.mu.Unlock()
+	j, ok := s.store.Get(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no job %d", id)
 		return
 	}
-	if cancel != nil {
-		cancel()
+	switch j.Status {
+	case jobstore.StatusQueued:
+		if err := s.store.Cancel(id, s.coordID, s.epoch); err != nil {
+			if errors.Is(err, jobstore.ErrStaleEpoch) {
+				s.fence()
+				httpError(w, http.StatusServiceUnavailable, "coordinator superseded by a newer epoch")
+				return
+			}
+			// Claimed or completed in the meantime: fall through to the
+			// running-job path via a fresh snapshot.
+			if cur, ok := s.store.Get(id); ok && cur.Status == jobstore.StatusRunning {
+				s.cancelRunning(id)
+			}
+		} else {
+			// If the dispatcher already dequeued the item, its failed
+			// claim releases the charge; otherwise Remove does.
+			s.adm.Remove(id)
+			s.updateLaneGauges()
+			s.reg.Counter(fmt.Sprintf("vaschedd_jobs_total{status=%q}", jobstore.StatusCancelled)).Inc()
+		}
+	case jobstore.StatusRunning:
+		s.cancelRunning(id)
+	default:
+		// Terminal: cancel is a no-op, return the state as-is.
 	}
 	v, _ := s.view(id)
 	writeJSON(w, v)
+}
+
+// cancelRunning fires a running job's cancel cause; the job reaches
+// the cancelled state through its own finish.
+func (s *server) cancelRunning(id uint64) {
+	s.mu.Lock()
+	cancel := s.cancels[id]
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel(errUserCancel)
+	}
 }
 
 func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -328,7 +611,15 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+	if s.fenced.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "fenced", "coordinator": s.coordID, "epoch": s.epoch,
+		})
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok", "coordinator": s.coordID, "epoch": s.epoch})
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -361,24 +652,36 @@ func (s *server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	trace.WriteChrome(w, s.tracer.Snapshot())
 }
 
-// view snapshots a job for serialisation.
-func (s *server) view(id int) (jobView, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		return jobView{}, false
+// probeLoop health-checks the cluster workers until ctx is cancelled, so
+// a worker that dies between jobs is already marked unavailable when the
+// next job dispatches.
+func (s *server) probeLoop(ctx context.Context, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		s.clust.ProbeAll(ctx)
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return
+		}
 	}
+}
+
+func viewOf(j jobstore.Job) jobView {
 	v := jobView{
 		ID:         j.ID,
+		Tenant:     j.Tenant,
+		Lane:       j.Lane.String(),
 		Experiment: j.Experiment,
-		Scale:      string(j.Scale),
+		Scale:      j.Scale,
 		Workers:    j.Workers,
 		Status:     string(j.Status),
 		Error:      j.Error,
+		Requeues:   j.Requeues,
 		Submitted:  j.Submitted,
-		Result:     j.Result,
 		Rendered:   j.Rendered,
+		Result:     json.RawMessage(j.Result),
 	}
 	if !j.Started.IsZero() {
 		t := j.Started
@@ -393,31 +696,61 @@ func (s *server) view(id int) (jobView, bool) {
 		t := j.Finished
 		v.Finished = &t
 	}
-	return v, true
+	return v
 }
 
-// cancelAll cancels every queued or running job (graceful shutdown).
-func (s *server) cancelAll() {
+// view snapshots a job for serialisation.
+func (s *server) view(id uint64) (jobView, bool) {
+	j, ok := s.store.Get(id)
+	if !ok {
+		return jobView{}, false
+	}
+	return viewOf(j), true
+}
+
+// Shutdown drains the coordinator: new submits are refused, in-flight
+// jobs get until ctx expires to finish (then they are cancelled and
+// re-queued for the next lifetime), and the log is sealed with a
+// clean-shutdown record so the next replay knows this was not a crash.
+func (s *server) Shutdown(ctx context.Context) {
 	s.mu.Lock()
-	var cancels []context.CancelFunc
-	for _, j := range s.jobs {
-		if j.Status == statusQueued || j.Status == statusRunning {
-			cancels = append(cancels, j.cancel)
-		}
-	}
+	s.draining = true
 	s.mu.Unlock()
-	for _, c := range cancels {
-		c()
-	}
-}
+	s.kick() // unblock the dispatcher so it observes draining and exits
 
-// wait blocks until every job goroutine has exited or ctx expires.
-func (s *server) wait(ctx context.Context) {
 	done := make(chan struct{})
-	go func() { s.wg.Wait(); close(done) }()
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
 	select {
 	case <-done:
 	case <-ctx.Done():
+		// Drain window over: cancel stragglers with the drain cause so
+		// finish re-queues instead of persisting a cancellation.
+		s.mu.Lock()
+		cancels := make([]context.CancelCauseFunc, 0, len(s.cancels))
+		for _, c := range s.cancels {
+			cancels = append(cancels, c)
+		}
+		s.mu.Unlock()
+		for _, c := range cancels {
+			c(errDrainCancel)
+		}
+		<-done
+	}
+	s.dispWG.Wait()
+	s.runCancel()
+
+	if !s.fenced.Load() {
+		if err := s.store.MarkShutdown(s.coordID, s.epoch); err != nil && !errors.Is(err, jobstore.ErrStaleEpoch) {
+			fmt.Fprintf(os.Stderr, "vaschedd: mark shutdown: %v\n", err)
+		}
+	}
+	if s.ownsStore {
+		if err := s.store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "vaschedd: close store: %v\n", err)
+		}
 	}
 }
 

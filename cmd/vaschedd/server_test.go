@@ -10,34 +10,75 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"vasched/internal/jobstore"
 )
 
-func newTestServer(t *testing.T) (*server, *httptest.Server) {
+func startServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(context.Background(), 2, 2, nil)
+	if cfg.MaxJobs == 0 {
+		cfg.MaxJobs = 2
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.routes())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
 	return srv, ts
 }
 
-func postJob(t *testing.T, ts *httptest.Server, body string) jobView {
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	return startServer(t, serverConfig{})
+}
+
+// postJobAs submits a job for a tenant and returns the decoded view
+// plus the HTTP status code.
+func postJobAs(t *testing.T, ts *httptest.Server, tenantName, body string) (jobView, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenantName != "" {
+		req.Header.Set("X-Tenant", tenantName)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	var v jobView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return v, resp
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) jobView {
+	t.Helper()
+	v, resp := postJobAs(t, ts, "", body)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit status = %d", resp.StatusCode)
-	}
-	var v jobView
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		t.Fatal(err)
 	}
 	return v
 }
 
-func getJob(t *testing.T, ts *httptest.Server, id int) map[string]any {
+func getJob(t *testing.T, ts *httptest.Server, id uint64) map[string]any {
 	t.Helper()
 	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", ts.URL, id))
 	if err != nil {
@@ -54,7 +95,20 @@ func getJob(t *testing.T, ts *httptest.Server, id int) map[string]any {
 	return m
 }
 
-func waitStatus(t *testing.T, ts *httptest.Server, id int, want string, timeout time.Duration) map[string]any {
+func cancelJob(t *testing.T, ts *httptest.Server, id uint64) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, id), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func waitStatus(t *testing.T, ts *httptest.Server, id uint64, want string, timeout time.Duration) map[string]any {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
@@ -82,6 +136,9 @@ func TestConcurrentJobsEndToEnd(t *testing.T) {
 	if j1.ID == j2.ID {
 		t.Fatal("duplicate job ids")
 	}
+	if j1.Tenant != defaultTenant || j1.Lane != "interactive" {
+		t.Fatalf("default tenant/lane = %q/%q", j1.Tenant, j1.Lane)
+	}
 
 	m1 := waitStatus(t, ts, j1.ID, "done", 5*time.Minute)
 	m2 := waitStatus(t, ts, j2.ID, "done", 5*time.Minute)
@@ -107,7 +164,7 @@ func TestConcurrentJobsEndToEnd(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}
-	if len(list) != 2 || int(list[0]["id"].(float64)) != j2.ID || int(list[1]["id"].(float64)) != j1.ID {
+	if len(list) != 2 || uint64(list[0]["id"].(float64)) != j2.ID || uint64(list[1]["id"].(float64)) != j1.ID {
 		t.Fatalf("job list = %+v", list)
 	}
 }
@@ -117,6 +174,7 @@ func TestSubmitValidation(t *testing.T) {
 	for _, body := range []string{
 		`{"experiment":"fig99"}`,
 		`{"experiment":"fig4","scale":"huge"}`,
+		`{"experiment":"fig4","lane":"express"}`,
 		`not json`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
@@ -131,14 +189,21 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestHealthzAndExperiments(t *testing.T) {
-	_, ts := newTestServer(t)
+	srv, ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz["status"] != "ok" || hz["coordinator"] != srv.coordID || hz["epoch"].(float64) != 1 {
+		t.Fatalf("healthz body = %v", hz)
 	}
 	resp, err = http.Get(ts.URL + "/v1/experiments")
 	if err != nil {
@@ -171,16 +236,8 @@ func TestCancelStopsInFlightWork(t *testing.T) {
 	waitStatus(t, ts, j.ID, "running", time.Minute)
 	time.Sleep(200 * time.Millisecond) // let some die work start
 
-	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, j.ID), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
 	start := time.Now()
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
+	cancelJob(t, ts, j.ID)
 	m := waitStatus(t, ts, j.ID, "cancelled", time.Minute)
 	if elapsed := time.Since(start); elapsed > 45*time.Second {
 		t.Fatalf("cancellation took %v", elapsed)
@@ -190,32 +247,307 @@ func TestCancelStopsInFlightWork(t *testing.T) {
 	}
 }
 
-// TestGracefulShutdownCancelsJobs exercises the signal path: cancelling
-// the base context (what SIGTERM does) aborts queued and running jobs.
-func TestGracefulShutdownCancelsJobs(t *testing.T) {
-	ctx, stop := context.WithCancel(context.Background())
-	srv := newServer(ctx, 1, 2, nil) // max-jobs 1: the second job queues
+// TestCancelQueuedJob cancels a job that never got a slot: it completes
+// as cancelled durably and the tenant's quota charge is released.
+func TestCancelQueuedJob(t *testing.T) {
+	srv, ts := startServer(t, serverConfig{MaxJobs: 1})
+	hog := postJob(t, ts, `{"experiment":"fig4","scale":"default"}`)
+	waitStatus(t, ts, hog.ID, "running", time.Minute)
+	j := postJob(t, ts, `{"experiment":"fig6","scale":"quick"}`)
+
+	cancelJob(t, ts, j.ID)
+	m := waitStatus(t, ts, j.ID, "cancelled", time.Minute)
+	if m["started"] != nil {
+		t.Fatal("queued job was started after cancel")
+	}
+	if open := srv.adm.Open(defaultTenant); open != 1 { // only the hog remains charged
+		t.Fatalf("open jobs after cancel = %d", open)
+	}
+	cancelJob(t, ts, hog.ID)
+	waitStatus(t, ts, hog.ID, "cancelled", time.Minute)
+}
+
+// TestLanePriorityOrder pins the weighted dequeue: with one slot busy,
+// jobs submitted batch-first are claimed control > interactive > batch
+// once the slot frees.
+func TestLanePriorityOrder(t *testing.T) {
+	srv, ts := startServer(t, serverConfig{MaxJobs: 1})
+	hog := postJob(t, ts, `{"experiment":"fig4","scale":"default"}`)
+	waitStatus(t, ts, hog.ID, "running", time.Minute)
+
+	batch := postJob(t, ts, `{"experiment":"fig4","scale":"quick","lane":"batch"}`)
+	inter := postJob(t, ts, `{"experiment":"fig6","scale":"quick","lane":"interactive"}`)
+	ctrl := postJob(t, ts, `{"experiment":"table5","scale":"quick","lane":"control"}`)
+
+	cancelJob(t, ts, hog.ID)
+	for _, id := range []uint64{ctrl.ID, inter.ID, batch.ID} {
+		waitStatus(t, ts, id, "done", 5*time.Minute)
+	}
+
+	get := func(id uint64) jobstore.Job {
+		j, ok := srv.store.Get(id)
+		if !ok {
+			t.Fatalf("job %d missing", id)
+		}
+		return j
+	}
+	c, i, b := get(ctrl.ID), get(inter.ID), get(batch.ID)
+	if !c.Started.Before(i.Started) || !i.Started.Before(b.Started) {
+		t.Fatalf("claim order wrong: control %v, interactive %v, batch %v",
+			c.Started, i.Started, b.Started)
+	}
+}
+
+// TestTenantQuota429 pins quota backpressure: the third open job of a
+// two-job tenant is refused with 429 + Retry-After, other tenants are
+// unaffected, and a released charge re-admits.
+func TestTenantQuota429(t *testing.T) {
+	_, ts := startServer(t, serverConfig{MaxJobs: 1, TenantQuota: 2})
+	hog, resp := postJobAs(t, ts, "hog", `{"experiment":"fig4","scale":"default"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("hog submit = %d", resp.StatusCode)
+	}
+	waitStatus(t, ts, hog.ID, "running", time.Minute)
+
+	for i := 0; i < 2; i++ {
+		if _, resp := postJobAs(t, ts, "acme", `{"experiment":"fig6","scale":"quick"}`); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("acme submit %d = %d", i, resp.StatusCode)
+		}
+	}
+	_, resp = postJobAs(t, ts, "acme", `{"experiment":"fig6","scale":"quick"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// The quota is per tenant: another tenant still gets in.
+	if _, resp := postJobAs(t, ts, "other", `{"experiment":"fig6","scale":"quick"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other-tenant submit = %d", resp.StatusCode)
+	}
+	cancelJob(t, ts, hog.ID)
+}
+
+// TestLaneFull429 pins lane-capacity backpressure for a distinct
+// tenant, proving the two limits are independent.
+func TestLaneFull429(t *testing.T) {
+	_, ts := startServer(t, serverConfig{MaxJobs: 1, LaneCapacity: 1})
+	hog := postJob(t, ts, `{"experiment":"fig4","scale":"default"}`)
+	waitStatus(t, ts, hog.ID, "running", time.Minute)
+
+	if _, resp := postJobAs(t, ts, "a", `{"experiment":"fig6","scale":"quick","lane":"batch"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first batch submit = %d", resp.StatusCode)
+	}
+	_, resp := postJobAs(t, ts, "b", `{"experiment":"fig6","scale":"quick","lane":"batch"}`)
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("full-lane submit = %d (Retry-After %q)", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	// The interactive lane is independent of the full batch lane.
+	if _, resp := postJobAs(t, ts, "b", `{"experiment":"fig6","scale":"quick"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("interactive submit = %d", resp.StatusCode)
+	}
+	cancelJob(t, ts, hog.ID)
+}
+
+// TestListPaginationHTTP pins ?limit= and ?after= semantics and the
+// documented descending-ID order.
+func TestListPaginationHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		postJob(t, ts, `{"experiment":"fig6","scale":"quick"}`)
+	}
+	page := func(url string) []uint64 {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", url, resp.StatusCode)
+		}
+		var list []jobView
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]uint64, len(list))
+		for i, v := range list {
+			ids[i] = v.ID
+		}
+		return ids
+	}
+	eq := func(got, want []uint64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("ids = %v, want %v", got, want)
+			}
+		}
+	}
+	eq(page("/v1/jobs"), []uint64{5, 4, 3, 2, 1})
+	eq(page("/v1/jobs?limit=2"), []uint64{5, 4})
+	eq(page("/v1/jobs?limit=2&after=4"), []uint64{3, 2})
+	eq(page("/v1/jobs?after=2"), []uint64{1})
+	eq(page("/v1/jobs?after=1"), []uint64{})
+	for _, bad := range []string{"/v1/jobs?limit=0", "/v1/jobs?limit=x", "/v1/jobs?after=-1"} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s = %d", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestGracefulShutdownDrains pins the drain semantics: a running job
+// that outlives the drain window is requeued (not cancelled), a queued
+// job stays queued, submits during the drain get 503, and the log ends
+// with the clean-shutdown record.
+func TestGracefulShutdownDrains(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := newServer(serverConfig{MaxJobs: 1, Workers: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.routes())
 	defer ts.Close()
 
-	j1 := postJob(t, ts, `{"experiment":"fig4","scale":"default"}`)
-	j2 := postJob(t, ts, `{"experiment":"fig7","scale":"default"}`)
-	waitStatus(t, ts, j1.ID, "running", time.Minute)
+	running := postJob(t, ts, `{"experiment":"fig4","scale":"default"}`)
+	queued := postJob(t, ts, `{"experiment":"fig7","scale":"default"}`)
+	waitStatus(t, ts, running.ID, "running", time.Minute)
 
-	stop()
-	srv.cancelAll()
-	waitCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
-	srv.wait(waitCtx)
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown(shutCtx)
+		close(done)
+	}()
+	// Submits during the drain are refused.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		_, resp := postJobAs(t, ts, "", `{"experiment":"fig6","scale":"quick"}`)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain submit = %d, want 503", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Minute):
+		t.Fatal("Shutdown did not return")
+	}
 
-	m1 := getJob(t, ts, j1.ID)
-	m2 := getJob(t, ts, j2.ID)
-	if m1["status"] != "cancelled" {
-		t.Fatalf("running job status = %v", m1["status"])
+	// The next lifetime replays a cleanly shut-down log with both jobs
+	// back in the queue — the running one carries a requeue mark.
+	re, err := jobstore.Open(jobstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if m2["status"] != "cancelled" {
-		t.Fatalf("queued job status = %v", m2["status"])
+	defer re.Close()
+	if st := re.Stats(); st.CrashRecovered {
+		t.Fatalf("clean shutdown replayed as crash: %+v", st)
 	}
+	r1, _ := re.Get(running.ID)
+	if r1.Status != jobstore.StatusQueued || r1.Requeues != 1 {
+		t.Fatalf("drained running job = %+v", r1)
+	}
+	r2, _ := re.Get(queued.ID)
+	if r2.Status != jobstore.StatusQueued || r2.Requeues != 0 {
+		t.Fatalf("drained queued job = %+v", r2)
+	}
+}
+
+// TestTwoCoordinatorsFencing is the server-level lease/epoch
+// acceptance test: two coordinators share one store, the newer epoch
+// takes over the older one's running job, and every write from the
+// superseded coordinator is fenced — it reports 503 and its stale
+// completion never lands.
+func TestTwoCoordinatorsFencing(t *testing.T) {
+	st, err := jobstore.Open(jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	srvA, err := newServer(serverConfig{MaxJobs: 1, Workers: 2, Store: st, CoordID: "pod-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.routes())
+	defer tsA.Close()
+
+	j := postJob(t, tsA, `{"experiment":"fig4","scale":"default"}`)
+	waitStatus(t, tsA, j.ID, "running", time.Minute)
+
+	// pod-b attaches to the same log: it acquires the next epoch and
+	// takes over the job pod-a is still executing.
+	srvB, err := newServer(serverConfig{MaxJobs: 1, Workers: 2, Store: st, CoordID: "pod-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(srvB.routes())
+	defer tsB.Close()
+	if srvB.epoch != srvA.epoch+1 {
+		t.Fatalf("epochs = %d, %d", srvA.epoch, srvB.epoch)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if g, ok := st.Get(j.ID); ok && g.Epoch == srvB.epoch {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pod-b never took over the lease")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// pod-a's attempt to finish the job (here: a user cancel driving
+	// its completion path) is fenced, flipping pod-a to 503.
+	cancelJob(t, tsA, j.ID)
+	for {
+		resp, err := http.Get(tsA.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("superseded pod-a still reports healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, resp := postJobAs(t, tsA, "", `{"experiment":"fig6","scale":"quick"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("fenced submit = %d", resp.StatusCode)
+	}
+
+	// pod-b owns the job now: it can cancel (complete) it, and the
+	// record shows pod-b's lease — pod-a's outcome never landed.
+	cancelJob(t, tsB, j.ID)
+	waitStatus(t, tsB, j.ID, "cancelled", time.Minute)
+	g, _ := st.Get(j.ID)
+	if g.Coord != "pod-b" || g.Epoch != srvB.epoch {
+		t.Fatalf("final lease = %q/%d, want pod-b/%d", g.Coord, g.Epoch, srvB.epoch)
+	}
+
+	// pod-b keeps serving: a fresh job runs to completion.
+	j2 := postJob(t, tsB, `{"experiment":"fig6","scale":"quick"}`)
+	waitStatus(t, tsB, j2.ID, "done", 5*time.Minute)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	srvA.Shutdown(ctx)
+	srvB.Shutdown(ctx)
 }
 
 func TestMetricsEndpoint(t *testing.T) {
@@ -236,7 +568,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE vaschedd_jobs_submitted_total counter",
 		"vaschedd_jobs_submitted_total 1",
+		`vaschedd_admission_total{decision="admitted"} 1`,
 		`vaschedd_jobs_total{status="done"} 1`,
+		"# TYPE vaschedd_epoch gauge",
+		"vaschedd_epoch 1",
+		`vaschedd_lane_depth{lane="interactive"} 0`,
 		"# TYPE vaschedd_job_seconds histogram",
 		`vaschedd_job_seconds_count{experiment="table5"} 1`,
 		`vaschedd_job_seconds_bucket{experiment="table5",le="+Inf"} 1`,
@@ -246,4 +582,5 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
 	}
+	validatePrometheus(t, body)
 }

@@ -1,0 +1,312 @@
+// Package jobstore is the durable job layer of the vaschedd platform:
+// an append-only, checksummed write-ahead log with segment rotation and
+// boot-time replay, plus a Store API (submit / claim / complete /
+// cancel) with lease/epoch fencing so multiple stateless coordinators
+// can replay the same log and share one worker fleet.
+//
+// Wire format (this file): every WAL record is one self-contained frame
+//
+//	magic "vjl1" | u32 payload length | payload | FNV-64a checksum
+//
+// where the checksum covers everything before it (the same integrity
+// idiom as internal/cluster's shard codec). Payloads have a canonical
+// encoding — DecodeRecord(EncodeRecord(r)) round-trips byte-for-byte —
+// which is what makes the checksum meaningful end to end and what
+// FuzzWALRecord verifies. Decoders never trust length fields: every
+// allocation is bounded by the buffer, truncation is reported as
+// ErrTorn (recoverable only at the tail of the final segment), and any
+// other malformation is ErrCorrupt, which fails replay loudly rather
+// than loading garbage.
+package jobstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"vasched/internal/tenant"
+)
+
+// recMagic tags every WAL frame; the trailing digit is the format
+// version and bumps on any incompatible change.
+var recMagic = [4]byte{'v', 'j', 'l', '1'}
+
+// Decode limits. They bound allocation on malformed input; all are far
+// above anything the service writes (experiment names are short, and
+// rendered reports / result JSON are small documents).
+const (
+	maxNameLen    = 1 << 10 // tenant / lane / experiment / scale / coordinator strings
+	maxErrLen     = 1 << 16 // error messages
+	maxBlobLen    = 1 << 26 // rendered report or result JSON
+	maxPayloadLen = 1 << 27 // whole record payload
+	checksumLen   = 8
+	headerLen     = 4 + 4 // magic + payload length
+)
+
+// ErrCorrupt is returned for any malformed record — bad magic, length
+// fields that overrun the payload, out-of-range enums, trailing bytes,
+// or an integrity-checksum mismatch. Replay treats it as fatal: a log
+// that fails its checksums is surfaced to the operator, never loaded
+// partially.
+var ErrCorrupt = errors.New("jobstore: corrupt record")
+
+// ErrTorn is returned when a buffer ends mid-frame. It is the
+// signature of a crash during append, and is recoverable only at the
+// tail of the final segment (the torn frame is dropped and truncated);
+// anywhere else it is corruption.
+var ErrTorn = errors.New("jobstore: torn record")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+// Kind discriminates WAL record types.
+type Kind uint8
+
+const (
+	// KindSubmit creates a job in the queued state.
+	KindSubmit Kind = 1
+	// KindClaim moves a queued job to running under (coord, epoch).
+	KindClaim Kind = 2
+	// KindComplete moves a running job (or, for cancels of queued
+	// jobs, a queued one) to a terminal state, carrying the rendered
+	// report and result JSON.
+	KindComplete Kind = 3
+	// KindEpoch records a coordinator acquiring a new, strictly
+	// increasing epoch; all older epochs are fenced from that point.
+	KindEpoch Kind = 4
+	// KindShutdown marks a clean coordinator shutdown, so replay can
+	// distinguish crash recovery from a clean restart.
+	KindShutdown Kind = 5
+
+	kindMax = KindShutdown
+)
+
+// Record is one WAL entry. All kinds share the struct; fields unused
+// by a kind are zero and still round-trip canonically.
+type Record struct {
+	Kind  Kind
+	ID    uint64 // job ID (submit / claim / complete)
+	Epoch uint64 // claim / complete / epoch / shutdown
+	Unix  int64  // event time, Unix nanoseconds
+
+	Coord      string // claim / complete / epoch / shutdown
+	Tenant     string // submit
+	Lane       tenant.Lane
+	Experiment string // submit
+	Scale      string // submit
+	Workers    uint32 // submit
+
+	Status   uint8  // complete: one of the status* codes below
+	Error    string // complete (failed / cancelled)
+	Rendered []byte // complete: rendered report
+	Result   []byte // complete: result JSON
+}
+
+// Status codes carried by KindComplete records.
+const (
+	statusCodeDone      = 1
+	statusCodeFailed    = 2
+	statusCodeCancelled = 3
+)
+
+// EncodeRecord serialises one record as a framed, checksummed WAL
+// entry.
+func EncodeRecord(r *Record) []byte {
+	payload := make([]byte, 0, 64+len(r.Coord)+len(r.Tenant)+len(r.Experiment)+
+		len(r.Scale)+len(r.Error)+len(r.Rendered)+len(r.Result))
+	payload = append(payload, byte(r.Kind))
+	payload = binary.LittleEndian.AppendUint64(payload, r.ID)
+	payload = binary.LittleEndian.AppendUint64(payload, r.Epoch)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(r.Unix))
+	payload = appendString(payload, r.Coord)
+	payload = appendString(payload, r.Tenant)
+	payload = append(payload, byte(r.Lane))
+	payload = appendString(payload, r.Experiment)
+	payload = appendString(payload, r.Scale)
+	payload = binary.LittleEndian.AppendUint32(payload, r.Workers)
+	payload = append(payload, r.Status)
+	payload = appendString(payload, r.Error)
+	payload = appendBlob(payload, r.Rendered)
+	payload = appendBlob(payload, r.Result)
+
+	buf := make([]byte, 0, headerLen+len(payload)+checksumLen)
+	buf = append(buf, recMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	h := fnv.New64a()
+	h.Write(buf)
+	return h.Sum(buf)
+}
+
+// ReadRecord parses the frame at the start of buf, returning the
+// record and the number of bytes consumed. A buffer ending mid-frame
+// returns ErrTorn; any other malformation returns ErrCorrupt.
+func ReadRecord(buf []byte) (*Record, int, error) {
+	if len(buf) < headerLen {
+		return nil, 0, ErrTorn
+	}
+	var magic [4]byte
+	copy(magic[:], buf)
+	if magic != recMagic {
+		return nil, 0, corruptf("bad magic %q", magic[:])
+	}
+	plen := int(binary.LittleEndian.Uint32(buf[4:]))
+	if plen > maxPayloadLen {
+		return nil, 0, corruptf("payload length %d", plen)
+	}
+	total := headerLen + plen + checksumLen
+	if len(buf) < total {
+		return nil, 0, ErrTorn
+	}
+	h := fnv.New64a()
+	h.Write(buf[:headerLen+plen])
+	if string(h.Sum(nil)) != string(buf[headerLen+plen:total]) {
+		return nil, 0, corruptf("checksum mismatch")
+	}
+	r, err := decodePayload(buf[headerLen : headerLen+plen])
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, total, nil
+}
+
+// DecodeRecord parses exactly one frame spanning the whole buffer; it
+// is the fuzz entry point.
+func DecodeRecord(buf []byte) (*Record, error) {
+	r, n, err := ReadRecord(buf)
+	if err != nil {
+		// A short buffer is malformed input here, not a resumable read.
+		if errors.Is(err, ErrTorn) {
+			return nil, corruptf("truncated frame (%d bytes)", len(buf))
+		}
+		return nil, err
+	}
+	if n != len(buf) {
+		return nil, corruptf("%d trailing bytes", len(buf)-n)
+	}
+	return r, nil
+}
+
+func decodePayload(buf []byte) (*Record, error) {
+	d := decoder{buf: buf}
+	r := &Record{}
+	r.Kind = Kind(d.u8())
+	r.ID = d.u64()
+	r.Epoch = d.u64()
+	r.Unix = int64(d.u64())
+	r.Coord = d.str(maxNameLen)
+	r.Tenant = d.str(maxNameLen)
+	r.Lane = tenant.Lane(d.u8())
+	r.Experiment = d.str(maxNameLen)
+	r.Scale = d.str(maxNameLen)
+	r.Workers = d.u32()
+	r.Status = d.u8()
+	r.Error = d.str(maxErrLen)
+	r.Rendered = d.blob()
+	r.Result = d.blob()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, corruptf("%d trailing payload bytes", len(d.buf)-d.off)
+	}
+	if r.Kind == 0 || r.Kind > kindMax {
+		return nil, corruptf("unknown record kind %d", r.Kind)
+	}
+	if !r.Lane.Valid() {
+		return nil, corruptf("invalid lane %d", r.Lane)
+	}
+	if r.Status > statusCodeCancelled {
+		return nil, corruptf("invalid status code %d", r.Status)
+	}
+	return r, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendBlob(buf, b []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// decoder is a bounds-checked cursor: the first overrun latches err and
+// every later read returns zero values.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = corruptf("payload truncated at offset %d (want %d of %d)", d.off, n, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	if b := d.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (d *decoder) u32() uint32 {
+	if b := d.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (d *decoder) u64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (d *decoder) str(max int) string {
+	n := int(binary.LittleEndian.Uint16(d.take2()))
+	if n > max {
+		if d.err == nil {
+			d.err = corruptf("string length %d (max %d)", n, max)
+		}
+		return ""
+	}
+	return string(d.take(n))
+}
+
+func (d *decoder) take2() []byte {
+	if b := d.take(2); b != nil {
+		return b
+	}
+	return []byte{0, 0}
+}
+
+func (d *decoder) blob() []byte {
+	n := int(d.u32())
+	if n > maxBlobLen {
+		if d.err == nil {
+			d.err = corruptf("blob length %d (max %d)", n, maxBlobLen)
+		}
+		return nil
+	}
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,177 @@
+package jobstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Segment files are named wal-00000001.log, wal-00000002.log, … in the
+// data directory; lexical order is append order.
+const segPattern = "wal-%08d.log"
+
+// defaultSegmentBytes rotates segments at 4 MiB — small enough that a
+// long-lived log is many files (rotation is exercised in normal use),
+// large enough that a busy coordinator is not churning file handles.
+const defaultSegmentBytes = 4 << 20
+
+// wal is the append side of the log: one open segment file, rotated by
+// size. It is not concurrency-safe; Store serialises access under its
+// own mutex.
+type wal struct {
+	dir      string
+	segBytes int64
+	fsync    bool
+	seq      int // sequence number of the open segment
+	f        *os.File
+	size     int64
+}
+
+// segPath returns the path of segment n.
+func segPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf(segPattern, n))
+}
+
+// listSegments returns the data directory's segment paths in append
+// order.
+func listSegments(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches) // zero-padded sequence numbers: lexical = temporal
+	return matches, nil
+}
+
+// segSeq parses a segment path's sequence number.
+func segSeq(path string) (int, error) {
+	var n int
+	if _, err := fmt.Sscanf(filepath.Base(path), segPattern, &n); err != nil {
+		return 0, fmt.Errorf("jobstore: alien file %q in data dir: %w", path, err)
+	}
+	return n, nil
+}
+
+// openWAL opens the append side on the given segment sequence number,
+// creating the file if needed and appending to it otherwise.
+func openWAL(dir string, seq int, segBytes int64, fsync bool) (*wal, error) {
+	if segBytes <= 0 {
+		segBytes = defaultSegmentBytes
+	}
+	w := &wal{dir: dir, segBytes: segBytes, fsync: fsync, seq: seq}
+	if err := w.openSeg(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *wal) openSeg() error {
+	f, err := os.OpenFile(segPath(w.dir, w.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.size = f, st.Size()
+	return nil
+}
+
+// append writes one encoded frame, rotating to a new segment first if
+// the current one is at its size limit.
+func (w *wal) append(frame []byte) error {
+	if w.size > 0 && w.size+int64(len(frame)) > w.segBytes {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	w.size += int64(len(frame))
+	if w.fsync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *wal) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.seq++
+	return w.openSeg()
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// replayResult is what replaySegments hands the Store: the applied
+// records plus recovery facts.
+type replayResult struct {
+	records  []*Record
+	segments int
+	// lastSeq is the sequence number replay ended on (the segment the
+	// writer should continue appending to); 1 when the log is empty.
+	lastSeq int
+	// tornBytes is the size of a torn frame dropped (and truncated)
+	// from the tail of the final segment — the signature of a crash
+	// mid-append.
+	tornBytes int64
+}
+
+// replaySegments reads every segment in order. A frame that ends
+// mid-buffer is tolerated only at the tail of the final segment, where
+// it is the expected residue of a crash during append: the torn bytes
+// are truncated away so the writer can continue cleanly. Anywhere else
+// — and for any checksum or structural failure — replay fails loudly
+// with the offending file and offset; a corrupt log is an operator
+// problem, not something to load partially.
+func replaySegments(dir string) (*replayResult, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &replayResult{segments: len(segs), lastSeq: 1}
+	for i, path := range segs {
+		seq, err := segSeq(path)
+		if err != nil {
+			return nil, err
+		}
+		res.lastSeq = seq
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		off := 0
+		for off < len(data) {
+			rec, n, err := ReadRecord(data[off:])
+			if errors.Is(err, ErrTorn) {
+				if i != len(segs)-1 {
+					return nil, fmt.Errorf("jobstore: %s: torn record at offset %d in non-final segment", path, off)
+				}
+				res.tornBytes = int64(len(data) - off)
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return nil, fmt.Errorf("jobstore: truncating torn tail of %s: %w", path, err)
+				}
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("jobstore: %s: offset %d: %w", path, off, err)
+			}
+			res.records = append(res.records, rec)
+			off += n
+		}
+	}
+	return res, nil
+}

@@ -180,6 +180,28 @@ func (c *Counter) Add(n int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is a settable instantaneous value safe for concurrent use —
+// queue depths, lane occupancy, recovery flags. Unlike Counter it may
+// move in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // defaultLatencyBounds covers 1 ms .. ~17 min in powers of four — wide
 // enough for both quick-scale experiments (seconds) and paper-scale runs
 // (minutes).
@@ -283,6 +305,7 @@ func series(family, labels, extra string) string {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*LatencyHist
 }
 
@@ -290,6 +313,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*LatencyHist),
 	}
 }
@@ -306,6 +330,19 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the gauge with the given name (creating it if needed).
+// Like Counter, the name may carry a Prometheus-style label set.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the latency histogram with the given name (creating
@@ -333,6 +370,10 @@ func (r *Registry) Render() string {
 	for name := range r.counters {
 		cnames = append(cnames, name)
 	}
+	gnames := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gnames = append(gnames, name)
+	}
 	hnames := make([]string, 0, len(r.hists))
 	for name := range r.hists {
 		hnames = append(hnames, name)
@@ -340,6 +381,10 @@ func (r *Registry) Render() string {
 	counters := make(map[string]*Counter, len(r.counters))
 	for name, c := range r.counters {
 		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
 	}
 	hists := make(map[string]*LatencyHist, len(r.hists))
 	for name, h := range r.hists {
@@ -351,6 +396,7 @@ func (r *Registry) Render() string {
 	// (the family is a prefix of every series name), which the text
 	// format requires: all samples of a family must follow its TYPE line.
 	sort.Strings(cnames)
+	sort.Strings(gnames)
 	sort.Strings(hnames)
 	var b strings.Builder
 	lastFamily := ""
@@ -361,6 +407,15 @@ func (r *Registry) Render() string {
 			lastFamily = family
 		}
 		fmt.Fprintf(&b, "%s %d\n", name, counters[name].Value())
+	}
+	lastFamily = ""
+	for _, name := range gnames {
+		family, _ := splitName(name)
+		if family != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", family)
+			lastFamily = family
+		}
+		fmt.Fprintf(&b, "%s %d\n", name, gauges[name].Value())
 	}
 	lastFamily = ""
 	for _, name := range hnames {

@@ -135,6 +135,54 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(3)
+	g.Dec()
+	g.Inc()
+	g.Add(-2)
+	if g.Value() != 6 {
+		t.Fatalf("value = %d", g.Value())
+	}
+	g.Set(-1) // gauges may go negative, unlike counters
+	if g.Value() != -1 {
+		t.Fatalf("value = %d", g.Value())
+	}
+}
+
+// TestGaugeRenderPosition pins the family order of the exposition:
+// counters, then gauges, then histograms, each block sorted by name.
+func TestGaugeRenderPosition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	r.Gauge(`depth{lane="batch"}`).Set(4)
+	r.Gauge(`depth{lane="control"}`).Set(1)
+	r.Histogram("lat_seconds").Observe(0.01)
+	out := r.Render()
+	for _, want := range []string{
+		"# TYPE depth gauge",
+		`depth{lane="batch"} 4`,
+		`depth{lane="control"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE depth gauge") != 1 {
+		t.Fatalf("gauge family declared more than once:\n%s", out)
+	}
+	ctr := strings.Index(out, "a_total")
+	gau := strings.Index(out, "depth{")
+	his := strings.Index(out, "lat_seconds_bucket")
+	if !(ctr < gau && gau < his) {
+		t.Fatalf("family order wrong (counter=%d gauge=%d hist=%d):\n%s", ctr, gau, his, out)
+	}
+	if out != r.Render() {
+		t.Fatal("render not deterministic with gauges")
+	}
+}
+
 func TestLatencyHistObserveAndRender(t *testing.T) {
 	h := NewLatencyHist()
 	h.Observe(0.002)

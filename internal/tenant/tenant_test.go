@@ -1,0 +1,269 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseLane(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Lane
+	}{
+		{"control", LaneControl},
+		{"interactive", LaneInteractive},
+		{"", LaneInteractive},
+		{"batch", LaneBatch},
+	}
+	for _, c := range cases {
+		got, err := ParseLane(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseLane(%q) = %v, %v", c.in, got, err)
+		}
+		if c.in != "" && got.String() != c.in {
+			t.Fatalf("Lane(%q).String() = %q", c.in, got)
+		}
+	}
+	if _, err := ParseLane("bulk"); err == nil {
+		t.Fatal("ParseLane accepted unknown lane")
+	}
+	if Lane(9).Valid() {
+		t.Fatal("Lane(9) reported valid")
+	}
+}
+
+// TestDequeuePriorityOrder pins the contended schedule: with one item
+// per lane, dequeue order is exactly control, interactive, batch.
+func TestDequeuePriorityOrder(t *testing.T) {
+	c := NewController(Config{})
+	for lane := Lane(0); lane < NumLanes; lane++ {
+		c.Requeue(Item{ID: uint64(lane) + 1, Tenant: "t", Lane: lane})
+	}
+	want := []Lane{LaneControl, LaneInteractive, LaneBatch}
+	for i, w := range want {
+		it, ok := c.Dequeue()
+		if !ok || it.Lane != w {
+			t.Fatalf("dequeue %d = %v (ok=%v), want lane %v", i, it, ok, w)
+		}
+	}
+	if _, ok := c.Dequeue(); ok {
+		t.Fatal("dequeue from empty controller succeeded")
+	}
+}
+
+// TestDequeueWeightedShares pins the smooth-WRR shares: over one full
+// cycle of 21 contended dequeues, control wins 16, interactive 4, and
+// batch 1 — priority without starvation.
+func TestDequeueWeightedShares(t *testing.T) {
+	c := NewController(Config{LaneCapacity: 64})
+	for i := 0; i < 30; i++ {
+		for lane := Lane(0); lane < NumLanes; lane++ {
+			c.Requeue(Item{ID: uint64(i*3+int(lane)) + 1, Tenant: "t", Lane: lane})
+		}
+	}
+	var got [NumLanes]int
+	for i := 0; i < 21; i++ {
+		it, ok := c.Dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d failed", i)
+		}
+		got[it.Lane]++
+	}
+	if got != [NumLanes]int{16, 4, 1} {
+		t.Fatalf("lane shares over one cycle = %v, want [16 4 1]", got)
+	}
+	// FIFO within a lane: the first control items out are the first in.
+	c2 := NewController(Config{})
+	c2.Requeue(Item{ID: 7, Tenant: "t", Lane: LaneControl})
+	c2.Requeue(Item{ID: 8, Tenant: "t", Lane: LaneControl})
+	if it, _ := c2.Dequeue(); it.ID != 7 {
+		t.Fatalf("lane is not FIFO: first out = %d", it.ID)
+	}
+}
+
+func TestCheckMirrorsAdmit(t *testing.T) {
+	c := NewController(Config{MaxOpenPerTenant: 1, LaneCapacity: 1})
+	if err := c.Check("a", LaneBatch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Admit(Item{ID: 1, Tenant: "a", Lane: LaneBatch}); err != nil {
+		t.Fatal(err)
+	}
+	var qe *QuotaError
+	if err := c.Check("a", LaneControl); !errors.As(err, &qe) {
+		t.Fatalf("over-quota Check = %v", err)
+	}
+	var lf *LaneFullError
+	if err := c.Check("b", LaneBatch); !errors.As(err, &lf) {
+		t.Fatalf("full-lane Check = %v", err)
+	}
+	if err := c.Check("b", Lane(9)); err == nil {
+		t.Fatal("invalid lane accepted")
+	}
+}
+
+func TestQuota(t *testing.T) {
+	c := NewController(Config{MaxOpenPerTenant: 2, RetryAfter: 7 * time.Second})
+	for i := uint64(1); i <= 2; i++ {
+		if err := c.Admit(Item{ID: i, Tenant: "acme", Lane: LaneBatch}); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	err := c.Admit(Item{ID: 3, Tenant: "acme", Lane: LaneBatch})
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("third admit error = %v, want QuotaError", err)
+	}
+	if qe.Tenant != "acme" || qe.Open != 2 || qe.Limit != 2 || qe.RetryAfter != 7*time.Second {
+		t.Fatalf("QuotaError = %+v", qe)
+	}
+	// Another tenant is unaffected.
+	if err := c.Admit(Item{ID: 4, Tenant: "other", Lane: LaneBatch}); err != nil {
+		t.Fatalf("other tenant blocked: %v", err)
+	}
+	// The quota covers running jobs too: dequeue does not release.
+	if _, ok := c.Dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if err := c.Admit(Item{ID: 5, Tenant: "acme", Lane: LaneBatch}); !errors.As(err, &qe) {
+		t.Fatalf("quota released by dequeue: %v", err)
+	}
+	// A terminal job releases its charge.
+	c.Release("acme")
+	if err := c.Admit(Item{ID: 6, Tenant: "acme", Lane: LaneBatch}); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestLaneCapacity(t *testing.T) {
+	c := NewController(Config{LaneCapacity: 1, MaxOpenPerTenant: 100})
+	if err := c.Admit(Item{ID: 1, Tenant: "a", Lane: LaneBatch}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Admit(Item{ID: 2, Tenant: "b", Lane: LaneBatch})
+	var lf *LaneFullError
+	if !errors.As(err, &lf) {
+		t.Fatalf("second admit error = %v, want LaneFullError", err)
+	}
+	if lf.Lane != LaneBatch || lf.Depth != 1 || lf.Capacity != 1 || lf.RetryAfter <= 0 {
+		t.Fatalf("LaneFullError = %+v", lf)
+	}
+	// Other lanes have their own capacity.
+	if err := c.Admit(Item{ID: 3, Tenant: "b", Lane: LaneControl}); err != nil {
+		t.Fatalf("control lane blocked by batch capacity: %v", err)
+	}
+	if err := c.Admit(Item{ID: 4, Tenant: "x", Lane: Lane(7)}); err == nil {
+		t.Fatal("invalid lane admitted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := NewController(Config{MaxOpenPerTenant: 1})
+	if err := c.Admit(Item{ID: 1, Tenant: "a", Lane: LaneInteractive}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Remove(1) {
+		t.Fatal("Remove(1) = false")
+	}
+	if c.Remove(1) {
+		t.Fatal("double Remove succeeded")
+	}
+	if c.Open("a") != 0 {
+		t.Fatalf("open after remove = %d", c.Open("a"))
+	}
+	// The released charge admits a new job immediately.
+	if err := c.Admit(Item{ID: 2, Tenant: "a", Lane: LaneInteractive}); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Depths(); d != [NumLanes]int{0, 1, 0} {
+		t.Fatalf("depths = %v", d)
+	}
+}
+
+// TestConcurrentMixedTenantLoad hammers the controller from many
+// goroutines (part of the race matrix) and checks the invariants that
+// admission exists to enforce: quotas and lane capacities are never
+// exceeded, and every admitted item is dequeued or removed exactly
+// once.
+func TestConcurrentMixedTenantLoad(t *testing.T) {
+	const (
+		tenants  = 4
+		perT     = 50
+		maxOpen  = 8
+		capacity = 16
+	)
+	c := NewController(Config{MaxOpenPerTenant: maxOpen, LaneCapacity: capacity})
+	var admitted, rejected, drained int64
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			name := fmt.Sprintf("tenant-%d", tn)
+			for i := 0; i < perT; i++ {
+				id := uint64(tn*perT + i + 1)
+				err := c.Admit(Item{ID: id, Tenant: name, Lane: Lane(i % NumLanes)})
+				mu.Lock()
+				if err == nil {
+					admitted++
+				} else {
+					rejected++
+				}
+				mu.Unlock()
+				if open := c.Open(name); open > maxOpen {
+					t.Errorf("tenant %s open = %d > %d", name, open, maxOpen)
+				}
+			}
+		}(tn)
+	}
+	// Two consumers drain concurrently, releasing charges as they go.
+	done := make(chan struct{})
+	var cwg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				it, ok := c.Dequeue()
+				if !ok {
+					select {
+					case <-done:
+						if it, ok = c.Dequeue(); !ok {
+							return
+						}
+					default:
+						continue
+					}
+				}
+				c.Release(it.Tenant)
+				mu.Lock()
+				drained++
+				seen[it.ID]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+
+	if admitted != drained {
+		t.Fatalf("admitted %d but drained %d", admitted, drained)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d dequeued %d times", id, n)
+		}
+	}
+	for _, d := range c.Depths() {
+		if d != 0 {
+			t.Fatalf("residual depth %v", c.Depths())
+		}
+	}
+}
