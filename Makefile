@@ -50,11 +50,12 @@ fuzzseed:
 	$(GO) test -fuzz FuzzSolve -fuzztime 10s ./internal/anneal
 	$(GO) test -fuzz FuzzShardCodec -fuzztime 10s ./internal/cluster
 	$(GO) test -fuzz FuzzWALRecord -fuzztime 10s ./internal/jobstore
+	$(GO) test -fuzz FuzzConfigHash -fuzztime 10s ./internal/diecache
 
 # cover prints per-package statement coverage and fails if any of the
 # gated packages (the concurrency- and protocol-heavy ones) drops below
 # 80%. Numbers are recorded in EXPERIMENTS.md ("Coverage gate").
-COVER_GATED = vasched/internal/cluster vasched/internal/pm vasched/internal/farm vasched/internal/trace vasched/internal/jobstore vasched/internal/tenant
+COVER_GATED = vasched/internal/cluster vasched/internal/pm vasched/internal/farm vasched/internal/trace vasched/internal/jobstore vasched/internal/tenant vasched/internal/diecache
 
 cover:
 	$(GO) test -count=1 -cover ./... | tee /tmp/vasched-cover.txt
@@ -69,7 +70,7 @@ cover:
 # artefacts) against the committed baseline without writing a snapshot.
 benchcheck:
 	$(GO) run ./cmd/benchstatus -check -nowrite \
-		-pkgs ./internal/grf,./internal/thermal,./internal/linsolve,./internal/lp,./internal/pm,./internal/anneal,./internal/cpusim,./internal/fft,./internal/jobstore
+		-pkgs ./internal/grf,./internal/thermal,./internal/linsolve,./internal/lp,./internal/pm,./internal/anneal,./internal/cpusim,./internal/fft,./internal/jobstore,./internal/diecache,./internal/varmodel
 
 # benchsnap records a fresh full-suite snapshot (BENCH_<date>.json).
 benchsnap:

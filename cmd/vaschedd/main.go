@@ -95,8 +95,13 @@ func main() {
 		worker  = flag.Bool("worker", false, "run as a cluster worker: serve shard requests instead of the job API")
 		workers = flag.String("workers", "", "comma-separated worker base URLs; shards kernel-based die loops across them")
 		debug   = flag.String("debug-addr", "", "serve /debug/pprof and /debug/trace (Chrome trace JSON) on this extra address; empty disables")
+		dieDir  = flag.String("die-cache-dir", "", "directory for the on-disk die blob store; a restarted service (or worker) re-characterises dies from checksummed blobs instead of re-sampling")
 	)
 	flag.Parse()
+
+	if *dieDir != "" {
+		experiments.SetSharedDieCacheDir(*dieDir)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

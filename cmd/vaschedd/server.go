@@ -623,10 +623,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	hits, misses := experiments.SharedDieCacheStats()
+	st := experiments.SharedDieCacheStatsFull()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# TYPE vaschedd_die_cache_hits_total counter\nvaschedd_die_cache_hits_total %d\n", hits)
-	fmt.Fprintf(w, "# TYPE vaschedd_die_cache_misses_total counter\nvaschedd_die_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# TYPE vaschedd_die_cache_hits_total counter\nvaschedd_die_cache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "# TYPE vaschedd_die_cache_misses_total counter\nvaschedd_die_cache_misses_total %d\n", st.Misses)
+	fmt.Fprintf(w, "# TYPE vaschedd_die_cache_disk_hits_total counter\nvaschedd_die_cache_disk_hits_total %d\n", st.DiskHits)
+	fmt.Fprintf(w, "# TYPE vaschedd_die_cache_corrupt_blobs_total counter\nvaschedd_die_cache_corrupt_blobs_total %d\n", st.CorruptBlobs)
+	fmt.Fprintf(w, "# TYPE vaschedd_die_cache_disk_read_bytes_total counter\nvaschedd_die_cache_disk_read_bytes_total %d\n", st.BytesRead)
+	fmt.Fprintf(w, "# TYPE vaschedd_die_cache_disk_written_bytes_total counter\nvaschedd_die_cache_disk_written_bytes_total %d\n", st.BytesWritten)
 	fmt.Fprint(w, s.reg.Render())
 }
 

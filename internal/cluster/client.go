@@ -26,6 +26,12 @@ type Job struct {
 	Scale     string
 	Seed      int64
 	BatchSeed int64
+	// ConfigHash is the coordinator Env's canonical model-config hash
+	// (diecache.ConfigHash). Workers rebuild the Env from Scale and
+	// refuse the shard if their hash disagrees — the guard against
+	// version skew silently producing different dies under one Scale
+	// name. Zero means "unchecked" (old callers, hand-built jobs).
+	ConfigHash uint64
 }
 
 // ErrNoWorkers is returned when a shard cannot be placed because every
@@ -289,7 +295,7 @@ func (c *Client) Run(ctx context.Context, job Job, n int) ([][]byte, error) {
 // worker, dispatch (with optional hedging), and on failure back the
 // worker off and retry on another one.
 func (c *Client) runShard(ctx context.Context, job Job, dies []int) ([][]byte, error) {
-	req := &ShardRequest{Kernel: job.Kernel, Scale: job.Scale, Seed: job.Seed, BatchSeed: job.BatchSeed, Dies: dies}
+	req := &ShardRequest{Kernel: job.Kernel, Scale: job.Scale, Seed: job.Seed, BatchSeed: job.BatchSeed, ConfigHash: job.ConfigHash, Dies: dies}
 	payload := EncodeRequest(req)
 
 	var lastErr error

@@ -31,10 +31,12 @@ import (
 	"hash/fnv"
 )
 
-// Wire-format magics ("vcq1" request, "vcr1" response) double as version
-// tags: any incompatible change bumps the trailing digit.
+// Wire-format magics ("vcq2" request, "vcr1" response) double as version
+// tags: any incompatible change bumps the trailing digit. vcq1 → vcq2
+// added the model-config hash, so a mixed-version cluster fails loudly
+// at decode instead of skipping the hash check.
 var (
-	reqMagic  = [4]byte{'v', 'c', 'q', '1'}
+	reqMagic  = [4]byte{'v', 'c', 'q', '2'}
 	respMagic = [4]byte{'v', 'c', 'r', '1'}
 )
 
@@ -77,6 +79,10 @@ type ShardRequest struct {
 	// Seed and BatchSeed reproduce the coordinator Env's random streams.
 	Seed      int64
 	BatchSeed int64
+	// ConfigHash pins the coordinator's canonical model-config hash
+	// (diecache.ConfigHash); a worker whose rebuilt Env hashes
+	// differently must reject the shard. Zero disables the check.
+	ConfigHash uint64
 	// Dies are the indices to run, in the order results are wanted.
 	Dies []int
 }
@@ -110,12 +116,13 @@ func splitChecksum(buf []byte) ([]byte, error) {
 
 // EncodeRequest serialises a shard request.
 func EncodeRequest(r *ShardRequest) []byte {
-	buf := make([]byte, 0, 4+2+len(r.Kernel)+2+len(r.Scale)+16+4+4*len(r.Dies)+checksumLen)
+	buf := make([]byte, 0, 4+2+len(r.Kernel)+2+len(r.Scale)+24+4+4*len(r.Dies)+checksumLen)
 	buf = append(buf, reqMagic[:]...)
 	buf = appendString(buf, r.Kernel)
 	buf = appendString(buf, r.Scale)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Seed))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.BatchSeed))
+	buf = binary.LittleEndian.AppendUint64(buf, r.ConfigHash)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Dies)))
 	for _, d := range r.Dies {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
@@ -141,6 +148,7 @@ func DecodeRequest(buf []byte) (*ShardRequest, error) {
 	r.Scale = d.str()
 	r.Seed = int64(d.u64())
 	r.BatchSeed = int64(d.u64())
+	r.ConfigHash = d.u64()
 	n := int(d.u32())
 	if n < 0 || n > maxDies || d.err == nil && n*4 > len(d.buf)-d.off {
 		return nil, corruptf("die count %d overruns payload", n)

@@ -1,0 +1,331 @@
+// Package diecache is the content-addressed cache in front of die
+// generation. A die is a pure function of (model configuration,
+// batchSeed, index) — PR 4's purity guarantee — so a canonical hash of
+// the configuration plus the two seed coordinates fully identifies its
+// maps. The cache layers an in-memory LRU of built values over an
+// optional checksummed on-disk blob store of raw die maps, collapses
+// concurrent fills for one key (single-flight), and counts hits, misses
+// and bytes through internal/metrics.
+package diecache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"reflect"
+)
+
+// Codec wire format, version 1. The encoding is canonical: one byte
+// sequence per semantic value, so configurations are equal exactly when
+// their encodings (and, collision aside, their hashes) are. Field and
+// type names are part of the stream — renaming or reordering a config
+// field changes every hash, which is the invalidation rule we want: a
+// schema change must never silently alias an old cache entry.
+const codecVersion = 1
+
+// Value kind tags.
+const (
+	tagFloat64 = byte('d')
+	tagInt     = byte('i')
+	tagUint    = byte('u')
+	tagBool    = byte('b')
+	tagString  = byte('s')
+	tagStruct  = byte('S')
+)
+
+// maxCodecString bounds decoded string/name lengths so corrupt input
+// cannot demand absurd allocations.
+const maxCodecString = 1 << 12
+
+// EncodeConfig canonically encodes the given configuration values. Each
+// must be (or point to) a struct composed of float64s, integer kinds,
+// bools, strings, and nested such structs — which every model config in
+// this repository is. Unsupported kinds are an error, never a panic.
+func EncodeConfig(vals ...any) ([]byte, error) {
+	buf := []byte{codecVersion}
+	buf = appendUint16(buf, uint16(len(vals)))
+	for _, v := range vals {
+		rv := reflect.ValueOf(v)
+		for rv.Kind() == reflect.Pointer {
+			if rv.IsNil() {
+				return nil, fmt.Errorf("diecache: encode nil %s", rv.Type())
+			}
+			rv = rv.Elem()
+		}
+		buf = appendString(buf, rv.Type().String())
+		var err error
+		if buf, err = appendValue(buf, rv); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendUint16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	var w [8]byte
+	binary.BigEndian.PutUint64(w[:], v)
+	return append(b, w[:]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, rv reflect.Value) ([]byte, error) {
+	switch rv.Kind() {
+	case reflect.Float64:
+		return appendUint64(append(b, tagFloat64), math.Float64bits(rv.Float())), nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return appendUint64(append(b, tagInt), uint64(rv.Int())), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return appendUint64(append(b, tagUint), rv.Uint()), nil
+	case reflect.Bool:
+		if rv.Bool() {
+			return append(b, tagBool, 1), nil
+		}
+		return append(b, tagBool, 0), nil
+	case reflect.String:
+		if len(rv.String()) > maxCodecString {
+			return nil, fmt.Errorf("diecache: string field longer than %d bytes", maxCodecString)
+		}
+		return appendString(append(b, tagString), rv.String()), nil
+	case reflect.Struct:
+		t := rv.Type()
+		n := 0
+		for i := 0; i < t.NumField(); i++ {
+			if t.Field(i).IsExported() {
+				n++
+			}
+		}
+		b = appendUint16(append(b, tagStruct), uint16(n))
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			b = appendString(b, f.Name)
+			var err error
+			if b, err = appendValue(b, rv.Field(i)); err != nil {
+				return nil, fmt.Errorf("diecache: field %s.%s: %w", t, f.Name, err)
+			}
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("diecache: unsupported config kind %s", rv.Kind())
+	}
+}
+
+// ConfigHash returns the canonical FNV-64a hash of the encoded
+// configuration values — the first coordinate of a cache Key. Two
+// configurations hash equal exactly when they encode equal, i.e. when
+// every exported field (recursively) is equal.
+func ConfigHash(vals ...any) (uint64, error) {
+	enc, err := EncodeConfig(vals...)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write(enc)
+	return h.Sum64(), nil
+}
+
+// decoder walks an encoded configuration with bounds-checked reads.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.b) {
+		return nil, fmt.Errorf("diecache: truncated config encoding at offset %d", d.off)
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s, nil
+}
+
+func (d *decoder) uint16() (uint16, error) {
+	s, err := d.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(s[0])<<8 | uint16(s[1]), nil
+}
+
+func (d *decoder) uint64() (uint64, error) {
+	s, err := d.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(s), nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uint16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > maxCodecString {
+		return "", fmt.Errorf("diecache: name length %d exceeds cap", n)
+	}
+	s, err := d.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(s), nil
+}
+
+// DecodeConfig decodes an encoding produced by EncodeConfig into the
+// given struct pointers, which must match the encoded schema (same type
+// names, field names, and kinds, in order). Any deviation — truncation,
+// bit flips in tags or names, trailing garbage, schema drift — returns an
+// error; corrupt input never panics and never partially succeeds
+// silently into a value that then hashes differently from its source.
+func DecodeConfig(data []byte, ptrs ...any) error {
+	d := &decoder{b: data}
+	ver, err := d.bytes(1)
+	if err != nil {
+		return err
+	}
+	if ver[0] != codecVersion {
+		return fmt.Errorf("diecache: config encoding version %d, want %d", ver[0], codecVersion)
+	}
+	n, err := d.uint16()
+	if err != nil {
+		return err
+	}
+	if int(n) != len(ptrs) {
+		return fmt.Errorf("diecache: encoding holds %d values, decoding into %d", n, len(ptrs))
+	}
+	for _, p := range ptrs {
+		rv := reflect.ValueOf(p)
+		if rv.Kind() != reflect.Pointer || rv.IsNil() {
+			return fmt.Errorf("diecache: decode target must be a non-nil pointer, got %T", p)
+		}
+		rv = rv.Elem()
+		name, err := d.string()
+		if err != nil {
+			return err
+		}
+		if name != rv.Type().String() {
+			return fmt.Errorf("diecache: encoded type %q does not match target %s", name, rv.Type())
+		}
+		if err := d.value(rv); err != nil {
+			return err
+		}
+	}
+	if d.off != len(data) {
+		return fmt.Errorf("diecache: %d trailing bytes after config encoding", len(data)-d.off)
+	}
+	return nil
+}
+
+func (d *decoder) value(rv reflect.Value) error {
+	tag, err := d.bytes(1)
+	if err != nil {
+		return err
+	}
+	switch tag[0] {
+	case tagFloat64:
+		if rv.Kind() != reflect.Float64 {
+			return fmt.Errorf("diecache: float64 encoded where %s expected", rv.Kind())
+		}
+		u, err := d.uint64()
+		if err != nil {
+			return err
+		}
+		rv.SetFloat(math.Float64frombits(u))
+	case tagInt:
+		switch rv.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		default:
+			return fmt.Errorf("diecache: int encoded where %s expected", rv.Kind())
+		}
+		u, err := d.uint64()
+		if err != nil {
+			return err
+		}
+		if rv.OverflowInt(int64(u)) {
+			return fmt.Errorf("diecache: encoded int overflows %s", rv.Type())
+		}
+		rv.SetInt(int64(u))
+	case tagUint:
+		switch rv.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		default:
+			return fmt.Errorf("diecache: uint encoded where %s expected", rv.Kind())
+		}
+		u, err := d.uint64()
+		if err != nil {
+			return err
+		}
+		if rv.OverflowUint(u) {
+			return fmt.Errorf("diecache: encoded uint overflows %s", rv.Type())
+		}
+		rv.SetUint(u)
+	case tagBool:
+		if rv.Kind() != reflect.Bool {
+			return fmt.Errorf("diecache: bool encoded where %s expected", rv.Kind())
+		}
+		v, err := d.bytes(1)
+		if err != nil {
+			return err
+		}
+		if v[0] > 1 {
+			return fmt.Errorf("diecache: bool encoded as %d", v[0])
+		}
+		rv.SetBool(v[0] == 1)
+	case tagString:
+		if rv.Kind() != reflect.String {
+			return fmt.Errorf("diecache: string encoded where %s expected", rv.Kind())
+		}
+		s, err := d.string()
+		if err != nil {
+			return err
+		}
+		rv.SetString(s)
+	case tagStruct:
+		if rv.Kind() != reflect.Struct {
+			return fmt.Errorf("diecache: struct encoded where %s expected", rv.Kind())
+		}
+		n, err := d.uint16()
+		if err != nil {
+			return err
+		}
+		t := rv.Type()
+		want := 0
+		for i := 0; i < t.NumField(); i++ {
+			if t.Field(i).IsExported() {
+				want++
+			}
+		}
+		if int(n) != want {
+			return fmt.Errorf("diecache: %s encoded with %d fields, target has %d", t, n, want)
+		}
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name, err := d.string()
+			if err != nil {
+				return err
+			}
+			if name != f.Name {
+				return fmt.Errorf("diecache: encoded field %q where %s.%s expected", name, t, f.Name)
+			}
+			if err := d.value(rv.Field(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("diecache: unknown value tag %#x", tag[0])
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package diecache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vasched/internal/delay"
+	"vasched/internal/power"
+	"vasched/internal/tech"
+	"vasched/internal/thermal"
+	"vasched/internal/varmodel"
+)
+
+// modelConfigs returns the full configuration set a cache key covers —
+// the same tuple experiments.Env hashes.
+func modelConfigs() (varmodel.Config, delay.Config, power.Model, thermal.Config) {
+	return varmodel.DefaultConfig(), delay.DefaultConfig(), power.DefaultModel(tech.Default()), thermal.DefaultConfig()
+}
+
+func mustHash(t *testing.T, vals ...any) uint64 {
+	t.Helper()
+	h, err := ConfigHash(vals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestEncodeDecodeRoundTrip proves the codec is lossless and canonical
+// over the real model configs: decode(encode(x)) == x, and re-encoding
+// the decoded value reproduces the exact byte stream.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vc, dc, pm, tc := modelConfigs()
+	enc, err := EncodeConfig(vc, dc, pm, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vc2 varmodel.Config
+	var dc2 delay.Config
+	var pm2 power.Model
+	var tc2 thermal.Config
+	if err := DecodeConfig(enc, &vc2, &dc2, &pm2, &tc2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vc, vc2) || !reflect.DeepEqual(dc, dc2) ||
+		!reflect.DeepEqual(pm, pm2) || !reflect.DeepEqual(tc, tc2) {
+		t.Fatal("decoded configs differ from originals")
+	}
+	enc2, err := EncodeConfig(vc2, dc2, pm2, tc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoding a decoded config changed the byte stream")
+	}
+	// Pointers encode identically to values — callers pass either.
+	encP, err := EncodeConfig(&vc, &dc, &pm, &tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, encP) {
+		t.Fatal("pointer and value encodings differ")
+	}
+}
+
+// TestConfigHashEqualsSemanticEquality is the key invariant the cache
+// rests on: hash equality iff config equality. Equal tuples hash equal;
+// mutating any single exported field — walked recursively via reflection
+// so a newly added field can never be silently excluded — changes the
+// hash.
+func TestConfigHashEqualsSemanticEquality(t *testing.T) {
+	vc, dc, pm, tc := modelConfigs()
+	base := mustHash(t, vc, dc, pm, tc)
+
+	vcB, dcB, pmB, tcB := modelConfigs()
+	if got := mustHash(t, vcB, dcB, pmB, tcB); got != base {
+		t.Fatalf("equal configs hash differently: %016x vs %016x", got, base)
+	}
+
+	// mutate flips one leaf field at a time and re-hashes the tuple.
+	vals := []any{&vc, &dc, &pm, &tc}
+	hashAll := func() uint64 {
+		return mustHash(t, vc, dc, pm, tc)
+	}
+	var walk func(rv reflect.Value, path string)
+	leaves := 0
+	walk = func(rv reflect.Value, path string) {
+		switch rv.Kind() {
+		case reflect.Struct:
+			for i := 0; i < rv.NumField(); i++ {
+				f := rv.Type().Field(i)
+				if !f.IsExported() {
+					continue
+				}
+				walk(rv.Field(i), path+"."+f.Name)
+			}
+		case reflect.Float64:
+			old := rv.Float()
+			rv.SetFloat(old + 1.5)
+			if hashAll() == base {
+				t.Errorf("mutating %s did not change the hash", path)
+			}
+			rv.SetFloat(old)
+			leaves++
+		case reflect.Int, reflect.Int64:
+			old := rv.Int()
+			rv.SetInt(old + 3)
+			if hashAll() == base {
+				t.Errorf("mutating %s did not change the hash", path)
+			}
+			rv.SetInt(old)
+			leaves++
+		default:
+			t.Fatalf("unexpected config leaf kind %s at %s", rv.Kind(), path)
+		}
+	}
+	for _, v := range vals {
+		rv := reflect.ValueOf(v).Elem()
+		walk(rv, rv.Type().String())
+	}
+	if leaves < 20 {
+		t.Fatalf("walked only %d leaf fields; config reflection walk looks broken", leaves)
+	}
+	if got := hashAll(); got != base {
+		t.Fatalf("mutation walk did not restore configs: %016x vs %016x", got, base)
+	}
+}
+
+// TestEncodeRejectsUnsupported pins the error (not panic) behaviour for
+// kinds the codec does not speak.
+func TestEncodeRejectsUnsupported(t *testing.T) {
+	if _, err := EncodeConfig([]int{1}); err == nil {
+		t.Error("slice accepted")
+	}
+	if _, err := EncodeConfig(map[string]int{}); err == nil {
+		t.Error("map accepted")
+	}
+	if _, err := EncodeConfig((*varmodel.Config)(nil)); err == nil {
+		t.Error("nil pointer accepted")
+	}
+	type hasSlice struct{ Xs []float64 }
+	if _, err := EncodeConfig(hasSlice{}); err == nil {
+		t.Error("struct with slice field accepted")
+	}
+	if _, err := ConfigHash(func() {}); err == nil {
+		t.Error("func accepted by ConfigHash")
+	}
+}
+
+// TestDecodeRejectsCorruptInput drives the decoder through the corruption
+// classes the fuzzer also explores: truncation, version/tag/name damage,
+// schema drift, and trailing garbage. Every one must error cleanly.
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	vc, dc, pm, tc := modelConfigs()
+	enc, err := EncodeConfig(vc, dc, pm, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func(data []byte) error {
+		var a varmodel.Config
+		var b delay.Config
+		var c power.Model
+		var d thermal.Config
+		return DecodeConfig(data, &a, &b, &c, &d)
+	}
+	if err := decode(enc); err != nil {
+		t.Fatalf("sanity: clean decode failed: %v", err)
+	}
+	if err := decode(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	for _, cut := range []int{1, 2, 5, len(enc) / 2, len(enc) - 1} {
+		if err := decode(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if err := decode(append(append([]byte{}, enc...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	bad := append([]byte{}, enc...)
+	bad[0] = codecVersion + 1
+	if err := decode(bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Damage the type-name region: the decoder must refuse to bind the
+	// stream to a differently named schema.
+	bad = append([]byte{}, enc...)
+	bad[5] ^= 0xff
+	if err := decode(bad); err == nil {
+		t.Error("corrupted type name accepted")
+	}
+	// Wrong target arity and wrong target type.
+	var a varmodel.Config
+	if err := DecodeConfig(enc, &a); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	var wrong [4]thermal.Config
+	if err := DecodeConfig(enc, &wrong[0], &wrong[1], &wrong[2], &wrong[3]); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if err := DecodeConfig(enc, nil, nil, nil, nil); err == nil {
+		t.Error("nil decode targets accepted")
+	}
+}
+
+// allKinds exercises every codec kind, including the ones no real model
+// config uses yet (uint, bool, string) — if a future config adds one,
+// the codec is already proven for it.
+type allKinds struct {
+	F  float64
+	I  int
+	I8 int8
+	U  uint16
+	B  bool
+	S  string
+	N  struct{ X float64 }
+}
+
+// TestCodecAllKinds round-trips every supported kind and drives the
+// decoder's per-kind validation branches with surgically corrupted
+// encodings (DecodeConfig has no checksum, so single-byte patches reach
+// the kind and range checks directly).
+func TestCodecAllKinds(t *testing.T) {
+	v := allKinds{F: 1.5, I: -3, I8: 100, U: 9, B: true, S: "spec"}
+	v.N.X = 2.25
+	enc, err := EncodeConfig(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got allKinds
+	if err := DecodeConfig(enc, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("round trip: got %+v, want %+v", got, v)
+	}
+	if h1, h2 := mustHash(t, v), mustHash(t, got); h1 != h2 {
+		t.Fatal("equal all-kinds values hash differently")
+	}
+	v2 := v
+	v2.B = false
+	if mustHash(t, v2) == mustHash(t, v) {
+		t.Fatal("bool flip did not change the hash")
+	}
+	v2 = v
+	v2.S = "spec2"
+	if mustHash(t, v2) == mustHash(t, v) {
+		t.Fatal("string change did not change the hash")
+	}
+	v2 = v
+	v2.U++
+	if mustHash(t, v2) == mustHash(t, v) {
+		t.Fatal("uint change did not change the hash")
+	}
+
+	// Single-field encodings let byte offsets land on known positions:
+	// the value's last 8 bytes (or last byte for bool) are its payload.
+	patchTail := func(t *testing.T, val any, tail []byte) []byte {
+		t.Helper()
+		e, err := EncodeConfig(val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e = append([]byte{}, e...)
+		copy(e[len(e)-len(tail):], tail)
+		return e
+	}
+	type oneI8 struct{ V int8 }
+	over := patchTail(t, oneI8{V: 1}, []byte{0, 0, 0, 0, 0, 0, 1, 44}) // 300
+	var i8 oneI8
+	if err := DecodeConfig(over, &i8); err == nil {
+		t.Error("int8 overflow accepted")
+	}
+	type oneU8 struct{ V uint8 }
+	overU := patchTail(t, oneU8{V: 1}, []byte{0, 0, 0, 0, 0, 0, 1, 44})
+	var u8 oneU8
+	if err := DecodeConfig(overU, &u8); err == nil {
+		t.Error("uint8 overflow accepted")
+	}
+	type oneB struct{ V bool }
+	badBool := patchTail(t, oneB{V: true}, []byte{2})
+	var bl oneB
+	if err := DecodeConfig(badBool, &bl); err == nil {
+		t.Error("bool byte 2 accepted")
+	}
+	// Tag byte sits 9 bytes from the end for fixed-width kinds: flip an
+	// int tag to a float tag and the kind check must fire.
+	type oneI struct{ V int }
+	e, err := EncodeConfig(oneI{V: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e = append([]byte{}, e...)
+	e[len(e)-9] = tagFloat64
+	var iv oneI
+	if err := DecodeConfig(e, &iv); err == nil {
+		t.Error("float tag bound to int field")
+	}
+}
+
+// TestCodecNameLengthCap: a length prefix past the cap must be rejected
+// before any allocation.
+func TestCodecNameLengthCap(t *testing.T) {
+	data := []byte{codecVersion, 0, 1, 0xff, 0xff} // one value, 65535-byte type name
+	var v allKinds
+	if err := DecodeConfig(data, &v); err == nil {
+		t.Fatal("oversized name length accepted")
+	}
+	// Unknown tag byte.
+	enc, err := EncodeConfig(struct{ V int }{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc = append([]byte{}, enc...)
+	enc[len(enc)-9] = 'q'
+	var one struct{ V int }
+	if err := DecodeConfig(enc, &one); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}
+
+// TestSaveBlobErrors covers the write-side failure paths: a blob
+// directory that collides with an existing file, and an unencodable Cfg.
+func TestSaveBlobErrors(t *testing.T) {
+	base := t.TempDir()
+	file := filepath.Join(base, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	maps := &varmodel.DieMaps{
+		VthSys:  fieldFrom(1, 1, []float64{1}),
+		LeffSys: fieldFrom(1, 1, []float64{2}),
+	}
+	if _, err := saveBlob(filepath.Join(file, "sub"), Key{}, maps); err == nil {
+		t.Error("saveBlob into a file-as-directory path succeeded")
+	}
+}

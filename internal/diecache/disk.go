@@ -1,0 +1,218 @@
+package diecache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"vasched/internal/varmodel"
+)
+
+// Disk blob format: a fixed header, the two systematic maps, and an
+// FNV-64a checksum of everything before it. The key is echoed into the
+// header so a blob renamed (or hash-colliding) onto the wrong path is
+// rejected rather than silently served as a different die.
+//
+//	magic      "vdm1"
+//	configHash u64
+//	batchSeed  u64 (two's-complement int64)
+//	die        u64 (two's-complement int64)
+//	rows, cols u32
+//	vthSigmaRan, leffSigmaRan f64 (IEEE bits)
+//	seed       u64 (two's-complement int64)
+//	cfgLen     u32, then cfgLen bytes of EncodeConfig(maps.Cfg)
+//	vthData    rows*cols f64
+//	leffData   rows*cols f64
+//	checksum   u64 (FNV-64a of all preceding bytes)
+//
+// Embedding the canonical config encoding keeps blobs self-contained (a
+// DieMaps carries its Config) and means the disk layer round-trips
+// through the exact codec the content hash is built on.
+var diskMagic = [4]byte{'v', 'd', 'm', '1'}
+
+// ErrCorrupt reports a blob that failed structural or checksum
+// validation. Callers fall back to regeneration: determinism means a
+// rebuilt die is bit-identical to what the blob should have held.
+var ErrCorrupt = errors.New("diecache: corrupt die blob")
+
+// maxBlobCells caps the map size a blob may claim, so a corrupt header
+// cannot demand a multi-gigabyte allocation before the checksum is even
+// consulted (16M cells = two 128 MiB maps).
+const maxBlobCells = 16 << 20
+
+// blobPath is the content address of a key inside dir. Seeds are
+// rendered as fixed-width two's-complement hex so negative batch seeds
+// produce filesystem-safe, unambiguous names.
+func blobPath(dir string, key Key) string {
+	name := fmt.Sprintf("%016x_%016x_%016x.die", key.ConfigHash, uint64(key.BatchSeed), uint64(int64(key.Die)))
+	return filepath.Join(dir, name)
+}
+
+// encodeBlob serialises maps for key. An unencodable Cfg is impossible
+// for the real varmodel.Config (flat scalars); the error covers misuse.
+func encodeBlob(key Key, maps *varmodel.DieMaps) ([]byte, error) {
+	cfgEnc, err := EncodeConfig(maps.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows, cols := maps.VthSys.Rows, maps.VthSys.Cols
+	n := rows * cols
+	buf := make([]byte, 0, 4+8*4+8+8+8+4+len(cfgEnc)+16*n+8)
+	buf = append(buf, diskMagic[:]...)
+	buf = appendUint64(buf, key.ConfigHash)
+	buf = appendUint64(buf, uint64(key.BatchSeed))
+	buf = appendUint64(buf, uint64(int64(key.Die)))
+	var w [4]byte
+	binary.BigEndian.PutUint32(w[:], uint32(rows))
+	buf = append(buf, w[:]...)
+	binary.BigEndian.PutUint32(w[:], uint32(cols))
+	buf = append(buf, w[:]...)
+	buf = appendUint64(buf, math.Float64bits(maps.VthSigmaRan))
+	buf = appendUint64(buf, math.Float64bits(maps.LeffSigmaRan))
+	buf = appendUint64(buf, uint64(maps.Seed))
+	binary.BigEndian.PutUint32(w[:], uint32(len(cfgEnc)))
+	buf = append(buf, w[:]...)
+	buf = append(buf, cfgEnc...)
+	for _, v := range maps.VthSys.Data {
+		buf = appendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range maps.LeffSys.Data {
+		buf = appendUint64(buf, math.Float64bits(v))
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return appendUint64(buf, h.Sum64()), nil
+}
+
+// decodeBlob validates data against key and reassembles the maps,
+// including the embedded Config.
+func decodeBlob(data []byte, key Key) (*varmodel.DieMaps, error) {
+	const header = 4 + 8*3 + 4 + 4 + 8*3 + 4
+	if len(data) < header+8 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any valid blob", ErrCorrupt, len(data))
+	}
+	h := fnv.New64a()
+	h.Write(data[:len(data)-8])
+	if got := binary.BigEndian.Uint64(data[len(data)-8:]); got != h.Sum64() {
+		return nil, fmt.Errorf("%w: checksum %016x, want %016x", ErrCorrupt, got, h.Sum64())
+	}
+	d := &decoder{b: data[:len(data)-8]}
+	magic, _ := d.bytes(4)
+	if [4]byte(magic) != diskMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
+	}
+	ch, _ := d.uint64()
+	bs, _ := d.uint64()
+	die, _ := d.uint64()
+	if ch != key.ConfigHash || int64(bs) != key.BatchSeed || int64(die) != int64(key.Die) {
+		return nil, fmt.Errorf("%w: blob is keyed (%016x,%d,%d), want (%016x,%d,%d)",
+			ErrCorrupt, ch, int64(bs), int64(die), key.ConfigHash, key.BatchSeed, key.Die)
+	}
+	rb, _ := d.bytes(4)
+	cb, err := d.bytes(4)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	rows := int(binary.BigEndian.Uint32(rb))
+	cols := int(binary.BigEndian.Uint32(cb))
+	if rows <= 0 || cols <= 0 || rows*cols > maxBlobCells {
+		return nil, fmt.Errorf("%w: implausible map shape %dx%d", ErrCorrupt, rows, cols)
+	}
+	vthRan, _ := d.uint64()
+	leffRan, _ := d.uint64()
+	seed, err := d.uint64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	clb, err := d.bytes(4)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	cfgLen := int(binary.BigEndian.Uint32(clb))
+	if cfgLen > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible %d-byte config encoding", ErrCorrupt, cfgLen)
+	}
+	cfgEnc, err := d.bytes(cfgLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated config encoding", ErrCorrupt)
+	}
+	var cfg varmodel.Config
+	if err := DecodeConfig(cfgEnc, &cfg); err != nil {
+		return nil, fmt.Errorf("%w: embedded config: %v", ErrCorrupt, err)
+	}
+	n := rows * cols
+	if len(d.b)-d.off != 16*n {
+		return nil, fmt.Errorf("%w: %d payload bytes for %dx%d maps", ErrCorrupt, len(d.b)-d.off, rows, cols)
+	}
+	read := func() []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			u, _ := d.uint64()
+			out[i] = math.Float64frombits(u)
+		}
+		return out
+	}
+	maps := &varmodel.DieMaps{
+		Cfg:          cfg,
+		VthSigmaRan:  math.Float64frombits(vthRan),
+		LeffSigmaRan: math.Float64frombits(leffRan),
+		Seed:         int64(seed),
+	}
+	maps.VthSys = fieldFrom(rows, cols, read())
+	maps.LeffSys = fieldFrom(rows, cols, read())
+	return maps, nil
+}
+
+// saveBlob writes the blob atomically (tmp + rename), so a crashed or
+// concurrent writer can never leave a torn file a later reader would
+// have to distrust: readers see either nothing or a complete blob, and
+// the checksum backstops everything else.
+func saveBlob(dir string, key Key, maps *varmodel.DieMaps) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	data, err := encodeBlob(key, maps)
+	if err != nil {
+		return 0, err
+	}
+	path := blobPath(dir, key)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// loadBlob reads and validates the blob for key. A missing file returns
+// (nil, 0, nil); a present-but-invalid one returns ErrCorrupt.
+func loadBlob(dir string, key Key) (*varmodel.DieMaps, int, error) {
+	data, err := os.ReadFile(blobPath(dir, key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	maps, err := decodeBlob(data, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return maps, len(data), nil
+}

@@ -1,0 +1,157 @@
+package diecache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"vasched/internal/delay"
+	"vasched/internal/power"
+	"vasched/internal/tech"
+	"vasched/internal/thermal"
+	"vasched/internal/varmodel"
+)
+
+// FuzzConfigHash fuzzes the canonical config codec — the thing every
+// cache key, disk blob name, and cluster-shipped hash is derived from.
+// Properties under test:
+//
+//  1. No input panics or over-allocates: DecodeConfig is bounds-checked
+//     and name/string lengths are capped, whatever the bytes say.
+//  2. The encoding is canonical: any input the decoder accepts must
+//     re-encode to the exact same bytes. This is what upgrades hash
+//     equality from "same bytes" to "same configuration" — if two
+//     distinct byte strings decoded to one config, equal configs could
+//     hash unequal and the cache would silently refill.
+//  3. Decoding is total over the model schema: accepted inputs decode
+//     into the full four-config tuple the cache keys on.
+//
+// The committed corpus under testdata/fuzz/FuzzConfigHash seeds the real
+// model tuple, single-config encodings, and classic breakages;
+// `make fuzzseed` runs the target for 10s in CI and the nightly workflow
+// runs it longer.
+func FuzzConfigHash(f *testing.F) {
+	vc := varmodel.DefaultConfig()
+	dc := delay.DefaultConfig()
+	pm := power.DefaultModel(tech.Default())
+	tc := thermal.DefaultConfig()
+	if enc, err := EncodeConfig(vc, dc, pm, tc); err == nil {
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+		f.Add(append(append([]byte{}, enc...), 0xff))
+	}
+	if enc, err := EncodeConfig(vc); err == nil {
+		f.Add(enc)
+	}
+	if enc, err := EncodeConfig(tc); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{codecVersion})
+	f.Add([]byte{codecVersion, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// A tiny valid disk blob, so the blob-validation path is seeded too.
+	maps := &varmodel.DieMaps{
+		VthSys:  fieldFrom(2, 2, []float64{0.1, 0.2, 0.3, 0.4}),
+		LeffSys: fieldFrom(2, 2, []float64{1, 2, 3, 4}),
+		Seed:    7,
+	}
+	if blob, err := encodeBlob(Key{}, maps); err == nil {
+		f.Add(blob)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a varmodel.Config
+		var b delay.Config
+		var c power.Model
+		var d thermal.Config
+		if err := DecodeConfig(data, &a, &b, &c, &d); err == nil {
+			re, err := EncodeConfig(a, b, c, d)
+			if err != nil {
+				t.Fatalf("decoded config failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("encoding is not canonical:\n in: %x\nout: %x", data, re)
+			}
+			h1, err := ConfigHash(a, b, c, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := ConfigHash(a, b, c, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h1 != h2 {
+				t.Fatalf("hash is unstable: %016x vs %016x", h1, h2)
+			}
+		}
+		// Corrupt disk blobs ride the same no-panic guarantee, and any
+		// blob the validator accepts must itself be canonical.
+		if maps, err := decodeBlob(data, Key{}); err == nil {
+			re, err := encodeBlob(Key{}, maps)
+			if err != nil {
+				t.Fatalf("accepted blob failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("blob encoding is not canonical:\n in: %x\nout: %x", data, re)
+			}
+		}
+	})
+}
+
+// TestRegenerateFuzzCorpus rewrites the committed corpus under
+// testdata/fuzz/FuzzConfigHash from the current model schema. It is a
+// maintenance tool, not a check: run
+//
+//	DIECACHE_REGEN_CORPUS=1 go test ./internal/diecache -run TestRegenerateFuzzCorpus
+//
+// after changing any model config struct, then commit the result.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("DIECACHE_REGEN_CORPUS") == "" {
+		t.Skip("set DIECACHE_REGEN_CORPUS=1 to rewrite testdata/fuzz/FuzzConfigHash")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzConfigHash")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		t.Helper()
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vc := varmodel.DefaultConfig()
+	dc := delay.DefaultConfig()
+	pm := power.DefaultModel(tech.Default())
+	tc := thermal.DefaultConfig()
+	enc, err := EncodeConfig(vc, dc, pm, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("seed_model_tuple", enc)
+	write("seed_truncated", enc[:len(enc)/2])
+	write("seed_trailing", append(append([]byte{}, enc...), 0xff))
+	one, err := EncodeConfig(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("seed_single_thermal", one)
+	write("seed_empty", nil)
+	write("seed_garbage", bytes.Repeat([]byte{0xff}, 8))
+	bad := append([]byte{}, enc...)
+	bad[0] = codecVersion + 1
+	write("seed_bad_version", bad)
+	maps := &varmodel.DieMaps{
+		VthSys:  fieldFrom(2, 2, []float64{0.1, 0.2, 0.3, 0.4}),
+		LeffSys: fieldFrom(2, 2, []float64{1, 2, 3, 4}),
+		Seed:    7,
+	}
+	blob, err := encodeBlob(Key{}, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("seed_die_blob", blob)
+}

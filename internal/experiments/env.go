@@ -9,13 +9,12 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
-	"sync"
 
 	"vasched/internal/chip"
 	"vasched/internal/cluster"
 	"vasched/internal/cpusim"
 	"vasched/internal/delay"
+	"vasched/internal/diecache"
 	"vasched/internal/farm"
 	"vasched/internal/floorplan"
 	"vasched/internal/metrics"
@@ -104,29 +103,41 @@ type Env struct {
 	// observational: experiment outputs are identical with or without it.
 	DecideHist *metrics.LatencyHist
 
-	fp  *floorplan.Floorplan
-	cpu *cpusim.Model
-	gen *varmodel.Generator
-	// genMu serialises map sampling: the generator's FFT scratch buffer
-	// is shared across Die calls. Die outputs depend only on (BatchSeed,
-	// index), so serialised interleaved sampling stays deterministic.
-	genMu *sync.Mutex
-	pool  []*workload.AppProfile
-	dies  *farm.DieCache
-	sig   string
-	ctx   context.Context
+	fp      *floorplan.Floorplan
+	cpu     *cpusim.Model
+	gen     *varmodel.Generator
+	pool    []*workload.AppProfile
+	dies    *diecache.Cache
+	cfgHash uint64
+	ctx     context.Context
 }
 
 // sharedDies is the process-wide characterised-die cache: the ~15
 // experiments (and, in cmd/vaschedd, concurrent jobs) that share a die
 // batch pay the GRF + thermal-fixed-point characterisation once per die.
-// Capped so a long-running service cannot grow without bound; rebuilt
-// dies are bit-identical, so eviction only costs time.
-var sharedDies = farm.NewDieCache(1024)
+// Entries are content-addressed by (config hash, batch seed, die index),
+// so Envs with identical model configuration share dies no matter how
+// they were constructed. Capped so a long-running service cannot grow
+// without bound; rebuilt dies are bit-identical, so eviction only costs
+// time. An on-disk blob layer (SetSharedDieCacheDir) lets a restarted
+// service skip re-sampling entirely.
+var sharedDies = diecache.New(1024, "")
 
-// SharedDieCacheStats exposes the process-wide cache counters (for the
-// vaschedd /metrics endpoint).
-func SharedDieCacheStats() (hits, misses int64) { return sharedDies.Stats() }
+// SharedDieCacheStats exposes the process-wide hit/miss counters (for
+// the vaschedd /metrics endpoint and the warm-run audits in tests).
+func SharedDieCacheStats() (hits, misses int64) {
+	st := sharedDies.Stats()
+	return st.Hits, st.Misses
+}
+
+// SharedDieCacheStatsFull exposes every counter the shared cache keeps,
+// including the disk-layer ones.
+func SharedDieCacheStatsFull() diecache.Stats { return sharedDies.Stats() }
+
+// SetSharedDieCacheDir points the shared cache's blob store at dir
+// (empty disables it). Intended for process start-up (vaschedd's
+// -die-cache-dir flag) before experiments run.
+func SetSharedDieCacheDir(dir string) { sharedDies.SetDir(dir) }
 
 // DefaultEnv returns the paper-scale configuration (200 dies for the
 // statistics experiments; the timeline sweeps average over a few dies and
@@ -188,22 +199,29 @@ func (e *Env) init() error {
 		return err
 	}
 	e.cpu = cpu
-	e.genMu = &sync.Mutex{}
 	if e.dies == nil {
 		e.dies = sharedDies
 	}
-	e.sig = configSig(e.VarCfg, e.DelayCfg, e.Power, e.ThermalCfg)
+	// The canonical config hash covers every input that shapes die
+	// characterisation: Envs with equal hashes produce bit-identical dies
+	// and may share cache entries (in memory, on disk, and across the
+	// cluster); changing any model field — even adding a new one —
+	// changes the hash and strands the old entries instead of aliasing
+	// them.
+	hash, err := diecache.ConfigHash(e.VarCfg, e.DelayCfg, e.Power, e.ThermalCfg)
+	if err != nil {
+		return fmt.Errorf("experiments: hashing model config: %w", err)
+	}
+	e.cfgHash = hash
 	return nil
 }
 
-// configSig hashes every configuration input that shapes die
-// characterisation into the cache-key signature: Envs with equal
-// signatures produce bit-identical dies and may share cache entries.
-func configSig(vc varmodel.Config, dc delay.Config, pmdl power.Model, tc thermal.Config) string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%#v|%#v|%#v|%#v", vc, dc, pmdl, tc)
-	return fmt.Sprintf("%016x", h.Sum64())
-}
+// ConfigHash returns the canonical hash of the Env's model configuration
+// — the content-address prefix of every die this Env generates. Shard
+// requests carry it so a worker whose rebuilt Env disagrees (version
+// skew, divergent defaults) refuses the shard instead of silently
+// computing different dies.
+func (e *Env) ConfigHash() uint64 { return e.cfgHash }
 
 // Context returns the Env's cancellation context (Background if none was
 // attached). Long die loops run through the farm engine, which checks it
@@ -267,7 +285,7 @@ func (e *Env) ForDiesKernel(name string, n int, reduce func(index int, blob []by
 		trace.String("kernel", name), trace.Int("n", n), trace.String("path", path))
 	defer sp.End()
 	if clustered {
-		job := cluster.Job{Kernel: name, Scale: e.Scale, Seed: e.Seed, BatchSeed: e.BatchSeed}
+		job := cluster.Job{Kernel: name, Scale: e.Scale, Seed: e.Seed, BatchSeed: e.BatchSeed, ConfigHash: e.cfgHash}
 		blobs, err := e.Cluster.Run(ctx, job, n)
 		if err == nil {
 			return reduceBlobs(blobs, reduce)
@@ -313,24 +331,30 @@ func (e *Env) CPU() *cpusim.Model { return e.cpu }
 func (e *Env) Apps() []*workload.AppProfile { return e.pool }
 
 // Chip returns (building and caching on first use) the characterised die
-// with the given batch index. Dies come from the process-wide farm cache
-// keyed by (BatchSeed, die, config signature); concurrent requests for
-// the same die share one characterisation. Safe for concurrent use.
+// with the given batch index. Dies come from the process-wide
+// content-addressed cache keyed by (config hash, BatchSeed, die);
+// concurrent requests for the same die share one characterisation, and
+// with a blob directory configured a cache miss tries the disk layer
+// before re-sampling. Safe for concurrent use: the generator serialises
+// its own FFT scratch, and its pair cache keeps even/odd siblings on the
+// batched sampling path even when dies are requested one at a time.
 func (e *Env) Chip(die int) (*chip.Chip, error) {
-	key := farm.CacheKey{BatchSeed: e.BatchSeed, Die: die, Sig: e.sig}
-	return e.dies.Get(e.Context(), key, func() (*chip.Chip, error) {
-		e.genMu.Lock()
-		maps, err := e.gen.Die(e.BatchSeed, die)
-		e.genMu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		c, err := chip.Build(maps, e.fp, e.DelayCfg, e.Power, e.ThermalCfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: building die %d: %w", die, err)
-		}
-		return c, nil
-	})
+	key := diecache.Key{ConfigHash: e.cfgHash, BatchSeed: e.BatchSeed, Die: die}
+	v, err := e.dies.Get(e.Context(), key,
+		func() (*varmodel.DieMaps, error) {
+			return e.gen.Die(e.BatchSeed, die)
+		},
+		func(maps *varmodel.DieMaps) (any, error) {
+			c, err := chip.Build(maps, e.fp, e.DelayCfg, e.Power, e.ThermalCfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: building die %d: %w", die, err)
+			}
+			return c, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*chip.Chip), nil
 }
 
 // Manager instantiates a power manager by paper name, with the Env's SAnn

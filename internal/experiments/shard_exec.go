@@ -40,6 +40,15 @@ func (x *Executor) ExecuteShard(ctx context.Context, req *cluster.ShardRequest) 
 	if err != nil {
 		return nil, err
 	}
+	// A shard names only a stock scale; the config hash proves both
+	// binaries actually mean the same model by it. A mismatch is version
+	// skew (divergent defaults, schema drift) — refusing here keeps a
+	// mixed-version cluster loudly broken instead of quietly returning
+	// dies from a different distribution.
+	if req.ConfigHash != 0 && req.ConfigHash != base.ConfigHash() {
+		return nil, fmt.Errorf("experiments: shard config hash %016x does not match worker's %q env %016x (version skew?)",
+			req.ConfigHash, req.Scale, base.ConfigHash())
+	}
 	k, err := kernelByName(req.Kernel)
 	if err != nil {
 		return nil, err

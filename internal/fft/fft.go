@@ -10,7 +10,19 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
+
+// pointsTransformed counts butterfly outputs written by every transform in
+// the process: a full n-point FFT adds n*log2(n), a prefix-pruned one adds
+// only what it computed. One atomic add per 1-D transform keeps the cost
+// invisible next to the butterflies themselves. The batched die pipeline's
+// speedup gate reads this to prove — deterministically, immune to
+// wall-clock noise — how much transform work pruning removes per die.
+var pointsTransformed atomic.Int64
+
+// PointsTransformed returns the cumulative butterfly-output count.
+func PointsTransformed() int64 { return pointsTransformed.Load() }
 
 // IsPow2 reports whether n is a positive power of two.
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
@@ -148,6 +160,92 @@ func transform(x []complex128, sign float64) error {
 			}
 		}
 	}
+	pointsTransformed.Add(int64(n) * int64(bits.Len(uint(n))-1))
+	return nil
+}
+
+// forwardPrefix computes the forward DFT of x but guarantees only the
+// first keep outputs; positions keep..n-1 are left as garbage. A needed
+// output at index k < keep of a stage's block requires only the first
+// min(keep, half) entries of each half-size sub-block, so stages larger
+// than keep can skip the a-b butterfly outputs (and, past the midpoint,
+// whole butterflies) that nothing downstream reads. Every value that IS
+// produced comes from exactly the expression the full transform runs, so
+// the kept prefix is bit-for-bit identical to Forward's.
+func forwardPrefix(x []complex128, keep int) error {
+	n := len(x)
+	if keep >= n {
+		return Forward(x)
+	}
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	if keep <= 0 {
+		return nil
+	}
+	for _, p := range bitrevPairs(n) {
+		x[p[0]], x[p[1]] = x[p[1]], x[p[0]]
+	}
+	tables := stageTwiddles(n, -1)
+	var outs int64
+	for si, size := 0, 2; size <= n; si, size = si+1, size<<1 {
+		half := size / 2
+		t := tables[si]
+		if keep >= size {
+			outs += int64(n)
+			// Every output of this stage feeds a needed value: run the
+			// stage exactly as the full transform does.
+			if half <= 16 {
+				for k := 0; k < half; k++ {
+					w := t[k]
+					for i := k; i < n; i += size {
+						a := x[i]
+						b := x[i+half] * w
+						x[i] = a + b
+						x[i+half] = a - b
+					}
+				}
+				continue
+			}
+			for start := 0; start < n; start += size {
+				lo := x[start : start+half : start+half]
+				hi := x[start+half : start+size : start+size]
+				for k, w := range t {
+					a := lo[k]
+					b := hi[k] * w
+					lo[k] = a + b
+					hi[k] = a - b
+				}
+			}
+			continue
+		}
+		// Pruned stage: per block, butterflies below fullK need both
+		// outputs, those below sumK need only the a+b side, the rest feed
+		// nothing that survives to the kept prefix.
+		fullK := keep - half
+		if fullK < 0 {
+			fullK = 0
+		}
+		sumK := keep
+		if sumK > half {
+			sumK = half
+		}
+		outs += int64(n/size) * int64(fullK+sumK)
+		for start := 0; start < n; start += size {
+			lo := x[start : start+half : start+half]
+			hi := x[start+half : start+size : start+size]
+			for k := 0; k < fullK; k++ {
+				a := lo[k]
+				b := hi[k] * t[k]
+				lo[k] = a + b
+				hi[k] = a - b
+			}
+			for k := fullK; k < sumK; k++ {
+				lo[k] = lo[k] + hi[k]*t[k]
+			}
+		}
+	}
+	pointsTransformed.Add(outs)
 	return nil
 }
 
@@ -163,6 +261,30 @@ func Inverse2D(x []complex128, rows, cols int) error {
 	return transform2D(x, rows, cols, Inverse)
 }
 
+// ForwardRegion2D computes the forward DFT of an rows×cols matrix but
+// materialises only the top-left keepRows×keepCols corner of the result:
+// every row is fully transformed (each output column mixes every input
+// column), but the column-stage transforms — and their gather/scatter
+// traffic — run only for the first keepCols columns, and only the first
+// keepRows entries of each transformed column are written back.
+//
+// The kept region is bit-for-bit identical to what Forward2D would have
+// produced there: column transforms are independent of one another, so
+// skipping the columns nobody reads cannot perturb the columns that are
+// kept. Values outside the region are left in the intermediate
+// (row-transformed) state and must be treated as garbage.
+//
+// Circulant-embedding samplers are the intended caller: the padded torus
+// is 4x the chip grid in each dimension, so 15/16 of the full transform's
+// column-stage output is computed only to be discarded. This entry point
+// skips that work while keeping the kept corner exact.
+func ForwardRegion2D(x []complex128, rows, cols, keepRows, keepCols int) error {
+	if keepRows < 0 || keepRows > rows || keepCols < 0 || keepCols > cols {
+		return fmt.Errorf("fft: region %dx%d outside matrix %dx%d", keepRows, keepCols, rows, cols)
+	}
+	return transformRegion2D(x, rows, cols, keepRows, keepCols, nil)
+}
+
 // colScratch recycles the column-block buffer of the 2-D transforms so
 // steady-state callers (the grf samplers) allocate nothing per transform.
 var colScratch = sync.Pool{New: func() any { return []complex128(nil) }}
@@ -172,19 +294,36 @@ var colScratch = sync.Pool{New: func() any { return []complex128(nil) }}
 // fetches every line exactly once, and the 4-column buffer stays hot.
 const colBlock = 4
 
-// transform2D applies tf to every row, then to every column. Columns are
-// gathered colBlock at a time into a contiguous buffer; the per-column
-// data and transform are exactly those of a one-column gather, so results
-// are bit-for-bit independent of the blocking.
+// transform2D applies tf to every row, then to every column.
 func transform2D(x []complex128, rows, cols int, tf func([]complex128) error) error {
+	return transformRegion2D(x, rows, cols, rows, cols, tf)
+}
+
+// transformRegion2D applies the transform to every row, then to the first
+// keepCols columns, scattering back only the first keepRows entries of
+// each. Columns are gathered colBlock at a time into a contiguous buffer;
+// the per-column data and transform are exactly those of a one-column
+// gather, so results are bit-for-bit independent of the blocking, and
+// each column transform is independent of which other columns run at all.
+//
+// A nil tf selects the prefix-pruned forward transform: each row keeps
+// only its first keepCols outputs (the only ones the column stage and
+// final extraction read) and each column keeps only its first keepRows.
+func transformRegion2D(x []complex128, rows, cols, keepRows, keepCols int, tf func([]complex128) error) error {
 	if len(x) != rows*cols {
 		return fmt.Errorf("fft: matrix buffer has %d elements, want %d", len(x), rows*cols)
 	}
 	if !IsPow2(rows) || !IsPow2(cols) {
 		return fmt.Errorf("fft: dimensions %dx%d are not powers of two", rows, cols)
 	}
+	rowTF := tf
+	colTF := tf
+	if tf == nil {
+		rowTF = func(row []complex128) error { return forwardPrefix(row, keepCols) }
+		colTF = func(col []complex128) error { return forwardPrefix(col, keepRows) }
+	}
 	for r := 0; r < rows; r++ {
-		if err := tf(x[r*cols : (r+1)*cols]); err != nil {
+		if err := rowTF(x[r*cols : (r+1)*cols]); err != nil {
 			return err
 		}
 	}
@@ -193,8 +332,8 @@ func transform2D(x []complex128, rows, cols int, tf func([]complex128) error) er
 		sc = make([]complex128, colBlock*rows)
 	}
 	sc = sc[:colBlock*rows]
-	for c0 := 0; c0 < cols; c0 += colBlock {
-		cb := min(colBlock, cols-c0)
+	for c0 := 0; c0 < keepCols; c0 += colBlock {
+		cb := min(colBlock, keepCols-c0)
 		for r := 0; r < rows; r++ {
 			base := r*cols + c0
 			for j := 0; j < cb; j++ {
@@ -202,12 +341,12 @@ func transform2D(x []complex128, rows, cols int, tf func([]complex128) error) er
 			}
 		}
 		for j := 0; j < cb; j++ {
-			if err := tf(sc[j*rows : (j+1)*rows]); err != nil {
+			if err := colTF(sc[j*rows : (j+1)*rows]); err != nil {
 				colScratch.Put(sc)
 				return err
 			}
 		}
-		for r := 0; r < rows; r++ {
+		for r := 0; r < keepRows; r++ {
 			base := r*cols + c0
 			for j := 0; j < cb; j++ {
 				x[base+j] = sc[j*rows+r]

@@ -1,0 +1,26 @@
+package varmodel
+
+import "testing"
+
+// BenchmarkDieBatch measures the batched die pipeline end to end at the
+// QuickEnv map resolution: per op, Batch generates 16 dies (32 maps
+// through 16 pruned transform pairs, all landing in one slab). ns/die is
+// the comparable unit against two BenchmarkCirculantSample ops, which is
+// what one die cost on the one-at-a-time path.
+func BenchmarkDieBatch(b *testing.B) {
+	const dies = 16
+	cfg := DefaultConfig()
+	cfg.GridRows, cfg.GridCols = 128, 128
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Batch(7, dies); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*dies), "ns/die")
+}

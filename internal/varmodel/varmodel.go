@@ -11,6 +11,8 @@ package varmodel
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"vasched/internal/grf"
 	"vasched/internal/stats"
@@ -127,14 +129,29 @@ func (d *DieMaps) LeffMeanOverRect(x0, y0, x1, y1 float64) float64 {
 // Generator produces batches of statistically independent dies that share
 // one Config. It owns the (expensive) spectral decompositions, so
 // generating 200 dies costs 200 FFTs, not 200 factorizations.
+//
+// A Generator is safe for concurrent use: Die and Batch serialise on an
+// internal mutex, which protects both the single-entry pair cache and the
+// samplers' shared scratch/spare state. Callers that want parallel die
+// generation should shard indices across per-worker Generators (die
+// identity is a pure function of (batchSeed, index), so the split is
+// free) rather than hammering one instance.
 type Generator struct {
 	cfg         Config
 	vthSampler  grf.Sampler
 	leffSampler grf.Sampler
+
+	// mu guards pair and the samplers (their FFT scratch buffers and
+	// spare-field caches are per-sampler mutable state).
+	mu sync.Mutex
 	// pair holds the unconsumed halves of the last transform pair, so an
 	// in-order batch walk (die 2k, then 2k+1) still costs one FFT per die
 	// per parameter even though Die is addressable in any order.
 	pair *diePair
+	// samples counts underlying sampler invocations (one per map drawn
+	// from a transform, i.e. two per computed pair). The die cache's
+	// "warm run regenerates nothing" tests assert on its deltas.
+	samples atomic.Int64
 }
 
 // diePair caches the second fields of the transform pair computed for an
@@ -171,6 +188,12 @@ func NewGenerator(cfg Config) (*Generator, error) {
 // Config returns the generator's configuration.
 func (g *Generator) Config() Config { return g.cfg }
 
+// SampleCount returns the cumulative number of sampler invocations (maps
+// drawn through the underlying field samplers) this generator has
+// performed. A cache layer that claims to have avoided regeneration can
+// be audited by diffing this counter around the supposedly-warm run.
+func (g *Generator) SampleCount() int64 { return g.samples.Load() }
+
 // Die generates the die with the given index. The maps are a pure
 // function of (batchSeed, index): die k's fields do not depend on which
 // dies were generated before it, in what order, or on which process — the
@@ -182,11 +205,17 @@ func (g *Generator) Config() Config { return g.cfg }
 // the imaginary part of the transform seeded by die 2k. Addressing an odd
 // die in isolation recomputes its pair's transform from that seed.
 func (g *Generator) Die(batchSeed int64, index int) (*DieMaps, error) {
-	seed := batchSeed*1_000_003 + int64(index)
+	g.mu.Lock()
 	vth, leff, err := g.fields(batchSeed, index)
+	g.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
+	return g.dieMaps(batchSeed, index, vth, leff), nil
+}
+
+// dieMaps wraps one die's freshly sampled fields in their DieMaps.
+func (g *Generator) dieMaps(batchSeed int64, index int, vth, leff *grf.Field) *DieMaps {
 	_, _, vthRan := g.cfg.SigmaVth()
 	_, _, leffRan := g.cfg.SigmaLeff()
 	return &DieMaps{
@@ -195,11 +224,12 @@ func (g *Generator) Die(batchSeed int64, index int) (*DieMaps, error) {
 		LeffSys:      leff,
 		VthSigmaRan:  vthRan,
 		LeffSigmaRan: leffRan,
-		Seed:         seed,
-	}, nil
+		Seed:         batchSeed*1_000_003 + int64(index),
+	}
 }
 
-// fields samples the systematic Vth and Leff maps for one die.
+// fields samples the systematic Vth and Leff maps for one die. Callers
+// hold g.mu.
 func (g *Generator) fields(batchSeed int64, index int) (*grf.Field, *grf.Field, error) {
 	vcs, vok := g.vthSampler.(*grf.CirculantSampler)
 	lcs, lok := g.leffSampler.(*grf.CirculantSampler)
@@ -207,6 +237,7 @@ func (g *Generator) fields(batchSeed int64, index int) (*grf.Field, *grf.Field, 
 		// Dense samplers draw one field per call from the die's own
 		// stream; they are order-independent as they stand.
 		rng := stats.NewRNG(batchSeed*1_000_003 + int64(index))
+		g.samples.Add(2)
 		vth, err := g.vthSampler.Sample(rng.Derive(1))
 		if err != nil {
 			return nil, nil, fmt.Errorf("varmodel: sampling Vth map: %w", err)
@@ -223,6 +254,7 @@ func (g *Generator) fields(batchSeed int64, index int) (*grf.Field, *grf.Field, 
 		return p.vthB, p.leffB, nil
 	}
 	rng := stats.NewRNG(batchSeed*1_000_003 + int64(base))
+	g.samples.Add(2)
 	vthA, vthB, err := vcs.SamplePair(rng.Derive(1))
 	if err != nil {
 		return nil, nil, fmt.Errorf("varmodel: sampling Vth map: %w", err)
@@ -239,15 +271,56 @@ func (g *Generator) fields(batchSeed int64, index int) (*grf.Field, *grf.Field, 
 	return vthB, leffB, nil
 }
 
-// Batch generates n dies for the given batch seed.
+// Batch generates dies 0..n-1 for the given batch seed. With circulant
+// samplers it rides the batched pipeline: both maps of every die land in
+// one slab allocation and each transform pair is drawn via SamplePairInto
+// with exactly the per-pair RNG derivation the one-at-a-time Die path
+// uses (NewRNG(batchSeed*1_000_003 + base), Derive(1) for Vth, Derive(2)
+// for Leff), so the result is byte-identical to n sequential Die calls —
+// the batch-purity tests pin this.
 func (g *Generator) Batch(batchSeed int64, n int) ([]*DieMaps, error) {
-	dies := make([]*DieMaps, n)
-	for i := range dies {
-		d, err := g.Die(batchSeed, i)
-		if err != nil {
-			return nil, err
+	if n < 0 {
+		return nil, fmt.Errorf("varmodel: negative batch size %d", n)
+	}
+	vcs, vok := g.vthSampler.(*grf.CirculantSampler)
+	lcs, lok := g.leffSampler.(*grf.CirculantSampler)
+	if !vok || !lok {
+		dies := make([]*DieMaps, n)
+		for i := range dies {
+			d, err := g.Die(batchSeed, i)
+			if err != nil {
+				return nil, err
+			}
+			dies[i] = d
 		}
-		dies[i] = d
+		return dies, nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fn := g.cfg.GridRows * g.cfg.GridCols
+	pairs := (n + 1) / 2
+	// Layout per pair: vthA, vthB, leffA, leffB — four maps, two dies.
+	slab := make([]float64, 4*pairs*fn)
+	field := func(i int) *grf.Field {
+		return &grf.Field{Rows: g.cfg.GridRows, Cols: g.cfg.GridCols, Data: slab[i*fn : (i+1)*fn : (i+1)*fn]}
+	}
+	dies := make([]*DieMaps, n)
+	for p := 0; p < pairs; p++ {
+		base := 2 * p
+		vthA, vthB := field(4*p), field(4*p+1)
+		leffA, leffB := field(4*p+2), field(4*p+3)
+		rng := stats.NewRNG(batchSeed*1_000_003 + int64(base))
+		g.samples.Add(2)
+		if err := vcs.SamplePairInto(rng.Derive(1), vthA, vthB); err != nil {
+			return nil, fmt.Errorf("varmodel: sampling Vth map: %w", err)
+		}
+		if err := lcs.SamplePairInto(rng.Derive(2), leffA, leffB); err != nil {
+			return nil, fmt.Errorf("varmodel: sampling Leff map: %w", err)
+		}
+		dies[base] = g.dieMaps(batchSeed, base, vthA, leffA)
+		if base+1 < n {
+			dies[base+1] = g.dieMaps(batchSeed, base+1, vthB, leffB)
+		}
 	}
 	return dies, nil
 }
