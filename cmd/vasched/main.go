@@ -8,6 +8,7 @@
 //	vasched -experiment fig11 [-scale quick|default] [-json] [-parallel N]
 //	vasched -experiment all -scale quick
 //	vasched -experiment ext-cluster -cluster 3 -fault-rate 0.2 -trace out.json
+//	vasched -experiment ext-adapt -adaptive -adapt-metric power-ratio -adapt-ci 0.02
 //	vasched -run -sched "VarF&AppIPC" -manager LinOpt -threads 16 -budget 60
 package main
 
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"vasched"
+	"vasched/internal/adapt"
 	"vasched/internal/cluster"
 	"vasched/internal/experiments"
 	"vasched/internal/metrics"
@@ -66,6 +68,15 @@ func run(args []string, stdout io.Writer) error {
 		clusterN  = fs.Int("cluster", 0, "spin up N in-process shard workers and route kernel-based die loops through them (output is identical to a local run)")
 		faultRate = fs.Float64("fault-rate", 0, "with -cluster, deterministically inject dispatch faults at this rate in [0,1]; retries recover and outputs are unchanged")
 		faultSeed = fs.Int64("fault-seed", 1, "seed for the -fault-rate fault plan (same seed, same faults)")
+
+		adaptive  = fs.Bool("adaptive", false, "ext-adapt: adaptive stratified sampling with the settings below (default runs ext-adapt with its stock settings)")
+		adaMetric = fs.String("adapt-metric", "", "ext-adapt target metric: power-ratio, freq-ratio, tput, or power")
+		adaCI     = fs.Float64("adapt-ci", 0, "ext-adapt relative CI half-width stopping target (0 = default 0.02)")
+		adaConf   = fs.Float64("adapt-confidence", 0, "ext-adapt confidence level (0 = default 0.95)")
+		adaStrata = fs.Int("adapt-strata", 0, "ext-adapt severity strata (0 = default 4)")
+		adaPilot  = fs.Int("adapt-pilot", 0, "ext-adapt pilot draws per stratum (0 = default 2)")
+		adaRound  = fs.Int("adapt-round", 0, "ext-adapt dies per Neyman round (0 = default 8)")
+		adaExact  = fs.Bool("adapt-exact", false, "ext-adapt exact verification mode: evaluate the full population in index order")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,11 +92,25 @@ func run(args []string, stdout io.Writer) error {
 	case *runF:
 		return runScenario(stdout, *schedF, *manager, *mode, *threads, *budget, *dur, *die, *sigma)
 	case *expID != "":
-		return runExperiments(stdout, expRun{
+		run := expRun{
 			id: *expID, scale: *scale, asJSON: *asJSON, workers: *par,
 			traceOut: *traceOut, clusterN: *clusterN,
 			faultRate: *faultRate, faultSeed: *faultSeed,
-		})
+		}
+		if *adaptive || *adaExact || *adaMetric != "" {
+			run.adaptive = &experiments.AdaptiveConfig{
+				Metric: *adaMetric,
+				Config: adapt.Config{
+					RelCI:      *adaCI,
+					Confidence: *adaConf,
+					Strata:     *adaStrata,
+					Pilot:      *adaPilot,
+					RoundSize:  *adaRound,
+					Exact:      *adaExact,
+				},
+			}
+		}
+		return runExperiments(stdout, run)
 	default:
 		fs.Usage()
 		return flag.ErrHelp
@@ -101,10 +126,14 @@ type expRun struct {
 	clusterN  int
 	faultRate float64
 	faultSeed int64
+	adaptive  *experiments.AdaptiveConfig
 }
 
 func runExperiments(stdout io.Writer, cfg expRun) error {
 	opts := []vasched.RunOption{vasched.WithWorkers(cfg.workers)}
+	if cfg.adaptive != nil {
+		opts = append(opts, vasched.WithAdaptive(*cfg.adaptive))
+	}
 	var tr *trace.Tracer
 	if cfg.traceOut != "" {
 		tr = trace.New(trace.DefaultCapacity)

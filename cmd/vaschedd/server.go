@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"vasched"
+	"vasched/internal/adapt"
 	"vasched/internal/cluster"
 	"vasched/internal/experiments"
 	"vasched/internal/jobstore"
@@ -77,6 +78,7 @@ type jobView struct {
 	Scale      string          `json:"scale"`
 	Workers    int             `json:"workers"`
 	Status     string          `json:"status"`
+	Params     json.RawMessage `json:"params,omitempty"`
 	Error      string          `json:"error,omitempty"`
 	Requeues   int             `json:"requeues,omitempty"`
 	Submitted  time.Time       `json:"submitted"`
@@ -317,6 +319,12 @@ type submitRequest struct {
 	Scale      string `json:"scale,omitempty"`
 	Workers    int    `json:"workers,omitempty"`
 	Lane       string `json:"lane,omitempty"`
+	// Adaptive selects adaptive stratified sampling for ext-adapt (the
+	// only experiment that honours it; other ids are rejected). The
+	// config is persisted with the job, so a crash-replayed run re-uses
+	// the exact options, and the frozen round schedule makes the re-run
+	// byte-identical.
+	Adaptive *experiments.AdaptiveConfig `json:"adaptive,omitempty"`
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -352,6 +360,30 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	var params []byte
+	if req.Adaptive != nil {
+		if req.Experiment != "ext-adapt" {
+			httpError(w, http.StatusBadRequest, "adaptive sampling is only supported by ext-adapt, not %q", req.Experiment)
+			return
+		}
+		if m := req.Adaptive.Metric; m != "" {
+			known := false
+			for _, id := range experiments.AdaptiveMetrics() {
+				if id == m {
+					known = true
+					break
+				}
+			}
+			if !known {
+				httpError(w, http.StatusBadRequest, "unknown adaptive metric %q (one of %v)", m, experiments.AdaptiveMetrics())
+				return
+			}
+		}
+		if params, err = json.Marshal(req.Adaptive); err != nil {
+			httpError(w, http.StatusBadRequest, "adaptive config: %v", err)
+			return
+		}
 	}
 	ten := r.Header.Get("X-Tenant")
 	if ten == "" {
@@ -389,6 +421,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Experiment: req.Experiment,
 		Scale:      string(scale),
 		Workers:    workers,
+		Params:     params,
 	})
 	span.End()
 	if err != nil {
@@ -447,8 +480,35 @@ func (s *server) run(ctx context.Context, cancel context.CancelCauseFunc, j jobs
 	if s.clust != nil {
 		opts = append(opts, vasched.WithCluster(s.clust))
 	}
+	if len(j.Params) > 0 {
+		var cfg experiments.AdaptiveConfig
+		if err := json.Unmarshal(j.Params, &cfg); err != nil {
+			s.finish(j, nil, fmt.Errorf("decode job params: %w", err), context.Cause(ctx))
+			return
+		}
+		cfg.Progress = s.adaptProgress(j.Experiment)
+		opts = append(opts, vasched.WithAdaptive(cfg))
+	}
 	res, err := vasched.RunExperimentResult(j.Experiment, vasched.Scale(j.Scale), opts...)
 	s.finish(j, res, err, context.Cause(ctx))
+}
+
+// adaptProgress returns a per-round callback that mirrors an adaptive
+// run's convergence onto /metrics: rounds completed, dies evaluated, and
+// the current vs target CI half-width. Gauges are labeled by experiment
+// (bounded cardinality), so they show the most recent adaptive run —
+// enough for operators and load tests to watch convergence live.
+func (s *server) adaptProgress(experiment string) func(adapt.Status) {
+	rounds := s.reg.Gauge(fmt.Sprintf("vaschedd_adapt_rounds{experiment=%q}", experiment))
+	dies := s.reg.Gauge(fmt.Sprintf("vaschedd_adapt_dies_evaluated{experiment=%q}", experiment))
+	half := s.reg.FloatGauge(fmt.Sprintf("vaschedd_adapt_half_width{experiment=%q}", experiment))
+	target := s.reg.FloatGauge(fmt.Sprintf("vaschedd_adapt_target_half_width{experiment=%q}", experiment))
+	return func(st adapt.Status) {
+		rounds.Set(int64(st.Round))
+		dies.Set(int64(st.Evaluated))
+		half.Set(st.HalfWidth)
+		target.Set(st.Target)
+	}
 }
 
 // finish persists a job outcome and its metrics. A drain cancellation
@@ -681,6 +741,7 @@ func viewOf(j jobstore.Job) jobView {
 		Scale:      j.Scale,
 		Workers:    j.Workers,
 		Status:     string(j.Status),
+		Params:     json.RawMessage(j.Params),
 		Error:      j.Error,
 		Requeues:   j.Requeues,
 		Submitted:  j.Submitted,

@@ -188,6 +188,76 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+// TestAdaptiveJobEndToEnd submits an ext-adapt job with an adaptive
+// config, waits for it to finish, and checks (a) the config round-trips
+// through the job view and the WAL-persisted Params, (b) the typed
+// result carries the sampling summary, and (c) the run's convergence
+// shows up as the adapt gauges on /metrics.
+func TestAdaptiveJobEndToEnd(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	j := postJob(t, ts, `{"experiment":"ext-adapt","scale":"quick","adaptive":{"metric":"power-ratio","rel_ci":0.05}}`)
+	if !strings.Contains(string(j.Params), `"metric":"power-ratio"`) {
+		t.Fatalf("submit view params = %s", j.Params)
+	}
+	if stored, ok := srv.store.Get(j.ID); !ok || !strings.Contains(string(stored.Params), `"rel_ci":0.05`) {
+		t.Fatalf("persisted params = %s", stored.Params)
+	}
+	m := waitStatus(t, ts, j.ID, "done", time.Minute)
+	result := m["result"].(map[string]any)
+	if result["Metric"] != "power-ratio" {
+		t.Fatalf("result metric = %v", result["Metric"])
+	}
+	sampling := result["Sampling"].(map[string]any)
+	if ev := sampling["evaluated"].(float64); ev <= 0 {
+		t.Fatalf("evaluated = %v", ev)
+	}
+	if conv, exh := sampling["converged"].(bool), sampling["exhausted"].(bool); !conv && !exh {
+		t.Fatalf("run neither converged nor exhausted: %v", sampling)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		`vaschedd_adapt_rounds{experiment="ext-adapt"}`,
+		`vaschedd_adapt_dies_evaluated{experiment="ext-adapt"}`,
+		`vaschedd_adapt_half_width{experiment="ext-adapt"}`,
+		`vaschedd_adapt_target_half_width{experiment="ext-adapt"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The dies-evaluated gauge must agree with the job's own result.
+	dies := srv.reg.Gauge(`vaschedd_adapt_dies_evaluated{experiment="ext-adapt"}`).Value()
+	if dies != int64(sampling["evaluated"].(float64)) {
+		t.Fatalf("gauge dies = %d, result evaluated = %v", dies, sampling["evaluated"])
+	}
+}
+
+// TestAdaptiveSubmitValidation pins the adaptive-specific 400s: wrong
+// experiment, unknown metric.
+func TestAdaptiveSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{
+		`{"experiment":"fig4","adaptive":{}}`,
+		`{"experiment":"ext-adapt","adaptive":{"metric":"nope"}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d", body, resp.StatusCode)
+		}
+	}
+}
+
 func TestHealthzAndExperiments(t *testing.T) {
 	srv, ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")

@@ -33,6 +33,7 @@ type runConfig struct {
 	ctx        context.Context
 	decideHist *metrics.LatencyHist
 	cluster    experiments.ShardRunner
+	adaptive   *experiments.AdaptiveConfig
 }
 
 // WithWorkers bounds the die-level parallelism of the farm engine: n
@@ -65,6 +66,17 @@ func WithDecideHist(h *metrics.LatencyHist) RunOption {
 // cluster never changes any experiment output.
 func WithCluster(r experiments.ShardRunner) RunOption {
 	return func(c *runConfig) { c.cluster = r }
+}
+
+// WithAdaptive switches the ext-adapt experiment into adaptive stratified
+// sampling: dies are drawn from severity strata round by round until the
+// target metric's confidence interval is tight enough, instead of always
+// evaluating the full population (see internal/adapt and DESIGN.md §12).
+// cfg.Exact selects the verification mode, which evaluates every die in
+// index order and reproduces the exact full-batch mean bit-for-bit.
+// Experiments other than ext-adapt ignore the option entirely.
+func WithAdaptive(cfg experiments.AdaptiveConfig) RunOption {
+	return func(c *runConfig) { c.adaptive = &cfg }
 }
 
 // RunExperiment executes one experiment and returns its rendered report.
@@ -115,5 +127,6 @@ func RunExperimentResult(id string, scale Scale, opts ...RunOption) (ExperimentR
 	if cfg.cluster != nil {
 		env.Cluster = cfg.cluster
 	}
+	env.Adaptive = cfg.adaptive
 	return experiments.Run(id, env)
 }

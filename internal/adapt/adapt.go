@@ -1,0 +1,473 @@
+// Package adapt implements the adaptive stratified die-sampling driver:
+// instead of evaluating a metric on every die of the frozen batch, the
+// population is stratified by a cheap variation-severity proxy, evaluation
+// budget is allocated across strata Neyman-style in sequential rounds, and
+// the run stops as soon as the stratified estimator's confidence-interval
+// half-width drops below a configurable fraction of the mean. The output
+// is mean ± CI, per-stratum counts, and the total dies evaluated — the
+// "dies-to-answer" number the benchmarks record.
+//
+// Determinism contract (DESIGN.md §12): given the same Config and severity
+// slice, the sequence of evaluated indices — the round schedule — is a
+// pure function of those inputs. Stratum boundaries come from a stable
+// severity sort, within-stratum draw order from a seeded permutation, and
+// Neyman allocations use largest-remainder rounding with index-order tie
+// breaking. Worker counts, shard sizes, cache states, and retries can
+// change freely without moving a single draw, so an adaptive run renders
+// byte-identically everywhere — the same contract the exact-population
+// experiments already meet.
+package adapt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"vasched/internal/stats"
+	"vasched/internal/trace"
+)
+
+// Config tunes the driver. The zero value selects the defaults below; all
+// fields marshal to JSON so a Config can travel in job submissions.
+type Config struct {
+	// Strata is how many severity strata the population is cut into
+	// (default 4, clamped to the population size).
+	Strata int `json:"strata,omitempty"`
+	// Pilot is the round-0 draw per stratum that seeds the variance
+	// estimates (default 2, clamped to the stratum size).
+	Pilot int `json:"pilot,omitempty"`
+	// RoundSize is the evaluation budget of every later round, spread
+	// across strata by Neyman allocation (default 8).
+	RoundSize int `json:"round_size,omitempty"`
+	// MaxRounds bounds the number of rounds after the pilot (default 64);
+	// the population itself is the other bound.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// RelCI is the stopping target: the half-width of the confidence
+	// interval as a fraction of the absolute mean (default 0.02).
+	RelCI float64 `json:"rel_ci,omitempty"`
+	// Confidence is the CI level the half-width is computed at
+	// (default 0.95).
+	Confidence float64 `json:"confidence,omitempty"`
+	// Seed freezes the within-stratum draw order (default 0; part of the
+	// determinism contract, not a source of irreproducibility).
+	Seed int64 `json:"seed,omitempty"`
+	// Exact switches to the verification mode: every index is evaluated
+	// in index order and the estimate is the plain population mean,
+	// bit-identical to the non-adaptive experiment path.
+	Exact bool `json:"exact,omitempty"`
+	// Progress, when non-nil, receives one Status per completed round
+	// (vaschedd surfaces these as /metrics gauges). Observational only.
+	Progress func(Status) `json:"-"`
+}
+
+// withDefaults fills unset fields and clamps to the population size n.
+func (c Config) withDefaults(n int) Config {
+	if c.Strata <= 0 {
+		c.Strata = 4
+	}
+	if c.Strata > n {
+		c.Strata = n
+	}
+	if c.Pilot <= 0 {
+		c.Pilot = 2
+	}
+	if c.RoundSize <= 0 {
+		c.RoundSize = 8
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 64
+	}
+	if c.RelCI <= 0 {
+		c.RelCI = 0.02
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.95
+	}
+	return c
+}
+
+// Status is the per-round progress snapshot fed to Config.Progress.
+type Status struct {
+	Round     int     // rounds completed so far
+	Evaluated int     // dies evaluated so far
+	Mean      float64 // current stratified estimate
+	HalfWidth float64 // current CI half-width
+	Target    float64 // half-width the stopping rule wants (RelCI * |mean|)
+}
+
+// Round records one entry of the frozen round schedule.
+type Round struct {
+	// Draws is how many dies this round drew from each stratum.
+	Draws []int `json:"draws"`
+	// Evaluated is the cumulative die count after the round.
+	Evaluated int `json:"evaluated"`
+	// Mean and HalfWidth are the estimate after the round.
+	Mean      float64 `json:"mean"`
+	HalfWidth float64 `json:"half_width"`
+}
+
+// Stratum reports one severity stratum's population and sample statistics.
+type Stratum struct {
+	Size      int     `json:"size"`
+	Evaluated int     `json:"evaluated"`
+	SevLo     float64 `json:"sev_lo"` // severity range covered
+	SevHi     float64 `json:"sev_hi"`
+	Mean      float64 `json:"mean"`
+	Std       float64 `json:"std"` // sample std dev (0 when fewer than 2 samples)
+}
+
+// Result is the driver's outcome. It is plain data (JSON round-trips
+// losslessly), so experiment results can embed it.
+type Result struct {
+	PopulationN int     `json:"population_n"`
+	Evaluated   int     `json:"evaluated"`
+	Mean        float64 `json:"mean"`
+	HalfWidth   float64 `json:"half_width"`
+	Confidence  float64 `json:"confidence"`
+	RelCI       float64 `json:"rel_ci"`
+	// Converged reports the half-width target was met; Exhausted reports
+	// the whole population was evaluated first (the estimate is then the
+	// full-population stratified mean and the CI collapses to zero width).
+	Converged bool      `json:"converged"`
+	Exhausted bool      `json:"exhausted"`
+	Exact     bool      `json:"exact,omitempty"`
+	Strata    []Stratum `json:"strata"`
+	Rounds    []Round   `json:"rounds"`
+}
+
+// EvalFunc evaluates the target metric for a batch of population indices
+// and returns one value per index, in argument order. The driver calls it
+// once per round; implementations fan the batch across workers or cluster
+// shards however they like, as long as each value is a pure function of
+// its index.
+type EvalFunc func(ctx context.Context, round int, indices []int) ([]float64, error)
+
+// stratum is the driver's working state for one severity stratum.
+type stratum struct {
+	members []int // population indices, severity-sorted
+	order   []int // frozen draw order (seeded permutation of members)
+	next    int   // how many of order have been drawn
+	vals    []float64
+	sevLo   float64
+	sevHi   float64
+}
+
+func (s *stratum) remaining() int { return len(s.members) - s.next }
+
+// Run drives the adaptive loop: stratify by severity, evaluate rounds
+// until converged (or the population or round budget runs out), and report
+// the stratified estimate. severity must hold one proxy value per
+// population index.
+func Run(ctx context.Context, cfg Config, severity []float64, eval EvalFunc) (*Result, error) {
+	n := len(severity)
+	if n == 0 {
+		return nil, errors.New("adapt: empty population")
+	}
+	cfg = cfg.withDefaults(n)
+	strata, byIndex := stratify(severity, cfg.Strata, cfg.Seed)
+	res := &Result{
+		PopulationN: n,
+		Confidence:  cfg.Confidence,
+		RelCI:       cfg.RelCI,
+		Exact:       cfg.Exact,
+	}
+	if cfg.Exact {
+		return runExact(ctx, cfg, strata, res, eval)
+	}
+
+	for round := 0; round <= cfg.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		draws := plan(cfg, round, strata)
+		indices := draw(strata, draws)
+		if len(indices) == 0 {
+			break
+		}
+		vals, err := evalRound(ctx, round, indices, eval)
+		if err != nil {
+			return nil, err
+		}
+		for i, die := range indices {
+			strata[byIndex[die]].vals = append(strata[byIndex[die]].vals, vals[i])
+		}
+		res.Evaluated += len(indices)
+		mean, half := estimate(strata, n, cfg.Confidence)
+		res.Mean, res.HalfWidth = mean, half
+		res.Rounds = append(res.Rounds, Round{
+			Draws: draws, Evaluated: res.Evaluated, Mean: mean, HalfWidth: half,
+		})
+		target := cfg.RelCI * math.Abs(mean)
+		if cfg.Progress != nil {
+			cfg.Progress(Status{
+				Round: round + 1, Evaluated: res.Evaluated,
+				Mean: mean, HalfWidth: half, Target: target,
+			})
+		}
+		if res.Evaluated == n {
+			res.Exhausted = true
+			res.Converged = half <= target
+			break
+		}
+		if half <= target {
+			res.Converged = true
+			break
+		}
+	}
+	fillStrata(res, strata)
+	return res, nil
+}
+
+// runExact evaluates the whole population in index order and reports the
+// plain mean — the verification mode that must match the non-adaptive
+// experiment path bit-for-bit. Stratum statistics are still reported so
+// exact runs document what the sampler would have stratified over.
+func runExact(ctx context.Context, cfg Config, strata []*stratum, res *Result, eval EvalFunc) (*Result, error) {
+	n := res.PopulationN
+	indices := make([]int, n)
+	for i := range indices {
+		indices[i] = i
+	}
+	vals, err := evalRound(ctx, 0, indices, eval)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluated = n
+	res.Mean = stats.Mean(vals)
+	res.HalfWidth = 0
+	res.Converged, res.Exhausted = true, true
+	draws := make([]int, len(strata))
+	for h, s := range strata {
+		draws[h] = len(s.members)
+		s.next = len(s.members)
+		for _, die := range s.members {
+			s.vals = append(s.vals, vals[die])
+		}
+	}
+	res.Rounds = []Round{{Draws: draws, Evaluated: n, Mean: res.Mean}}
+	fillStrata(res, strata)
+	return res, nil
+}
+
+// evalRound wraps one eval call in a trace span and validates the reply.
+func evalRound(ctx context.Context, round int, indices []int, eval EvalFunc) ([]float64, error) {
+	rctx, sp := trace.Start(ctx, "adapt.round",
+		trace.Int("round", round), trace.Int("dies", len(indices)))
+	defer sp.End()
+	vals, err := eval(rctx, round, indices)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != len(indices) {
+		return nil, fmt.Errorf("adapt: round %d eval returned %d values for %d indices", round, len(vals), len(indices))
+	}
+	return vals, nil
+}
+
+// stratify cuts the population into k contiguous severity strata: indices
+// are stable-sorted by severity (ties keep index order) and split into
+// near-equal groups, lowest severity first. Each stratum's draw order is a
+// permutation seeded from (seed, stratum), frozen for the whole run.
+func stratify(severity []float64, k int, seed int64) (strata []*stratum, byIndex []int) {
+	n := len(severity)
+	sorted := stats.RankAscending(severity)
+	byIndex = make([]int, n)
+	base, extra := n/k, n%k
+	root := stats.NewRNG(seed)
+	pos := 0
+	for h := 0; h < k; h++ {
+		size := base
+		if h < extra {
+			size++
+		}
+		members := append([]int(nil), sorted[pos:pos+size]...)
+		pos += size
+		perm := root.Derive(int64(h + 1)).Perm(len(members))
+		order := make([]int, len(members))
+		for i, p := range perm {
+			order[i] = members[p]
+		}
+		s := &stratum{
+			members: members,
+			order:   order,
+			sevLo:   severity[members[0]],
+			sevHi:   severity[members[len(members)-1]],
+		}
+		for _, die := range members {
+			byIndex[die] = h
+		}
+		strata = append(strata, s)
+	}
+	return strata, byIndex
+}
+
+// plan decides this round's per-stratum draws. Round 0 is the pilot (a
+// fixed draw per stratum so every variance estimate exists); later rounds
+// spread RoundSize dies by Neyman allocation — proportional to
+// N_h * s_h, the allocation that minimises the stratified variance for a
+// fixed budget — falling back to remaining-size weights when every
+// sampled stratum looks variance-free.
+func plan(cfg Config, round int, strata []*stratum) []int {
+	k := len(strata)
+	draws := make([]int, k)
+	if round == 0 {
+		for h, s := range strata {
+			draws[h] = min(cfg.Pilot, s.remaining())
+		}
+		return draws
+	}
+	budget := 0
+	caps := make([]int, k)
+	weights := make([]float64, k)
+	var wsum float64
+	for h, s := range strata {
+		caps[h] = s.remaining()
+		budget += caps[h]
+		if caps[h] > 0 {
+			weights[h] = float64(len(s.members)) * sampleStd(s.vals)
+			wsum += weights[h]
+		}
+	}
+	if budget > cfg.RoundSize {
+		budget = cfg.RoundSize
+	}
+	if wsum == 0 {
+		for h := range weights {
+			weights[h] = float64(caps[h])
+		}
+	}
+	return allocate(budget, weights, caps)
+}
+
+// allocate spreads budget across strata proportionally to weights with
+// largest-remainder rounding, capped per stratum. Ties and leftover
+// passes break by stratum index, so the result is deterministic.
+func allocate(budget int, weights []float64, caps []int) []int {
+	out := make([]int, len(weights))
+	var wsum float64
+	for h := range weights {
+		if caps[h] <= 0 {
+			weights[h] = 0
+		}
+		wsum += weights[h]
+	}
+	if budget <= 0 || wsum == 0 {
+		return out
+	}
+	type rem struct {
+		h int
+		f float64
+	}
+	var rems []rem
+	assigned := 0
+	for h, w := range weights {
+		if w == 0 {
+			continue
+		}
+		raw := float64(budget) * w / wsum
+		whole := int(math.Floor(raw))
+		if whole > caps[h] {
+			whole = caps[h]
+		}
+		out[h] = whole
+		assigned += whole
+		rems = append(rems, rem{h: h, f: raw - math.Floor(raw)})
+	}
+	sort.SliceStable(rems, func(i, j int) bool { return rems[i].f > rems[j].f })
+	for assigned < budget {
+		progressed := false
+		for _, r := range rems {
+			if assigned == budget {
+				break
+			}
+			if out[r.h] < caps[r.h] {
+				out[r.h]++
+				assigned++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}
+
+// draw pulls the next draws[h] indices from each stratum's frozen order
+// and returns the round's batch sorted ascending (the order the reduce
+// step will see them in).
+func draw(strata []*stratum, draws []int) []int {
+	var indices []int
+	for h, s := range strata {
+		for i := 0; i < draws[h]; i++ {
+			indices = append(indices, s.order[s.next])
+			s.next++
+		}
+	}
+	sort.Ints(indices)
+	return indices
+}
+
+// estimate computes the stratified mean and its CI half-width with
+// finite-population correction: mean = Σ W_h x̄_h, var = Σ W_h² s_h²/n_h
+// (1 − n_h/N_h), half-width = t_{1−α/2, Σ(n_h−1)} · sqrt(var).
+func estimate(strata []*stratum, n int, confidence float64) (mean, half float64) {
+	var variance, df float64
+	for _, s := range strata {
+		if len(s.vals) == 0 {
+			continue
+		}
+		w := float64(len(s.members)) / float64(n)
+		mean += w * stats.Mean(s.vals)
+		nh, Nh := float64(len(s.vals)), float64(len(s.members))
+		if nh >= 2 {
+			sd := sampleStd(s.vals)
+			variance += w * w * sd * sd / nh * (1 - nh/Nh)
+			df += nh - 1
+		} else if nh < Nh {
+			// A single sample from a multi-die stratum carries unknown
+			// variance; poison the half-width so the stopping rule cannot
+			// fire before the pilot has seeded every stratum.
+			variance = math.Inf(1)
+		}
+	}
+	if math.IsInf(variance, 1) {
+		return mean, math.Inf(1)
+	}
+	if df < 1 {
+		df = 1
+	}
+	half = stats.TQuantile(1-(1-confidence)/2, df) * math.Sqrt(variance)
+	return mean, half
+}
+
+// fillStrata copies the final per-stratum statistics into the result.
+func fillStrata(res *Result, strata []*stratum) {
+	for _, s := range strata {
+		res.Strata = append(res.Strata, Stratum{
+			Size:      len(s.members),
+			Evaluated: len(s.vals),
+			SevLo:     s.sevLo,
+			SevHi:     s.sevHi,
+			Mean:      stats.Mean(s.vals),
+			Std:       sampleStd(s.vals),
+		})
+	}
+}
+
+// sampleStd is the n−1 (Bessel-corrected) standard deviation, 0 below two
+// samples.
+func sampleStd(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := stats.Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}

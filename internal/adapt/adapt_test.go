@@ -1,0 +1,301 @@
+package adapt
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"vasched/internal/stats"
+)
+
+// synthetic builds a deterministic population whose metric is correlated
+// with its severity proxy (like real dies): value = base + slope*severity
+// + bounded pseudo-noise derived from the index.
+func synthetic(n int, base, slope, noise float64) (severity, values []float64) {
+	severity = make([]float64, n)
+	values = make([]float64, n)
+	rng := stats.NewRNG(42)
+	for i := 0; i < n; i++ {
+		severity[i] = rng.Float64() * 10
+		values[i] = base + slope*severity[i] + noise*math.Sin(float64(i)*1.7)
+	}
+	return severity, values
+}
+
+// lookupEval returns an EvalFunc backed by a value table, recording every
+// evaluated index into seen.
+func lookupEval(values []float64, seen *[]int) EvalFunc {
+	return func(_ context.Context, _ int, indices []int) ([]float64, error) {
+		out := make([]float64, len(indices))
+		for i, ix := range indices {
+			if seen != nil {
+				*seen = append(*seen, ix)
+			}
+			out[i] = values[ix]
+		}
+		return out, nil
+	}
+}
+
+func TestConvergesWithFewerDies(t *testing.T) {
+	sev, vals := synthetic(400, 10, 0.5, 0.4)
+	var seen []int
+	res, err := Run(context.Background(), Config{RelCI: 0.02}, sev, lookupEval(vals, &seen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if res.Evaluated >= 400 {
+		t.Fatalf("evaluated the whole population (%d dies)", res.Evaluated)
+	}
+	if res.Evaluated != len(seen) {
+		t.Fatalf("Evaluated = %d but eval saw %d indices", res.Evaluated, len(seen))
+	}
+	exact := stats.Mean(vals)
+	if rel := math.Abs(res.Mean-exact) / exact; rel > 0.02 {
+		t.Fatalf("estimate %.4f vs exact %.4f: rel error %.3f > 2%%", res.Mean, exact, rel)
+	}
+	if res.HalfWidth > res.RelCI*math.Abs(res.Mean) {
+		t.Fatalf("converged with half-width %.4f above target", res.HalfWidth)
+	}
+	// No index is evaluated twice.
+	sort.Ints(seen)
+	for i := 1; i < len(seen); i++ {
+		if seen[i] == seen[i-1] {
+			t.Fatalf("index %d evaluated twice", seen[i])
+		}
+	}
+	// Per-stratum counts add up.
+	total := 0
+	for _, s := range res.Strata {
+		total += s.Evaluated
+	}
+	if total != res.Evaluated {
+		t.Fatalf("stratum counts sum to %d, want %d", total, res.Evaluated)
+	}
+}
+
+// The whole point of the driver: the round schedule is a pure function of
+// (Config, severity), so two runs agree on every field — including which
+// dies were drawn in which round.
+func TestDeterministicSchedule(t *testing.T) {
+	sev, vals := synthetic(200, 1.5, 0.02, 0.05)
+	var seenA, seenB []int
+	a, err := Run(context.Background(), Config{}, sev, lookupEval(vals, &seenA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), Config{}, sev, lookupEval(vals, &seenB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("results differ:\n%+v\n%+v", a, b)
+	}
+	if !reflect.DeepEqual(seenA, seenB) {
+		t.Fatalf("draw sequences differ:\n%v\n%v", seenA, seenB)
+	}
+	// A different seed freezes a different (but equally valid) schedule.
+	var seenC []int
+	if _, err := Run(context.Background(), Config{Seed: 7}, sev, lookupEval(vals, &seenC)); err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(seenA, seenC) {
+		t.Fatal("changing the seed did not change the draw order")
+	}
+}
+
+// Exact mode is the verification path: the estimate must be the plain
+// index-order mean, bit-for-bit, with the full population evaluated.
+func TestExactMatchesPlainMean(t *testing.T) {
+	sev, vals := synthetic(97, 3, 0.1, 0.2)
+	var seen []int
+	res, err := Run(context.Background(), Config{Exact: true}, sev, lookupEval(vals, &seen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean != stats.Mean(vals) {
+		t.Fatalf("exact mean %v != plain mean %v", res.Mean, stats.Mean(vals))
+	}
+	if res.Evaluated != 97 || !res.Exhausted || !res.Converged || !res.Exact {
+		t.Fatalf("exact result flags wrong: %+v", res)
+	}
+	if res.HalfWidth != 0 {
+		t.Fatalf("exact mode half-width = %v, want 0", res.HalfWidth)
+	}
+	// Index order, each exactly once.
+	for i, ix := range seen {
+		if ix != i {
+			t.Fatalf("exact mode evaluated %v, want ascending index order", seen)
+		}
+	}
+}
+
+// A tiny population with an unreachable CI target is exhausted, not looped
+// forever: every die is evaluated exactly once and the run reports it.
+func TestExhaustsPopulation(t *testing.T) {
+	sev := []float64{5, 1, 4, 2, 3}
+	vals := []float64{100, -50, 80, -20, 0} // huge spread, tiny n
+	var seen []int
+	res, err := Run(context.Background(), Config{RelCI: 1e-9}, sev, lookupEval(vals, &seen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted || res.Evaluated != 5 {
+		t.Fatalf("expected exhaustion of all 5 dies: %+v", res)
+	}
+	sort.Ints(seen)
+	if !reflect.DeepEqual(seen, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("draws %v, want each die exactly once", seen)
+	}
+	// Fully-drawn strata have zero FPC variance, so the exhausted
+	// estimate's half-width collapses to zero and the run also converges.
+	if res.HalfWidth != 0 || !res.Converged {
+		t.Fatalf("exhausted run should have zero half-width: %+v", res)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{}, nil, lookupEval(nil, nil)); err == nil {
+		t.Error("empty population should error")
+	}
+	boom := errors.New("boom")
+	_, err := Run(ctx, Config{}, []float64{1, 2, 3},
+		func(context.Context, int, []int) ([]float64, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("eval error not propagated: %v", err)
+	}
+	_, err = Run(ctx, Config{}, []float64{1, 2, 3},
+		func(_ context.Context, _ int, ix []int) ([]float64, error) {
+			return make([]float64, len(ix)+1), nil
+		})
+	if err == nil {
+		t.Error("length mismatch not detected")
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	sev, vals := synthetic(50, 1, 1, 1)
+	if _, err := Run(cctx, Config{}, sev, lookupEval(vals, nil)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation not propagated: %v", err)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	sev, vals := synthetic(100, 2, 0.3, 0.3)
+	var statuses []Status
+	cfg := Config{Progress: func(s Status) { statuses = append(statuses, s) }}
+	res, err := Run(context.Background(), cfg, sev, lookupEval(vals, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != len(res.Rounds) {
+		t.Fatalf("%d progress callbacks for %d rounds", len(statuses), len(res.Rounds))
+	}
+	last := statuses[len(statuses)-1]
+	if last.Evaluated != res.Evaluated || last.Mean != res.Mean || last.HalfWidth != res.HalfWidth {
+		t.Fatalf("final status %+v does not match result %+v", last, res)
+	}
+	for i := 1; i < len(statuses); i++ {
+		if statuses[i].Evaluated <= statuses[i-1].Evaluated {
+			t.Fatal("evaluated count not strictly increasing across rounds")
+		}
+	}
+}
+
+// Neyman allocation should spend more of each round's budget on the
+// high-variance stratum than the near-constant ones.
+func TestNeymanFavoursVariance(t *testing.T) {
+	n := 300
+	sev := make([]float64, n)
+	vals := make([]float64, n)
+	for i := range sev {
+		sev[i] = float64(i) // strata = index quarters
+		if i >= 3*n/4 {     // top stratum: wild
+			vals[i] = math.Sin(float64(i)) * 50
+		} else { // rest: nearly constant
+			vals[i] = 10 + 0.001*math.Sin(float64(i))
+		}
+	}
+	res, err := Run(context.Background(), Config{RelCI: 0.05, MaxRounds: 3}, sev, lookupEval(vals, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) < 2 {
+		t.Skipf("converged before any Neyman round: %+v", res)
+	}
+	for _, r := range res.Rounds[1:] {
+		top := r.Draws[len(r.Draws)-1]
+		for h, d := range r.Draws[:len(r.Draws)-1] {
+			if d > top {
+				t.Fatalf("round drew %d from quiet stratum %d but %d from the wild one (draws %v)", d, h, top, r.Draws)
+			}
+		}
+	}
+}
+
+func TestAllocate(t *testing.T) {
+	// Proportional split with largest-remainder rounding.
+	got := allocate(10, []float64{1, 1, 2}, []int{100, 100, 100})
+	if !reflect.DeepEqual(got, []int{3, 2, 5}) {
+		t.Errorf("allocate = %v, want [3 2 5]", got)
+	}
+	// Caps bind and the leftover spills to open strata.
+	got = allocate(10, []float64{1, 1, 2}, []int{1, 100, 100})
+	if sum(got) != 10 || got[0] != 1 {
+		t.Errorf("capped allocate = %v", got)
+	}
+	// Budget larger than capacity drains everything.
+	got = allocate(50, []float64{1, 1}, []int{3, 4})
+	if !reflect.DeepEqual(got, []int{3, 4}) {
+		t.Errorf("over-budget allocate = %v, want [3 4]", got)
+	}
+	// Zero weights, zero budget.
+	if got = allocate(5, []float64{0, 0}, []int{3, 3}); sum(got) != 0 {
+		t.Errorf("zero-weight allocate = %v", got)
+	}
+	if got = allocate(0, []float64{1, 1}, []int{3, 3}); sum(got) != 0 {
+		t.Errorf("zero-budget allocate = %v", got)
+	}
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Severity ties must stratify deterministically (stable by index).
+func TestStratifyTiesAndBounds(t *testing.T) {
+	sev := []float64{1, 1, 1, 1, 1, 1}
+	strata, byIndex := stratify(sev, 3, 0)
+	want := [][]int{{0, 1}, {2, 3}, {4, 5}}
+	for h, s := range strata {
+		if !reflect.DeepEqual(s.members, want[h]) {
+			t.Fatalf("stratum %d members %v, want %v", h, s.members, want[h])
+		}
+	}
+	for die, h := range byIndex {
+		if h != die/2 {
+			t.Fatalf("byIndex[%d] = %d", die, h)
+		}
+	}
+	// More strata than dies clamps.
+	res, err := Run(context.Background(), Config{Strata: 50}, []float64{1, 2},
+		func(_ context.Context, _ int, ix []int) ([]float64, error) {
+			return make([]float64, len(ix)), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strata) != 2 {
+		t.Fatalf("expected strata clamped to population: %+v", res.Strata)
+	}
+}

@@ -1,0 +1,57 @@
+package adapt
+
+import (
+	"context"
+	"testing"
+
+	"vasched/internal/stats"
+)
+
+// BenchmarkRun measures the driver's own overhead (stratify + allocate +
+// estimate per round) on a 200-die synthetic population and reports the
+// headline artefact numbers: dies-to-answer at the default ±2% @ 95%
+// target, and the saving factor vs evaluating the full population.
+func BenchmarkRun(b *testing.B) {
+	sev, vals := synthetic(200, 1.5, 0.02, 0.05)
+	eval := lookupEval(vals, nil)
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Run(context.Background(), Config{}, sev, eval)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Evaluated), "dies_to_answer")
+	b.ReportMetric(float64(res.PopulationN)/float64(res.Evaluated), "dies_saving_x")
+}
+
+// BenchmarkRunExact is the full-population baseline the adaptive numbers
+// are read against.
+func BenchmarkRunExact(b *testing.B) {
+	sev, vals := synthetic(200, 1.5, 0.02, 0.05)
+	eval := lookupEval(vals, nil)
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), Config{Exact: true}, sev, eval); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(200, "dies_to_answer")
+}
+
+// BenchmarkEstimate isolates the stopping-rule hot path (stratified
+// variance + t quantile), which runs once per round.
+func BenchmarkEstimate(b *testing.B) {
+	sev, vals := synthetic(200, 1.5, 0.02, 0.05)
+	strata, _ := stratify(sev, 4, 0)
+	for _, s := range strata {
+		for _, die := range s.members[:len(s.members)/2] {
+			s.vals = append(s.vals, vals[die])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		estimate(strata, 200, 0.95)
+	}
+	_ = stats.Mean(vals)
+}

@@ -253,10 +253,24 @@ func (c *Client) probe(ctx context.Context, w *worker) bool {
 // local execution) only when some shard exhausted its retries or no
 // worker was available.
 func (c *Client) Run(ctx context.Context, job Job, n int) ([][]byte, error) {
+	indices := make([]int, n)
+	for i := range indices {
+		indices[i] = i
+	}
+	return c.RunIndices(ctx, job, indices)
+}
+
+// RunIndices is Run over an arbitrary index list: it shards exactly the
+// given indices (the wire format has always carried explicit die lists)
+// and returns one blob per entry, in argument order. The adaptive
+// sampling driver dispatches each round's stratum plan through this —
+// byte-identical to evaluating the same indices locally.
+func (c *Client) RunIndices(ctx context.Context, job Job, indices []int) ([][]byte, error) {
 	if len(c.workers) == 0 {
 		c.opt.Metrics.Counter(`cluster_runs_total{status="degraded"}`).Inc()
 		return nil, ErrNoWorkers
 	}
+	n := len(indices)
 	blobs := make([][]byte, n)
 	shards := (n + c.opt.ShardSize - 1) / c.opt.ShardSize
 	ctx, sp := trace.Start(ctx, "cluster.run",
@@ -270,12 +284,11 @@ func (c *Client) Run(ctx context.Context, job Job, n int) ([][]byte, error) {
 		if hi > n {
 			hi = n
 		}
-		ctx, ssp := trace.Start(ctx, "cluster.shard", trace.Int("lo", lo), trace.Int("hi", hi))
+		ctx, ssp := trace.Start(ctx, "cluster.shard",
+			trace.Int("lo", indices[lo]), trace.Int("hi", indices[hi-1]+1))
 		defer ssp.End()
-		dies := make([]int, 0, hi-lo)
-		for d := lo; d < hi; d++ {
-			dies = append(dies, d)
-		}
+		dies := make([]int, hi-lo)
+		copy(dies, indices[lo:hi])
 		got, err := c.runShard(ctx, job, dies)
 		if err != nil {
 			return err

@@ -13,7 +13,7 @@ import (
 // order — and therefore every digit of output — is independent of the
 // worker count.
 func TestParallelMatchesSerial(t *testing.T) {
-	for _, id := range []string{"fig4", "fig7", "ext-sann-par"} {
+	for _, id := range []string{"fig4", "fig7", "ext-sann-par", "ext-adapt"} {
 		serialEnv, err := QuickEnv()
 		if err != nil {
 			t.Fatal(err)

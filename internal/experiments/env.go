@@ -102,6 +102,12 @@ type Env struct {
 	// histogram can collect across the parallel die farm. Purely
 	// observational: experiment outputs are identical with or without it.
 	DecideHist *metrics.LatencyHist
+	// Adaptive, when non-nil, switches the ext-adapt experiment into
+	// adaptive stratified sampling with the given settings (nil — and
+	// every other experiment — evaluates the exact full population, so
+	// attaching a cluster or changing Workers still cannot perturb the
+	// classic goldens). See internal/adapt and DESIGN.md §12.
+	Adaptive *AdaptiveConfig
 
 	fp      *floorplan.Floorplan
 	cpu     *cpusim.Model
@@ -260,10 +266,13 @@ func (e *Env) ForTasks(n int, fn func(ctx context.Context, i int) error) error {
 }
 
 // ShardRunner distributes a kernel's index space across remote workers
-// and returns one blob per index, in index order. internal/cluster's
-// Client is the production implementation.
+// and returns one blob per index, in index order. RunIndices is the same
+// contract over an explicit index list (the adaptive driver's stratum
+// plans dispatch through it). internal/cluster's Client is the production
+// implementation.
 type ShardRunner interface {
 	Run(ctx context.Context, job cluster.Job, n int) ([][]byte, error)
+	RunIndices(ctx context.Context, job cluster.Job, indices []int) ([][]byte, error)
 }
 
 // ForDiesKernel runs the registered kernel for every index in [0, n) and
@@ -304,6 +313,46 @@ func (e *Env) ForDiesKernel(name string, n int, reduce func(index int, blob []by
 	}
 	blobs, err := farm.Collect(ctx, e.Workers, n, func(ctx context.Context, i int) ([]byte, error) {
 		return k(ctx, e, i)
+	})
+	if err != nil {
+		return err
+	}
+	return reduceBlobs(blobs, reduce)
+}
+
+// ForDiesKernelIndices is ForDiesKernel over an explicit index list: the
+// registered kernel runs for exactly the given indices (cluster-sharded
+// when attached, local farm otherwise) and reduce sees the blobs serially
+// in argument order (pos is the position within indices; the caller maps
+// pos back to indices[pos]). This is the fan-out the adaptive sampling
+// driver uses to evaluate one round's stratum plan; ctx is taken as an
+// argument so round trace spans parent the kernel spans.
+func (e *Env) ForDiesKernelIndices(ctx context.Context, name string, indices []int, reduce func(pos int, blob []byte) error) error {
+	clustered := e.Cluster != nil && e.Scale != ""
+	path := "local"
+	if clustered {
+		path = "cluster"
+	}
+	ctx, sp := trace.Start(ctx, "env.kernel",
+		trace.String("kernel", name), trace.Int("n", len(indices)), trace.String("path", path))
+	defer sp.End()
+	if clustered {
+		job := cluster.Job{Kernel: name, Scale: e.Scale, Seed: e.Seed, BatchSeed: e.BatchSeed, ConfigHash: e.cfgHash}
+		blobs, err := e.Cluster.RunIndices(ctx, job, indices)
+		if err == nil {
+			return reduceBlobs(blobs, reduce)
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		trace.Event(ctx, "cluster.degrade")
+	}
+	k, err := kernelByName(name)
+	if err != nil {
+		return err
+	}
+	blobs, err := farm.Collect(ctx, e.Workers, len(indices), func(ctx context.Context, i int) ([]byte, error) {
+		return k(ctx, e, indices[i])
 	})
 	if err != nil {
 		return err
@@ -355,6 +404,14 @@ func (e *Env) Chip(die int) (*chip.Chip, error) {
 		return nil, err
 	}
 	return v.(*chip.Chip), nil
+}
+
+// DieMaps returns die's raw variation maps (Vth/Leff fields) without
+// paying for full chip characterisation — the basis of the adaptive
+// sampler's cheap severity proxy. Like Chip, the maps are a pure function
+// of (BatchSeed, die).
+func (e *Env) DieMaps(die int) (*varmodel.DieMaps, error) {
+	return e.gen.Die(e.BatchSeed, die)
 }
 
 // Manager instantiates a power manager by paper name, with the Env's SAnn

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"vasched/internal/adapt"
+	"vasched/internal/floorplan"
+	"vasched/internal/varmodel"
+)
+
+// kernelDieSeverity computes the cheap variation-severity proxy the
+// adaptive sampler stratifies on: the spread of per-core systematic
+// Vth and Leff means across the floorplan, each normalised by its
+// systematic sigma. It needs only the die's raw variation maps — no
+// thermal fixed point, no scheduler — so a full-population severity pass
+// costs a small fraction of one metric evaluation.
+const kernelDieSeverity = "die-severity"
+
+// dieSeverityBlob is the kernel's wire shape.
+type dieSeverityBlob struct {
+	Sev float64 `json:"sev"`
+}
+
+// kernelDieSched is the per-die form of the sched-pm task: one die in,
+// its trial-averaged modelled throughput and decided power out. It gives
+// the adaptive sampler scheduler-level target metrics at a per-die
+// granularity (the sampler draws dies, not die×trial cells).
+const kernelDieSched = "die-sched"
+
+func init() {
+	RegisterKernel(kernelDieSeverity, func(_ context.Context, e *Env, die int) ([]byte, error) {
+		maps, err := e.DieMaps(die)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(dieSeverityBlob{Sev: dieSeverity(maps, e.Floorplan())})
+	})
+	RegisterKernel(kernelDieSched, func(ctx context.Context, e *Env, die int) ([]byte, error) {
+		var b schedPMBlob
+		for trial := 0; trial < e.Trials; trial++ {
+			t, err := schedPMTask(ctx, e, die, trial)
+			if err != nil {
+				return nil, err
+			}
+			b.TPutMIPS += t.TPutMIPS / float64(e.Trials)
+			b.PowerW += t.PowerW / float64(e.Trials)
+		}
+		return json.Marshal(b)
+	})
+}
+
+// dieSeverity is the severity proxy: core-to-core spread of the mean
+// systematic Vth and Leff over each core's rectangle, in units of the
+// respective systematic sigma. Dies where process variation tilts the
+// cores apart — the dies that drive the tails of every variation metric —
+// score high; uniform dies score near zero.
+func dieSeverity(maps *varmodel.DieMaps, fp *floorplan.Floorplan) float64 {
+	_, vthSys, _ := maps.Cfg.SigmaVth()
+	_, leffSys, _ := maps.Cfg.SigmaLeff()
+	var vmin, vmax, lmin, lmax float64
+	for c := 0; c < fp.NumCores; c++ {
+		r := fp.CoreRect(c)
+		v := maps.VthMeanOverRect(r.X0, r.Y0, r.X1, r.Y1)
+		l := maps.LeffMeanOverRect(r.X0, r.Y0, r.X1, r.Y1)
+		if c == 0 || v < vmin {
+			vmin = v
+		}
+		if c == 0 || v > vmax {
+			vmax = v
+		}
+		if c == 0 || l < lmin {
+			lmin = l
+		}
+		if c == 0 || l > lmax {
+			lmax = l
+		}
+	}
+	sev := 0.0
+	if vthSys > 0 {
+		sev += (vmax - vmin) / vthSys
+	}
+	if leffSys > 0 {
+		sev += (lmax - lmin) / leffSys
+	}
+	return sev
+}
+
+// AdaptiveConfig selects adaptive stratified sampling for the ext-adapt
+// experiment: the embedded driver settings plus which per-die metric the
+// stopping rule targets.
+type AdaptiveConfig struct {
+	adapt.Config
+	// Metric names the target metric; see AdaptiveMetrics. Empty selects
+	// "power-ratio" (the Figure 4 headline number).
+	Metric string `json:"metric,omitempty"`
+}
+
+// adaptMetric binds a metric name to the kernel that computes it and the
+// field extracted from the kernel's blob.
+type adaptMetric struct {
+	kernel  string
+	unit    string
+	extract func(blob []byte) (float64, error)
+}
+
+// adaptMetrics is the metric registry. power-ratio and freq-ratio are the
+// fig4-class metrics (cheap, one chip evaluation per die); tput and power
+// run the full per-die schedule+PM stack.
+var adaptMetrics = map[string]adaptMetric{
+	"power-ratio": {kernel: kernelDieRatios, unit: "x", extract: func(b []byte) (float64, error) {
+		var s dieRatiosBlob
+		err := json.Unmarshal(b, &s)
+		return s.PowerRatio, err
+	}},
+	"freq-ratio": {kernel: kernelDieRatios, unit: "x", extract: func(b []byte) (float64, error) {
+		var s dieRatiosBlob
+		err := json.Unmarshal(b, &s)
+		return s.FreqRatio, err
+	}},
+	"tput": {kernel: kernelDieSched, unit: "MIPS", extract: func(b []byte) (float64, error) {
+		var s schedPMBlob
+		err := json.Unmarshal(b, &s)
+		return s.TPutMIPS, err
+	}},
+	"power": {kernel: kernelDieSched, unit: "W", extract: func(b []byte) (float64, error) {
+		var s schedPMBlob
+		err := json.Unmarshal(b, &s)
+		return s.PowerW, err
+	}},
+}
+
+// AdaptiveMetrics lists the metric names ext-adapt accepts, sorted.
+func AdaptiveMetrics() []string {
+	names := make([]string, 0, len(adaptMetrics))
+	for n := range adaptMetrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ExtAdaptResult is the adaptive-sampling experiment outcome: the target
+// metric plus the driver's full report (estimate, round schedule, strata).
+type ExtAdaptResult struct {
+	Metric string
+	Unit   string
+	// Sampling is the driver report; Sampling.Rounds is the frozen round
+	// schedule the golden pins.
+	Sampling adapt.Result
+}
+
+// ExtAdapt runs the adaptive stratified-sampling experiment: a severity
+// pass over the whole die batch (cheap, no scheduler), then metric
+// evaluation rounds drawn by the internal/adapt driver until the CI
+// target is met — or, with Exact set (and by default for the pinned
+// golden's population sweep), the full population in index order, which
+// reproduces the classic full-batch mean bit-for-bit. Both the severity
+// pass and every round ride ForDiesKernel fan-out: farm parallelism,
+// cluster shards, die cache, and tracing all apply, and none of them can
+// move a draw or change a byte of the result.
+func ExtAdapt(e *Env) (*ExtAdaptResult, error) {
+	cfg := AdaptiveConfig{}
+	if e.Adaptive != nil {
+		cfg = *e.Adaptive
+	}
+	if cfg.Metric == "" {
+		cfg.Metric = "power-ratio"
+	}
+	m, ok := adaptMetrics[cfg.Metric]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown adaptive metric %q (known: %v)", cfg.Metric, AdaptiveMetrics())
+	}
+	// Severity pass: one cheap proxy value per die of the frozen batch.
+	sev := make([]float64, e.NumDies)
+	err := e.ForDiesKernel(kernelDieSeverity, e.NumDies, func(die int, blob []byte) error {
+		var b dieSeverityBlob
+		if err := json.Unmarshal(blob, &b); err != nil {
+			return fmt.Errorf("experiments: die %d severity blob: %w", die, err)
+		}
+		sev[die] = b.Sev
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := adapt.Run(e.Context(), cfg.Config, sev,
+		func(ctx context.Context, _ int, indices []int) ([]float64, error) {
+			vals := make([]float64, len(indices))
+			err := e.ForDiesKernelIndices(ctx, m.kernel, indices, func(pos int, blob []byte) error {
+				v, err := m.extract(blob)
+				if err != nil {
+					return fmt.Errorf("experiments: die %d %s blob: %w", indices[pos], cfg.Metric, err)
+				}
+				vals[pos] = v
+				return nil
+			})
+			return vals, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &ExtAdaptResult{Metric: cfg.Metric, Unit: m.unit, Sampling: *res}, nil
+}
+
+// Render formats the estimate, the frozen round schedule, and the strata.
+func (r *ExtAdaptResult) Render() string {
+	s := &r.Sampling
+	var b strings.Builder
+	mode := fmt.Sprintf("adaptive, target ±%.1f%% @ %.0f%% CI", 100*s.RelCI, 100*s.Confidence)
+	if s.Exact {
+		mode = "exact verification: full population in index order"
+	}
+	fmt.Fprintf(&b, "Extension: adaptive stratified die sampling (metric %s; %s)\n", r.Metric, mode)
+	fmt.Fprintf(&b, "population: %d dies in %d severity strata (proxy: core-to-core Vth+Leff spread)\n",
+		s.PopulationN, len(s.Strata))
+	b.WriteString("round schedule (frozen: identical at any worker/shard count or cache state):\n")
+	fmt.Fprintf(&b, "  %5s %16s %6s %10s %11s\n", "round", "draws/stratum", "total", "mean", "half-width")
+	for i, rd := range s.Rounds {
+		draws := make([]string, len(rd.Draws))
+		for h, d := range rd.Draws {
+			draws[h] = fmt.Sprintf("%d", d)
+		}
+		fmt.Fprintf(&b, "  %5d %16s %6d %10.4f %11.4f\n",
+			i, strings.Join(draws, "/"), rd.Evaluated, rd.Mean, rd.HalfWidth)
+	}
+	fmt.Fprintf(&b, "strata (severity-sorted):\n")
+	fmt.Fprintf(&b, "  %7s %5s %5s %15s %10s %9s\n", "stratum", "dies", "eval", "severity", "mean", "std")
+	for h, st := range s.Strata {
+		fmt.Fprintf(&b, "  %7d %5d %5d %7.2f-%7.2f %10.4f %9.4f\n",
+			h, st.Size, st.Evaluated, st.SevLo, st.SevHi, st.Mean, st.Std)
+	}
+	saving := float64(s.PopulationN) / float64(s.Evaluated)
+	switch {
+	case s.Exact:
+		fmt.Fprintf(&b, "exact mean: %.6f %s over all %d dies (matches the full-batch experiment bit-for-bit)\n",
+			s.Mean, r.Unit, s.Evaluated)
+	case s.Converged && !s.Exhausted:
+		fmt.Fprintf(&b, "estimate: %.4f ± %.4f %s (%.0f%% CI, rel %.2f%%) from %d of %d dies — %.1fx fewer\n",
+			s.Mean, s.HalfWidth, r.Unit, 100*s.Confidence, 100*s.HalfWidth/s.Mean,
+			s.Evaluated, s.PopulationN, saving)
+	case s.Exhausted:
+		fmt.Fprintf(&b, "population exhausted at %d dies: mean %.4f (CI target met by census)\n",
+			s.Evaluated, s.Mean)
+	default:
+		fmt.Fprintf(&b, "round budget exhausted: mean %.4f ± %.4f %s from %d of %d dies (NOT converged)\n",
+			s.Mean, s.HalfWidth, r.Unit, s.Evaluated, s.PopulationN)
+	}
+	return b.String()
+}

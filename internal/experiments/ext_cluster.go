@@ -35,33 +35,44 @@ type schedPMBlob struct {
 
 func init() {
 	RegisterKernel(kernelSchedPM, func(ctx context.Context, e *Env, index int) ([]byte, error) {
-		die, trial := index/e.Trials, index%e.Trials
-		c, err := e.Chip(die)
+		b, err := schedPMTask(ctx, e, index/e.Trials, index%e.Trials)
 		if err != nil {
 			return nil, err
-		}
-		// The same per-index seed formula the timeline sweeps use: the
-		// result depends only on (die, trial), never on shard layout.
-		seed := e.Seed + int64(die)*13 + int64(trial)*97
-		apps := workload.Mix(stats.NewRNG(seed), clusterThreads)
-		plat, err := core.FrozenSnapshot(c, e.CPU(), apps, seed)
-		if err != nil {
-			return nil, err
-		}
-		budget := CostPerformance.Budget(clusterThreads, e.Floorplan().NumCores)
-		mgr := pm.LinOpt{FitPoints: 3}
-		levels, err := mgr.Decide(ctx, plat, budget, stats.NewRNG(seed))
-		if err != nil {
-			return nil, err
-		}
-		var b schedPMBlob
-		b.PowerW = plat.UncorePowerW()
-		for cix, l := range levels {
-			b.TPutMIPS += plat.IPC(cix) * plat.FreqAt(cix, l) / 1e6
-			b.PowerW += plat.PowerAt(cix, l)
 		}
 		return json.Marshal(b)
 	})
+}
+
+// schedPMTask computes one (die, trial) schedule + power-management
+// decision — the unit of work behind both the sched-pm kernel (die×trial
+// index space) and the adaptive die-sched kernel (per-die trial
+// averages). A pure function of (Scale, Seed, BatchSeed, die, trial).
+func schedPMTask(ctx context.Context, e *Env, die, trial int) (schedPMBlob, error) {
+	var b schedPMBlob
+	c, err := e.Chip(die)
+	if err != nil {
+		return b, err
+	}
+	// The same per-index seed formula the timeline sweeps use: the
+	// result depends only on (die, trial), never on shard layout.
+	seed := e.Seed + int64(die)*13 + int64(trial)*97
+	apps := workload.Mix(stats.NewRNG(seed), clusterThreads)
+	plat, err := core.FrozenSnapshot(c, e.CPU(), apps, seed)
+	if err != nil {
+		return b, err
+	}
+	budget := CostPerformance.Budget(clusterThreads, e.Floorplan().NumCores)
+	mgr := pm.LinOpt{FitPoints: 3}
+	levels, err := mgr.Decide(ctx, plat, budget, stats.NewRNG(seed))
+	if err != nil {
+		return b, err
+	}
+	b.PowerW = plat.UncorePowerW()
+	for cix, l := range levels {
+		b.TPutMIPS += plat.IPC(cix) * plat.FreqAt(cix, l) / 1e6
+		b.PowerW += plat.PowerAt(cix, l)
+	}
+	return b, nil
 }
 
 // ExtClusterResult is the sharded-cluster demonstration experiment: a

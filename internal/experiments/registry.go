@@ -37,6 +37,7 @@ var registry = map[string]Runner{
 	"ext-abb":      func(e *Env) (Renderer, error) { return ExtABB(e) },
 	"ext-cluster":  func(e *Env) (Renderer, error) { return ExtCluster(e) },
 	"ext-sann-par": func(e *Env) (Renderer, error) { return ExtSAnnPar(e) },
+	"ext-adapt":    func(e *Env) (Renderer, error) { return ExtAdapt(e) },
 }
 
 // IDs returns the known experiment ids in sorted order.

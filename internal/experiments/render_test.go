@@ -31,6 +31,7 @@ func TestRendersContainKeyContent(t *testing.T) {
 		"ext-parallel": {"barrier", "min-speed", "Foxton*"},
 		"ext-abb":      {"Body Bias", "frequency spread", "VarF&AppIPC"},
 		"ext-sann-par": {"multi-chain SAnn", "chains", "vs 1 chain"},
+		"ext-adapt":    {"adaptive stratified die sampling", "round schedule", "severity strata", "CI"},
 	}
 	for id, anchors := range cases {
 		id, anchors := id, anchors

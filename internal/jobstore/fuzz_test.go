@@ -24,13 +24,17 @@ import (
 func FuzzWALRecord(f *testing.F) {
 	f.Add(EncodeRecord(&Record{Kind: KindSubmit, ID: 1, Unix: 1700000000, Tenant: "acme",
 		Lane: tenant.LaneInteractive, Experiment: "fig4", Scale: "quick", Workers: 4}))
+	f.Add(EncodeRecord(&Record{Kind: KindSubmit, ID: 2, Unix: 1700000001, Tenant: "acme",
+		Lane: tenant.LaneBatch, Experiment: "ext-adapt", Scale: "quick",
+		Params: []byte(`{"metric":"power-ratio","rel_ci":0.02}`)}))
 	f.Add(EncodeRecord(&Record{Kind: KindClaim, ID: 1, Epoch: 2, Coord: "pod-1", Unix: 1}))
 	f.Add(EncodeRecord(&Record{Kind: KindComplete, ID: 1, Epoch: 2, Coord: "pod-1",
 		Status: statusCodeDone, Rendered: []byte("Figure 4"), Result: []byte(`{"ok":true}`)}))
 	f.Add(EncodeRecord(&Record{Kind: KindEpoch, Epoch: 7, Coord: "pod-2"}))
 	f.Add(EncodeRecord(&Record{Kind: KindShutdown, Epoch: 7, Coord: "pod-2"}))
 	f.Add([]byte{})
-	f.Add([]byte("vjl1"))
+	f.Add([]byte("vjl1")) // previous format version: magic now rejected
+	f.Add([]byte("vjl2"))
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -6,7 +6,7 @@
 //
 // Wire format (this file): every WAL record is one self-contained frame
 //
-//	magic "vjl1" | u32 payload length | payload | FNV-64a checksum
+//	magic "vjl2" | u32 payload length | payload | FNV-64a checksum
 //
 // where the checksum covers everything before it (the same integrity
 // idiom as internal/cluster's shard codec). Payloads have a canonical
@@ -29,8 +29,9 @@ import (
 )
 
 // recMagic tags every WAL frame; the trailing digit is the format
-// version and bumps on any incompatible change.
-var recMagic = [4]byte{'v', 'j', 'l', '1'}
+// version and bumps on any incompatible change. v2 added the submit
+// Params blob (experiment-specific options, e.g. adaptive sampling).
+var recMagic = [4]byte{'v', 'j', 'l', '2'}
 
 // Decode limits. They bound allocation on malformed input; all are far
 // above anything the service writes (experiment names are short, and
@@ -97,6 +98,7 @@ type Record struct {
 	Experiment string // submit
 	Scale      string // submit
 	Workers    uint32 // submit
+	Params     []byte // submit: experiment-specific options JSON (may be empty)
 
 	Status   uint8  // complete: one of the status* codes below
 	Error    string // complete (failed / cancelled)
@@ -115,7 +117,7 @@ const (
 // entry.
 func EncodeRecord(r *Record) []byte {
 	payload := make([]byte, 0, 64+len(r.Coord)+len(r.Tenant)+len(r.Experiment)+
-		len(r.Scale)+len(r.Error)+len(r.Rendered)+len(r.Result))
+		len(r.Scale)+len(r.Params)+len(r.Error)+len(r.Rendered)+len(r.Result))
 	payload = append(payload, byte(r.Kind))
 	payload = binary.LittleEndian.AppendUint64(payload, r.ID)
 	payload = binary.LittleEndian.AppendUint64(payload, r.Epoch)
@@ -126,6 +128,7 @@ func EncodeRecord(r *Record) []byte {
 	payload = appendString(payload, r.Experiment)
 	payload = appendString(payload, r.Scale)
 	payload = binary.LittleEndian.AppendUint32(payload, r.Workers)
+	payload = appendBlob(payload, r.Params)
 	payload = append(payload, r.Status)
 	payload = appendString(payload, r.Error)
 	payload = appendBlob(payload, r.Rendered)
@@ -202,6 +205,7 @@ func decodePayload(buf []byte) (*Record, error) {
 	r.Experiment = d.str(maxNameLen)
 	r.Scale = d.str(maxNameLen)
 	r.Workers = d.u32()
+	r.Params = d.blob()
 	r.Status = d.u8()
 	r.Error = d.str(maxErrLen)
 	r.Rendered = d.blob()

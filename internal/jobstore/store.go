@@ -58,6 +58,11 @@ type Spec struct {
 	Experiment string
 	Scale      string
 	Workers    int
+	// Params carries experiment-specific options as opaque JSON (e.g.
+	// the adaptive-sampling config for ext-adapt); empty for plain runs.
+	// It is persisted with the submit record so replay re-runs the job
+	// with the options it was submitted with.
+	Params []byte
 }
 
 // Job is one job's full state. Store methods return copies; mutating a
@@ -69,6 +74,7 @@ type Job struct {
 	Experiment string
 	Scale      string
 	Workers    int
+	Params     []byte
 
 	Status    Status
 	Error     string
@@ -218,6 +224,7 @@ func (s *Store) apply(rec *Record) error {
 			Experiment: rec.Experiment,
 			Scale:      rec.Scale,
 			Workers:    int(rec.Workers),
+			Params:     rec.Params,
 			Status:     StatusQueued,
 			Submitted:  time.Unix(0, rec.Unix),
 		}
@@ -321,6 +328,7 @@ func (s *Store) Submit(spec Spec) (Job, error) {
 		Experiment: spec.Experiment,
 		Scale:      spec.Scale,
 		Workers:    uint32(spec.Workers),
+		Params:     spec.Params,
 	}
 	if err := s.appendLocked(rec); err != nil {
 		return Job{}, err
@@ -332,6 +340,7 @@ func (s *Store) Submit(spec Spec) (Job, error) {
 		Experiment: spec.Experiment,
 		Scale:      spec.Scale,
 		Workers:    spec.Workers,
+		Params:     spec.Params,
 		Status:     StatusQueued,
 		Submitted:  now,
 	}

@@ -37,6 +37,31 @@ func submit(t *testing.T, s *Store, exp string) Job {
 	return j
 }
 
+// TestParamsSurviveReplay: a submission's experiment-specific options
+// blob is part of the submit record, so a restarted coordinator re-runs
+// the job with the exact options it was submitted with.
+func TestParamsSurviveReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	params := []byte(`{"metric":"power-ratio","rel_ci":0.01}`)
+	j, err := s.Submit(Spec{Tenant: "t", Lane: tenant.LaneBatch, Experiment: "ext-adapt", Scale: "quick", Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j.Params) != string(params) {
+		t.Fatalf("submit params = %q", j.Params)
+	}
+	s.Close()
+	re := mustOpen(t, dir)
+	got, ok := re.Get(j.ID)
+	if !ok {
+		t.Fatal("job lost on replay")
+	}
+	if string(got.Params) != string(params) {
+		t.Fatalf("replayed params = %q, want %q", got.Params, params)
+	}
+}
+
 // TestLifecycleAndReplay drives the full submit→claim→complete state
 // machine, restarts the store, and checks the replayed state — IDs,
 // statuses, results — matches byte for byte.

@@ -195,6 +195,7 @@ func TestAlienFileRejected(t *testing.T) {
 func TestRecordRoundTrip(t *testing.T) {
 	recs := []*Record{
 		{Kind: KindSubmit, ID: 1, Unix: 12345, Tenant: "acme", Lane: tenant.LaneControl, Experiment: "fig4", Scale: "quick", Workers: 8},
+		{Kind: KindSubmit, ID: 2, Unix: 12346, Tenant: "acme", Lane: tenant.LaneBatch, Experiment: "ext-adapt", Scale: "default", Params: []byte(`{"metric":"tput","exact":true}`)},
 		{Kind: KindClaim, ID: 1, Epoch: 3, Coord: "pod-1", Unix: -1},
 		{Kind: KindComplete, ID: 1, Epoch: 3, Coord: "pod-1", Status: statusCodeDone, Rendered: []byte("report"), Result: []byte(`{"a":1}`)},
 		{Kind: KindComplete, ID: 2, Epoch: 3, Coord: "pod-1", Status: statusCodeFailed, Error: "boom"},

@@ -202,6 +202,20 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a settable float64 gauge safe for concurrent use (the
+// value rides an atomic uint64 of its bits). The adaptive-sampling
+// progress gauges — current CI half-width, stopping target — need
+// fractional values a Gauge cannot carry.
+type FloatGauge struct {
+	v atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(x float64) { g.v.Store(math.Float64bits(x)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // defaultLatencyBounds covers 1 ms .. ~17 min in powers of four — wide
 // enough for both quick-scale experiments (seconds) and paper-scale runs
 // (minutes).
@@ -306,6 +320,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
 	hists    map[string]*LatencyHist
 }
 
@@ -314,6 +329,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		fgauges:  make(map[string]*FloatGauge),
 		hists:    make(map[string]*LatencyHist),
 	}
 }
@@ -341,6 +357,20 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the float gauge with the given name (creating it if
+// needed). Families must not collide with integer Gauge families — each
+// renders under its own TYPE line.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.fgauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
 	}
 	return g
 }
@@ -374,6 +404,10 @@ func (r *Registry) Render() string {
 	for name := range r.gauges {
 		gnames = append(gnames, name)
 	}
+	fgnames := make([]string, 0, len(r.fgauges))
+	for name := range r.fgauges {
+		fgnames = append(fgnames, name)
+	}
 	hnames := make([]string, 0, len(r.hists))
 	for name := range r.hists {
 		hnames = append(hnames, name)
@@ -386,6 +420,10 @@ func (r *Registry) Render() string {
 	for name, g := range r.gauges {
 		gauges[name] = g
 	}
+	fgauges := make(map[string]*FloatGauge, len(r.fgauges))
+	for name, g := range r.fgauges {
+		fgauges[name] = g
+	}
 	hists := make(map[string]*LatencyHist, len(r.hists))
 	for name, h := range r.hists {
 		hists[name] = h
@@ -397,6 +435,7 @@ func (r *Registry) Render() string {
 	// format requires: all samples of a family must follow its TYPE line.
 	sort.Strings(cnames)
 	sort.Strings(gnames)
+	sort.Strings(fgnames)
 	sort.Strings(hnames)
 	var b strings.Builder
 	lastFamily := ""
@@ -416,6 +455,15 @@ func (r *Registry) Render() string {
 			lastFamily = family
 		}
 		fmt.Fprintf(&b, "%s %d\n", name, gauges[name].Value())
+	}
+	lastFamily = ""
+	for _, name := range fgnames {
+		family, _ := splitName(name)
+		if family != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", family)
+			lastFamily = family
+		}
+		fmt.Fprintf(&b, "%s %g\n", name, fgauges[name].Value())
 	}
 	lastFamily = ""
 	for _, name := range hnames {

@@ -183,6 +183,57 @@ func TestGaugeRenderPosition(t *testing.T) {
 	}
 }
 
+func TestFloatGauge(t *testing.T) {
+	var g FloatGauge
+	if g.Value() != 0 {
+		t.Fatalf("zero value = %v", g.Value())
+	}
+	g.Set(0.0375)
+	if g.Value() != 0.0375 {
+		t.Fatalf("value = %v", g.Value())
+	}
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Fatalf("value = %v", g.Value())
+	}
+}
+
+// Float gauges render in their own sorted block between integer gauges
+// and histograms, under a single TYPE gauge line per family, with full
+// float precision.
+func TestFloatGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("depth").Set(4)
+	r.FloatGauge(`half_width{experiment="ext-adapt"}`).Set(0.0125)
+	r.FloatGauge(`half_width{experiment="other"}`).Set(0.25)
+	r.Histogram("lat_seconds").Observe(0.01)
+	out := r.Render()
+	for _, want := range []string{
+		"# TYPE half_width gauge",
+		`half_width{experiment="ext-adapt"} 0.0125`,
+		`half_width{experiment="other"} 0.25`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE half_width gauge") != 1 {
+		t.Fatalf("float gauge family declared more than once:\n%s", out)
+	}
+	gau := strings.Index(out, "depth")
+	fg := strings.Index(out, "half_width{")
+	his := strings.Index(out, "lat_seconds_bucket")
+	if !(gau < fg && fg < his) {
+		t.Fatalf("family order wrong (gauge=%d fgauge=%d hist=%d):\n%s", gau, fg, his, out)
+	}
+	if r.FloatGauge(`half_width{experiment="other"}`).Value() != 0.25 {
+		t.Fatal("accessor did not return the existing gauge")
+	}
+	if out != r.Render() {
+		t.Fatal("render not deterministic with float gauges")
+	}
+}
+
 func TestLatencyHistObserveAndRender(t *testing.T) {
 	h := NewLatencyHist()
 	h.Observe(0.002)

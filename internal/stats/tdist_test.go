@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Reference quantiles from R's qt(p, df) (15 significant digits).
+func TestTQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, df, want float64
+	}{
+		{0.975, 1, 12.706204736174693},
+		{0.975, 2, 4.3026527297494618},
+		{0.975, 5, 2.5705818356363148},
+		{0.975, 10, 2.2281388519862742},
+		{0.975, 30, 2.0422724563012379},
+		{0.975, 120, 1.9799304050824405},
+		{0.95, 10, 1.8124611228116759},
+		{0.95, 4, 2.1318467863266495},
+		{0.995, 20, 2.8453397097861081},
+		{0.90, 7, 1.4149239276505086},
+		{0.99, 2, 6.964556734283271},
+		{0.999, 15, 3.7328344253108998},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.p, c.df)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("TQuantile(%v, %v) = %.12f, want %.12f", c.p, c.df, got, c.want)
+		}
+		// Lower tail by symmetry.
+		if got := TQuantile(1-c.p, c.df); math.Abs(got+c.want) > 1e-9 {
+			t.Errorf("TQuantile(%v, %v) = %.12f, want %.12f", 1-c.p, c.df, got, -c.want)
+		}
+	}
+}
+
+func TestTQuantileEdges(t *testing.T) {
+	if got := TQuantile(0.5, 7); got != 0 {
+		t.Errorf("TQuantile(0.5) = %v, want 0", got)
+	}
+	if !math.IsInf(TQuantile(0, 3), -1) || !math.IsInf(TQuantile(1, 3), 1) {
+		t.Error("TQuantile at p in {0,1} should be infinite")
+	}
+	if !math.IsNaN(TQuantile(0.9, 0)) || !math.IsNaN(TQuantile(0.9, -1)) {
+		t.Error("TQuantile with df <= 0 should be NaN")
+	}
+	if !math.IsNaN(TQuantile(math.NaN(), 3)) {
+		t.Error("TQuantile(NaN) should be NaN")
+	}
+}
+
+// For large df the t distribution converges to the standard normal.
+func TestTQuantileApproachesNormal(t *testing.T) {
+	for _, p := range []float64{0.6, 0.9, 0.975, 0.999} {
+		tq, nq := TQuantile(p, 1e7), NormQuantile(p)
+		if math.Abs(tq-nq) > 1e-4 {
+			t.Errorf("TQuantile(%v, 1e7) = %v, NormQuantile = %v", p, tq, nq)
+		}
+	}
+}
+
+// TCDF must invert TQuantile across the grid the stopping rule uses.
+func TestTCDFInvertsQuantile(t *testing.T) {
+	for _, df := range []float64{1, 2, 3, 5, 9, 17.5, 42, 199} {
+		for _, p := range []float64{0.01, 0.1, 0.3, 0.5, 0.8, 0.95, 0.99, 0.9995} {
+			q := TQuantile(p, df)
+			if got := TCDF(q, df); math.Abs(got-p) > 1e-10 {
+				t.Errorf("TCDF(TQuantile(%v, %v)) = %v", p, df, got)
+			}
+		}
+	}
+}
+
+func TestTCDFKnownValues(t *testing.T) {
+	// R pt(t, df) references.
+	cases := []struct {
+		x, df, want float64
+	}{
+		{0, 5, 0.5},
+		{1, 1, 0.75},
+		{2, 10, 0.96330598261462982},
+		{-2, 10, 0.036694017385370183},
+		{1.5, 3, 0.88470806737758847},
+	}
+	for _, c := range cases {
+		if got := TCDF(c.x, c.df); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("TCDF(%v, %v) = %.15f, want %.15f", c.x, c.df, got, c.want)
+		}
+	}
+	if !math.IsNaN(TCDF(1, 0)) {
+		t.Error("TCDF with df = 0 should be NaN")
+	}
+	if TCDF(math.Inf(1), 4) != 1 || TCDF(math.Inf(-1), 4) != 0 {
+		t.Error("TCDF at infinities should hit the distribution bounds")
+	}
+}
+
+// Edge cases for Quantile: empty input, single element, and q outside the
+// open interval, which clamp to the order-statistic extremes.
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %v, want 0", got)
+	}
+	one := []float64{7}
+	for _, q := range []float64{0, 0.37, 0.5, 1} {
+		if got := Quantile(one, q); got != 7 {
+			t.Errorf("Quantile(single, %v) = %v, want 7", q, got)
+		}
+	}
+	xs := []float64{5, 1, 9}
+	if got := Quantile(xs, -0.5); got != 1 {
+		t.Errorf("Quantile(q<0) = %v, want min", got)
+	}
+	if got := Quantile(xs, 1.5); got != 9 {
+		t.Errorf("Quantile(q>1) = %v, want max", got)
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 9 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+}
+
+// Edge cases for Correlation: empty, single-element, and constant series
+// are all errors rather than NaNs leaking into experiment statistics.
+func TestCorrelationEdgeCases(t *testing.T) {
+	if _, err := Correlation(nil, nil); err == nil {
+		t.Error("Correlation(empty) should error")
+	}
+	if _, err := Correlation([]float64{1}, []float64{2}); err == nil {
+		t.Error("Correlation(single element) should error (constant input)")
+	}
+	if _, err := Correlation([]float64{1, 2, 3}, []float64{4, 4, 4}); err == nil {
+		t.Error("Correlation with constant ys should error")
+	}
+	if _, err := Correlation([]float64{4, 4, 4}, []float64{1, 2, 3}); err == nil {
+		t.Error("Correlation with constant xs should error")
+	}
+}

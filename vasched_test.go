@@ -171,7 +171,7 @@ func TestDefaultManagerIsLinOpt(t *testing.T) {
 
 func TestExperimentAPI(t *testing.T) {
 	ids := vasched.ExperimentIDs()
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Fatalf("ids = %v", ids)
 	}
 	found := false
