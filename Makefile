@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race bench benchsmoke ci fuzzseed benchcheck benchsnap cover clean
+.PHONY: all build test vet check race bench benchsmoke ci fuzzseed benchcheck benchsnap cover loadtest loadsnap loadcheck clean
 
 all: check
 
@@ -41,9 +41,10 @@ bench:
 # hot-path micro-benchmarks compared against the newest committed
 # BENCH_*.json — more than 20% ns/op regression fails. Benchmark
 # baselines are machine-specific: refresh with `make benchsnap` when the
-# reference machine changes. The hosted pipeline
+# reference machine changes. loadcheck guards delivered capacity the
+# same way against the committed LOAD_*.json. The hosted pipeline
 # (.github/workflows/ci.yml) runs the same steps as parallel jobs.
-ci: vet build race cover fuzzseed benchcheck
+ci: vet build race cover fuzzseed benchcheck loadcheck
 
 fuzzseed:
 	$(GO) test -fuzz FuzzSolve -fuzztime 10s ./internal/lp
@@ -55,7 +56,7 @@ fuzzseed:
 # cover prints per-package statement coverage and fails if any of the
 # gated packages (the concurrency- and protocol-heavy ones) drops below
 # 80%. Numbers are recorded in EXPERIMENTS.md ("Coverage gate").
-COVER_GATED = vasched/internal/cluster vasched/internal/pm vasched/internal/farm vasched/internal/trace vasched/internal/jobstore vasched/internal/tenant vasched/internal/diecache vasched/internal/adapt
+COVER_GATED = vasched/internal/cluster vasched/internal/pm vasched/internal/farm vasched/internal/trace vasched/internal/jobstore vasched/internal/tenant vasched/internal/diecache vasched/internal/adapt vasched/internal/metrics vasched/internal/loadsnap vasched/internal/miniyaml vasched/cmd/vaschedload
 
 cover:
 	$(GO) test -count=1 -cover ./... | tee /tmp/vasched-cover.txt
@@ -75,6 +76,31 @@ benchcheck:
 # benchsnap records a fresh full-suite snapshot (BENCH_<date>.json).
 benchsnap:
 	$(GO) run ./cmd/benchstatus
+
+# loadtest is the SLO-asserted load smoke: spawn a real coordinator,
+# drive 1,000 seeded mixed-tenant jobs through the three lanes with
+# mid-flight cancels, a quota burst, and an injected SIGKILL-restart,
+# and fail on any SLO violation, failed job, or lost job. The seed makes
+# the workload (not the timings) reproducible; ~60s on the reference
+# machine.
+LOADFLAGS = -jobs 1000 -tenants 3 -clients 16 -seed 42 -tenant-quota 8 -kill-at 0.4 -timeout 8m
+
+loadtest:
+	$(GO) run ./cmd/vaschedload $(LOADFLAGS)
+
+# loadsnap records a LOAD_<date>.json capacity baseline in the repo
+# root (commit it, like the BENCH_*.json baselines). Capacity numbers
+# are machine-specific: refresh on the reference machine.
+loadsnap:
+	$(GO) run ./cmd/vaschedload $(LOADFLAGS) -out .
+
+# loadcheck reruns the load smoke and gates delivered capacity against
+# the newest committed LOAD_*.json: a sustained jobs/s drop beyond 20%
+# fails (host-fingerprint mismatches downgrade to a loud advisory).
+loadcheck:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/vaschedload $(LOADFLAGS) -out $$tmp && \
+	$(GO) run ./cmd/benchstatus -load $$tmp/LOAD_*.json -check
 
 clean:
 	$(GO) clean ./...

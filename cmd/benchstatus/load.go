@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"vasched/internal/loadsnap"
+)
+
+// runLoad is the LOAD_*.json capacity-gate mode (-load): compare the
+// given vaschedload snapshot against a baseline capacity snapshot and,
+// with -check, fail on a capacity drop beyond -threshold percent.
+// Latency p99 deltas print alongside but never gate — they are bound to
+// the run's SLO thresholds, which already gated inside vaschedload.
+func runLoad(stdout io.Writer, curPath, baselinePath string, threshold float64, check bool) error {
+	cur, err := loadsnap.Read(curPath)
+	if err != nil {
+		return fmt.Errorf("load snapshot: %w", err)
+	}
+	if baselinePath == "" {
+		baselinePath = latestLoadBaseline(".", curPath)
+	}
+	if baselinePath == "" {
+		fmt.Fprintf(stdout, "%s: %.1f jobs/s sustained (%s)\n", curPath, cur.Capacity(), cur.Fingerprint())
+		fmt.Fprintln(stdout, "no baseline LOAD_*.json found; nothing to compare")
+		return nil
+	}
+	prev, err := loadsnap.Read(baselinePath)
+	if err != nil {
+		return fmt.Errorf("load baseline: %w", err)
+	}
+
+	deltas, mismatch := loadsnap.Compare(prev, cur, threshold)
+	fmt.Fprintf(stdout, "\ncapacity comparison vs %s:\n", baselinePath)
+	if mismatch {
+		fmt.Fprintf(stdout, "\n"+
+			"  *** HOST FINGERPRINT MISMATCH: baseline %s, this machine %s ***\n"+
+			"  *** cross-machine capacity is not comparable — deltas below ***\n"+
+			"  *** are advisory only; refresh the LOAD_*.json baseline on  ***\n"+
+			"  *** the reference machine before trusting any regression.   ***\n\n",
+			prev.Fingerprint(), cur.Fingerprint())
+	}
+	fmt.Fprintf(stdout, "%-24s %14s %14s %8s\n", "metric", "old", "new", "delta")
+	regressions := 0
+	for _, d := range deltas {
+		marker := ""
+		if d.Regression {
+			marker = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-24s %14.3f %14.3f %+7.1f%%%s\n", d.Metric, d.Old, d.New, d.Pct, marker)
+	}
+	if check && !mismatch && regressions > 0 {
+		return fmt.Errorf("capacity regressed more than %.0f%% vs %s", threshold, baselinePath)
+	}
+	return nil
+}
+
+// latestLoadBaseline returns the newest LOAD_*.json in dir other than
+// the snapshot under test, so a freshly written snapshot never compares
+// against itself.
+func latestLoadBaseline(dir, exclude string) string {
+	matches, _ := filepath.Glob(filepath.Join(dir, "LOAD_*.json"))
+	sort.Strings(matches) // ISO-8601 dates: lexical order is temporal
+	excl, _ := filepath.Abs(exclude)
+	for i := len(matches) - 1; i >= 0; i-- {
+		abs, _ := filepath.Abs(matches[i])
+		if abs != excl {
+			return matches[i]
+		}
+	}
+	return ""
+}

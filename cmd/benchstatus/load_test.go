@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vasched/internal/loadsnap"
+)
+
+func writeLoad(t *testing.T, dir, name string, mut func(*loadsnap.Snapshot)) string {
+	t.Helper()
+	s := &loadsnap.Snapshot{
+		Date:      strings.TrimSuffix(strings.TrimPrefix(name, "LOAD_"), ".json"),
+		GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 1,
+		Seed: 42, Jobs: 1000, Tenants: 3, Clients: 16,
+		DurationSec: 60, JobsPerSec: 18, MaxSustainedJobsPerSec: 18, SLOPass: true,
+		Latency: map[string]loadsnap.Quantiles{"client": {P50: 0.5, P95: 2, P99: 3}},
+		Counts:  loadsnap.Counts{Submitted: 1000, Done: 1000},
+	}
+	if mut != nil {
+		mut(s)
+	}
+	path := filepath.Join(dir, name)
+	if err := s.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadModeFlatPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeLoad(t, dir, "LOAD_2026-01-01.json", nil)
+	cur := writeLoad(t, dir, "LOAD_2026-02-02.json", nil)
+
+	var buf bytes.Buffer
+	if err := run([]string{"-load", cur, "-load-baseline", base, "-check"}, &buf); err != nil {
+		t.Fatalf("flat compare failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "capacity jobs/s") {
+		t.Fatalf("no capacity row:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("flat compare flagged a regression:\n%s", buf.String())
+	}
+}
+
+func TestLoadModeGatesCapacityRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeLoad(t, dir, "LOAD_2026-01-01.json", nil)
+	cur := writeLoad(t, dir, "LOAD_2026-02-02.json", func(s *loadsnap.Snapshot) {
+		s.JobsPerSec, s.MaxSustainedJobsPerSec = 10, 10 // 44% drop from 18
+	})
+
+	var buf bytes.Buffer
+	err := run([]string{"-load", cur, "-load-baseline", base, "-check"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "capacity regressed") {
+		t.Fatalf("err = %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "<< REGRESSION") {
+		t.Fatalf("regression marker missing:\n%s", buf.String())
+	}
+
+	// Without -check the same drop reports but does not fail.
+	buf.Reset()
+	if err := run([]string{"-load", cur, "-load-baseline", base}, &buf); err != nil {
+		t.Fatalf("report-only mode failed: %v", err)
+	}
+
+	// A drop inside the threshold never fails.
+	small := writeLoad(t, dir, "LOAD_2026-03-03.json", func(s *loadsnap.Snapshot) {
+		s.JobsPerSec, s.MaxSustainedJobsPerSec = 16, 16 // 11% drop
+	})
+	buf.Reset()
+	if err := run([]string{"-load", small, "-load-baseline", base, "-check"}, &buf); err != nil {
+		t.Fatalf("11%% drop failed the 20%% gate: %v", err)
+	}
+}
+
+func TestLoadModeFingerprintMismatchIsAdvisory(t *testing.T) {
+	dir := t.TempDir()
+	base := writeLoad(t, dir, "LOAD_2026-01-01.json", func(s *loadsnap.Snapshot) { s.NumCPU = 64 })
+	cur := writeLoad(t, dir, "LOAD_2026-02-02.json", func(s *loadsnap.Snapshot) {
+		s.JobsPerSec, s.MaxSustainedJobsPerSec = 5, 5 // huge drop, but cross-host
+	})
+
+	var buf bytes.Buffer
+	if err := run([]string{"-load", cur, "-load-baseline", base, "-check"}, &buf); err != nil {
+		t.Fatalf("cross-host compare failed the gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "HOST FINGERPRINT MISMATCH") {
+		t.Fatalf("no fingerprint warning:\n%s", buf.String())
+	}
+}
+
+func TestLoadModeBaselineDiscovery(t *testing.T) {
+	dir := t.TempDir()
+	writeLoad(t, dir, "LOAD_2026-01-01.json", nil)
+	cur := writeLoad(t, dir, "LOAD_2026-02-02.json", nil)
+
+	// latestLoadBaseline skips the snapshot under test even when it is
+	// the newest file on disk.
+	if got := latestLoadBaseline(dir, cur); filepath.Base(got) != "LOAD_2026-01-01.json" {
+		t.Fatalf("baseline = %q", got)
+	}
+	only := filepath.Join(dir, "LOAD_2026-02-02.json")
+	os.Remove(filepath.Join(dir, "LOAD_2026-01-01.json"))
+	if got := latestLoadBaseline(dir, only); got != "" {
+		t.Fatalf("self-comparison baseline = %q", got)
+	}
+
+	// With no baseline at all, -load reports and succeeds.
+	var buf bytes.Buffer
+	cwd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	if err := run([]string{"-load", "LOAD_2026-02-02.json", "-check"}, &buf); err != nil {
+		t.Fatalf("no-baseline run failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no baseline") {
+		t.Fatalf("missing no-baseline notice:\n%s", buf.String())
+	}
+}
+
+func TestLoadModeRejectsInvalidSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "LOAD_bad.json")
+	os.WriteFile(bad, []byte(`{"date":""}`), 0o644)
+	var buf bytes.Buffer
+	if err := run([]string{"-load", bad}, &buf); err == nil {
+		t.Fatal("invalid snapshot accepted")
+	}
+	if err := run([]string{"-load", filepath.Join(dir, "absent.json")}, &buf); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}

@@ -12,9 +12,17 @@
 //	go run ./cmd/benchstatus -baseline F.json # compare against a specific snapshot
 //	go run ./cmd/benchstatus -pkgs ./internal/lp -bench Solve
 //
+// It also gates the cmd/vaschedload capacity snapshots: -load compares
+// a LOAD_*.json against the newest committed one (or -load-baseline)
+// and, with -check, fails on a sustained-capacity drop beyond
+// -threshold percent:
+//
+//	go run ./cmd/benchstatus -load LOAD_2026-08-08.json -check
+//
 // The committed BENCH_*.json files are the baselines CI regresses
 // against (make ci). Timings from different machines are not comparable;
-// refresh the baseline when the reference machine changes.
+// refresh the baseline when the reference machine changes. The same
+// host-fingerprint rule applies to LOAD_*.json capacity baselines.
 package main
 
 import (
@@ -90,9 +98,15 @@ func run(args []string, stdout io.Writer) error {
 		threshold = fs.Float64("threshold", 20, "ns/op regression percentage treated as a failure with -check")
 		check     = fs.Bool("check", false, "exit non-zero if any benchmark regressed more than -threshold vs the baseline")
 		nowrite   = fs.Bool("nowrite", false, "skip writing the snapshot file")
+		load      = fs.String("load", "", "LOAD_*.json capacity snapshot to gate instead of running benchmarks")
+		loadBase  = fs.String("load-baseline", "", "LOAD_*.json baseline for -load (default: newest committed LOAD_*.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *load != "" {
+		return runLoad(stdout, *load, *loadBase, *threshold, *check)
 	}
 
 	snap, err := runSuite(strings.Split(*pkgs, ","), *bench, *benchtime)

@@ -41,6 +41,7 @@
 //	                        (X-Tenant header selects the tenant; 429 + Retry-After on quota)
 //	GET    /v1/jobs         → jobs, newest first; ?limit= caps the page (default 100),
 //	                        ?after=ID returns jobs with IDs strictly below the cursor
+//	                        (400 when the cursor is malformed or not an existing job id)
 //	GET    /v1/jobs/{id}    → job status + typed result when done
 //	DELETE /v1/jobs/{id}    → cancel a queued/running job
 //	GET    /v1/experiments  → runnable experiment ids
@@ -108,10 +109,17 @@ func main() {
 
 	if *worker {
 		handler := cluster.Handler(experiments.NewExecutor(*par), metrics.NewRegistry())
-		httpSrv := &http.Server{Addr: *addr, Handler: handler}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vaschedd:", err)
+			os.Exit(1)
+		}
+		httpSrv := &http.Server{Handler: handler}
 		errCh := make(chan error, 1)
-		go func() { errCh <- httpSrv.ListenAndServe() }()
-		fmt.Fprintf(os.Stderr, "vaschedd: worker listening on %s (parallel %d)\n", *addr, *par)
+		go func() { errCh <- httpSrv.Serve(ln) }()
+		// Log the bound (not requested) address so -addr :0 is usable by
+		// harnesses that spawn worker fleets on ephemeral ports.
+		fmt.Fprintf(os.Stderr, "vaschedd: worker listening on %s (parallel %d)\n", ln.Addr(), *par)
 		select {
 		case <-ctx.Done():
 			fmt.Fprintln(os.Stderr, "vaschedd: worker shutting down")

@@ -256,6 +256,10 @@ func (s *server) dispatch() {
 				<-s.sem
 				break // all lanes empty: back to waiting for a kick
 			}
+			// Delivered fairness: which lane won this contested slot. The
+			// counter ratio across lanes is what the load-test harness
+			// checks against the configured 16/4/1 weights.
+			s.reg.Counter(fmt.Sprintf("vaschedd_lane_dequeues_total{lane=%q}", it.Lane)).Inc()
 			s.updateLaneGauges()
 			j, err := s.store.Claim(it.ID, s.coordID, s.epoch)
 			if err != nil {
@@ -579,8 +583,16 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 	var after uint64
 	if q := r.URL.Query().Get("after"); q != "" {
 		n, err := strconv.ParseUint(q, 10, 64)
-		if err != nil {
+		if err != nil || n == 0 {
 			httpError(w, http.StatusBadRequest, "bad after cursor %q (job id)", q)
+			return
+		}
+		// An unknown cursor would silently restart the page from the
+		// newest job — a paginating client would re-see (or miss) pages
+		// without noticing. Jobs are never deleted, so a cursor that is
+		// not a known job ID is a client bug: reject it.
+		if _, ok := s.store.Get(n); !ok {
+			httpError(w, http.StatusBadRequest, "unknown after cursor %d (not an existing job id)", n)
 			return
 		}
 		after = n

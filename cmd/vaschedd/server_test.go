@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vasched/internal/jobstore"
+	"vasched/internal/metrics"
 )
 
 func startServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
@@ -653,4 +654,73 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 	validatePrometheus(t, body)
+}
+
+// TestListPaginationRejectsUnknownCursor is the regression test for the
+// silent-restart bug: an ?after= cursor that is not an existing job ID
+// used to fall through to "no cursor" behaviour and serve the newest
+// page again. It must be a 400, as must the never-valid cursor 0, while
+// real cursors keep paginating exactly.
+func TestListPaginationRejectsUnknownCursor(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		postJob(t, ts, `{"experiment":"fig6","scale":"quick"}`)
+	}
+	for _, bad := range []string{
+		"/v1/jobs?after=0",           // 0 is never a job id
+		"/v1/jobs?after=999",         // beyond every assigned id
+		"/v1/jobs?after=4",           // one past the newest
+		"/v1/jobs?after=07x",         // trailing garbage
+		"/v1/jobs?after=%20",         // whitespace
+		"/v1/jobs?after=1&after=999", // first value wins; 1 is valid — see below
+	} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		want := http.StatusBadRequest
+		if bad == "/v1/jobs?after=1&after=999" {
+			want = http.StatusOK // Query().Get takes the first value
+		}
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", bad, resp.StatusCode, want)
+		}
+	}
+	// A real cursor still pages: after=2 serves exactly job 1.
+	resp, err := http.Get(ts.URL + "/v1/jobs?after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid cursor = %d", resp.StatusCode)
+	}
+	var list []jobView
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != 1 {
+		t.Fatalf("after=2 page = %+v", list)
+	}
+}
+
+// TestLaneDequeueCounters: contested dispatch increments the per-lane
+// dequeue counters that back the fairness observability.
+func TestLaneDequeueCounters(t *testing.T) {
+	_, ts := newTestServer(t)
+	j1 := postJob(t, ts, `{"experiment":"table5","scale":"quick","lane":"control"}`)
+	j2 := postJob(t, ts, `{"experiment":"table5","scale":"quick","lane":"batch"}`)
+	waitStatus(t, ts, j1.ID, "done", time.Minute)
+	waitStatus(t, ts, j2.ID, "done", time.Minute)
+	_, body := get(t, ts.URL+"/metrics")
+	sc, err := metrics.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	series := sc.Series("vaschedd_lane_dequeues_total")
+	if series[`lane="control"`] < 1 || series[`lane="batch"`] < 1 {
+		t.Fatalf("lane dequeue counters = %v", series)
+	}
 }

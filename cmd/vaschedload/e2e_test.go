@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vasched/internal/loadsnap"
+)
+
+// TestLoadEndToEnd is the harness acceptance test on the real binary:
+// a spawned coordinator plus one cluster worker take a mixed-tenant,
+// mixed-lane, mixed-experiment run with mid-flight cancels, a quota
+// burst sized to guarantee 429s (quota 4 against a 12-job
+// single-tenant burst), and an injected SIGKILL-restart at 30% of
+// completions — and the run must still pass its SLOs with zero lost
+// jobs and a valid capacity snapshot.
+func TestLoadEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real vaschedd processes")
+	}
+	out := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-jobs", "120", "-tenants", "3", "-clients", "16",
+		"-seed", "11", "-cancel-frac", "0.08", "-burst-frac", "0.1",
+		"-kill-at", "0.3", "-cluster-workers", "1",
+		"-max-jobs", "2", "-tenant-quota", "4", "-lane-cap", "64",
+		"-timeout", "8m",
+		"-slo-client-p99", "60", "-slo-job-p99", "30", "-slo-decide-p99", "5",
+		"-out", out, "-date", "2026-01-01",
+	}, &buf)
+	t.Logf("run output:\n%s", buf.String())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	snap, err := loadsnap.Read(filepath.Join(out, "LOAD_2026-01-01.json"))
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	c := snap.Counts
+	if c.Submitted != 120 {
+		t.Fatalf("submitted = %d, want 120", c.Submitted)
+	}
+	if c.Lost != 0 {
+		t.Fatalf("lost = %d, want 0", c.Lost)
+	}
+	if c.Failed != 0 {
+		t.Fatalf("failed = %d, want 0", c.Failed)
+	}
+	if c.Restarts != 1 {
+		t.Fatalf("restarts = %d, want exactly 1 injected crash", c.Restarts)
+	}
+	if c.Rejected429 == 0 {
+		t.Fatal("burst provoked no 429s (quota 4, 12-job single-tenant burst)")
+	}
+	if c.Cancelled == 0 {
+		t.Fatal("no job ended cancelled")
+	}
+	if c.Done+c.Cancelled != 120 {
+		t.Fatalf("terminal = %d done + %d cancelled, want 120", c.Done, c.Cancelled)
+	}
+	if !snap.SLOPass || snap.MaxSustainedJobsPerSec <= 0 {
+		t.Fatalf("SLO pass not recorded: pass=%v cap=%g", snap.SLOPass, snap.MaxSustainedJobsPerSec)
+	}
+	// The smooth-WRR lanes all won dequeues, and the service histograms
+	// actually populated (the quantile estimates are not NaN-backed).
+	for _, lane := range []string{"control", "interactive", "batch"} {
+		if snap.LaneDequeues[lane] == 0 {
+			t.Fatalf("lane %s won no dequeues: %v", lane, snap.LaneDequeues)
+		}
+	}
+	for _, src := range []string{"client", "job", "decide"} {
+		if q := snap.Latency[src]; !(q.P99 > 0) {
+			t.Fatalf("%s p99 = %g, want positive", src, q.P99)
+		}
+	}
+	if !strings.Contains(buf.String(), "1 restart(s)") {
+		t.Fatalf("report does not mention the injected restart:\n%s", buf.String())
+	}
+}

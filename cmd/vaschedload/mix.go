@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// jobSpec is one planned request in the workload mix.
+type jobSpec struct {
+	Experiment string
+	Adaptive   bool // submit ext-adapt with an adaptive sampling config
+	Lane       string
+	Tenant     string
+	// Cancel marks the job for a mid-flight DELETE after submission —
+	// the cancellation spice in the fault mix.
+	Cancel bool
+	// Burst marks the job as part of the quota-burst phase: submitted
+	// back-to-back on one tenant without waiting for completions, so the
+	// run provably exercises 429 + Retry-After backpressure.
+	Burst bool
+}
+
+// expWeight is one experiment's share of the mix. The mix is dominated
+// by cheap table5/sann jobs (the "millions of users" steady traffic)
+// with heavier fig-class and adaptive jobs as spice, mirroring a real
+// mixed-tenant workload where most requests are small.
+type expWeight struct {
+	id       string
+	adaptive bool
+	weight   float64
+}
+
+var defaultExpMix = []expWeight{
+	{id: "table5", weight: 0.58},
+	{id: "sann", weight: 0.22},
+	{id: "fig15", weight: 0.07},
+	{id: "fig6", weight: 0.06},
+	{id: "fig4", weight: 0.03},
+	{id: "ext-adapt", weight: 0.02},
+	{id: "ext-adapt", adaptive: true, weight: 0.02},
+}
+
+// laneMix mirrors production shape: interactive dominates, batch is
+// substantial, control is rare operator traffic. (The service's
+// smooth-WRR weights then decide who wins contended dequeues.)
+var laneMix = []struct {
+	lane   string
+	weight float64
+}{
+	{"interactive", 0.60},
+	{"batch", 0.30},
+	{"control", 0.10},
+}
+
+// buildMix deterministically expands (seed, jobs, tenants, cancelFrac,
+// burstFrac) into the full request plan. The same arguments always
+// produce byte-identical plans — the run's randomness is all here, up
+// front, so a failing run can be replayed exactly by its seed.
+func buildMix(seed int64, jobs, tenants int, cancelFrac, burstFrac float64) []jobSpec {
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]jobSpec, jobs)
+	burst := int(burstFrac * float64(jobs))
+	for i := range specs {
+		s := &specs[i]
+		r := rng.Float64()
+		acc := 0.0
+		for _, w := range defaultExpMix {
+			acc += w.weight
+			if r < acc || w.id == defaultExpMix[len(defaultExpMix)-1].id {
+				s.Experiment, s.Adaptive = w.id, w.adaptive
+				if r < acc {
+					break
+				}
+			}
+		}
+		r = rng.Float64()
+		acc = 0.0
+		s.Lane = laneMix[len(laneMix)-1].lane
+		for _, w := range laneMix {
+			acc += w.weight
+			if r < acc {
+				s.Lane = w.lane
+				break
+			}
+		}
+		s.Tenant = fmt.Sprintf("tenant-%d", rng.Intn(tenants))
+		s.Cancel = rng.Float64() < cancelFrac
+		if i >= jobs-burst {
+			// The burst tail all lands on one tenant, in the batch lane,
+			// with the cheapest experiment: its point is admission
+			// pressure, not compute.
+			s.Experiment, s.Adaptive = "table5", false
+			s.Lane = "batch"
+			s.Tenant = "tenant-0"
+			s.Cancel = false
+			s.Burst = true
+		}
+	}
+	return specs
+}
+
+// mixSummary tallies a plan for the run report.
+func mixSummary(specs []jobSpec) map[string]int {
+	m := map[string]int{}
+	for _, s := range specs {
+		m["exp:"+s.Experiment]++
+		m["lane:"+s.Lane]++
+		m["tenant:"+s.Tenant]++
+		if s.Cancel {
+			m["cancel"]++
+		}
+		if s.Burst {
+			m["burst"]++
+		}
+		if s.Adaptive {
+			m["adaptive"]++
+		}
+	}
+	return m
+}

@@ -1,0 +1,10 @@
+// Package deploy holds the container and Kubernetes deployment
+// artefacts for vaschedd: a multi-stage Dockerfile producing the
+// static coordinator/worker binary, and manifests for a WAL-backed
+// coordinator Deployment (PVC, Recreate strategy, /healthz probes)
+// plus an autoscaled worker fleet (Deployment, Service, HPA). The
+// package's tests parse every manifest with internal/miniyaml and
+// schema-validate the wiring — selector/label agreement, probe paths,
+// the WAL volume chain, and the coordinator→workers Service reference —
+// so drift fails `go test ./...` instead of a cluster rollout.
+package deploy

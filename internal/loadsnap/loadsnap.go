@@ -1,0 +1,202 @@
+// Package loadsnap defines the LOAD_<date>.json capacity snapshot that
+// cmd/vaschedload writes and cmd/benchstatus regresses against — the
+// load-test sibling of the BENCH_*.json benchmark baselines. A snapshot
+// records what one sustained mixed-tenant run of vaschedd delivered:
+// achieved throughput, SLO percentiles from both the service histograms
+// and the client's own clock, lane-fairness counters, queue-depth
+// series, and the host fingerprint that makes cross-machine comparisons
+// loudly advisory instead of silently wrong.
+package loadsnap
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Quantiles are latency percentiles in seconds.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// SLO is the asserted thresholds (seconds; zero disables a threshold).
+type SLO struct {
+	ClientP50 float64 `json:"client_p50,omitempty"`
+	ClientP99 float64 `json:"client_p99,omitempty"`
+	JobP99    float64 `json:"job_p99,omitempty"`
+	DecideP99 float64 `json:"decide_p99,omitempty"`
+}
+
+// Counts are the run's outcome tallies. Lost must be zero: every job
+// the harness got a 202 for must reach a terminal state, across any
+// injected coordinator crash.
+type Counts struct {
+	Submitted   int64 `json:"submitted"`
+	Done        int64 `json:"done"`
+	Cancelled   int64 `json:"cancelled"`
+	Failed      int64 `json:"failed"`
+	Rejected429 int64 `json:"rejected_429"`
+	Retries     int64 `json:"retries"`
+	Restarts    int64 `json:"restarts"`
+	Lost        int64 `json:"lost"`
+}
+
+// Snapshot is the persisted LOAD_<date>.json document.
+type Snapshot struct {
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	// Run shape: the seeded workload mix that produced the numbers.
+	Seed           int64   `json:"seed"`
+	Jobs           int     `json:"jobs"`
+	Tenants        int     `json:"tenants"`
+	Clients        int     `json:"clients"`
+	ClusterWorkers int     `json:"cluster_workers,omitempty"`
+	RateHz         float64 `json:"rate_hz,omitempty"`
+
+	// Delivered capacity. JobsPerSec is terminal jobs over the measured
+	// wall clock; MaxSustainedJobsPerSec is that rate when every SLO
+	// held (the capacity claim the regression gate protects), 0 when one
+	// did not.
+	DurationSec            float64 `json:"duration_sec"`
+	JobsPerSec             float64 `json:"jobs_per_sec"`
+	MaxSustainedJobsPerSec float64 `json:"max_sustained_jobs_per_sec"`
+	SLOPass                bool    `json:"slo_pass"`
+	SLO                    SLO     `json:"slo"`
+
+	// Latency sources: "client" is submit→terminal on the client's
+	// clock (exact quantiles), "job" and "decide" are estimated from the
+	// scraped vaschedd_job_seconds / vaschedd_decide_seconds buckets.
+	Latency map[string]Quantiles `json:"latency_seconds"`
+
+	Counts Counts `json:"counts"`
+
+	// LaneDequeues are the scraped vaschedd_lane_dequeues_total wins per
+	// lane — delivered fairness next to the configured 16/4/1 weights.
+	LaneDequeues map[string]int64 `json:"lane_dequeues,omitempty"`
+
+	// QueueDepth is the sampled total queued-job series over the run;
+	// LaneDepth breaks it down per lane.
+	QueueDepth []int            `json:"queue_depth,omitempty"`
+	LaneDepth  map[string][]int `json:"lane_depth,omitempty"`
+}
+
+// Fingerprint renders the host identity the snapshot's rates are bound
+// to, in the same shape the BENCH_*.json baselines use.
+func (s *Snapshot) Fingerprint() string {
+	cpu := "cpu?"
+	if s.NumCPU > 0 {
+		cpu = fmt.Sprintf("cpu%d", s.NumCPU)
+	}
+	return fmt.Sprintf("%s/%s/%s", s.GOOS, s.GOARCH, cpu)
+}
+
+// Capacity is the number the regression gate compares: the sustained
+// rate when the SLOs held, falling back to the raw rate for snapshots
+// recorded before the distinction (or runs that asserted no SLOs).
+func (s *Snapshot) Capacity() float64 {
+	if s.MaxSustainedJobsPerSec > 0 {
+		return s.MaxSustainedJobsPerSec
+	}
+	return s.JobsPerSec
+}
+
+// Read loads and validates a snapshot file.
+func Read(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// Validate rejects snapshots that cannot gate anything.
+func (s *Snapshot) Validate() error {
+	switch {
+	case s.Date == "":
+		return fmt.Errorf("loadsnap: missing date")
+	case s.Counts.Submitted <= 0:
+		return fmt.Errorf("loadsnap: no submitted jobs")
+	case s.JobsPerSec <= 0:
+		return fmt.Errorf("loadsnap: non-positive jobs_per_sec")
+	case s.DurationSec <= 0:
+		return fmt.Errorf("loadsnap: non-positive duration_sec")
+	case s.Counts.Lost != 0:
+		return fmt.Errorf("loadsnap: snapshot records %d lost jobs", s.Counts.Lost)
+	}
+	return nil
+}
+
+// Write marshals the snapshot to path (indented, trailing newline, like
+// the BENCH_*.json files).
+func (s *Snapshot) Write(path string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Latest returns the newest LOAD_*.json in dir ("" when none exist).
+// Dates are ISO-8601, so lexical order is temporal.
+func Latest(dir string) string {
+	matches, _ := filepath.Glob(filepath.Join(dir, "LOAD_*.json"))
+	if len(matches) == 0 {
+		return ""
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1]
+}
+
+// Delta is one comparison finding.
+type Delta struct {
+	Metric   string
+	Old, New float64
+	// Pct is the relative change in percent; for capacity, negative is
+	// worse.
+	Pct        float64
+	Regression bool
+}
+
+// Compare evaluates cur against prev with the given regression
+// threshold in percent (>threshold capacity drop regresses; latency
+// deltas are informational). FingerprintMismatch is set when the hosts
+// differ — rates from different machines are not comparable and any
+// regression finding is advisory.
+func Compare(prev, cur *Snapshot, thresholdPct float64) (deltas []Delta, fingerprintMismatch bool) {
+	fingerprintMismatch = prev.Fingerprint() != cur.Fingerprint()
+	capDelta := Delta{Metric: "capacity jobs/s", Old: prev.Capacity(), New: cur.Capacity()}
+	if capDelta.Old > 0 {
+		capDelta.Pct = (capDelta.New - capDelta.Old) / capDelta.Old * 100
+		capDelta.Regression = capDelta.Pct < -thresholdPct
+	}
+	deltas = append(deltas, capDelta)
+	for _, src := range []string{"client", "job", "decide"} {
+		po, okO := prev.Latency[src]
+		pn, okN := cur.Latency[src]
+		if !okO || !okN || po.P99 <= 0 {
+			continue
+		}
+		d := Delta{Metric: src + " p99 s", Old: po.P99, New: pn.P99}
+		d.Pct = (d.New - d.Old) / d.Old * 100
+		deltas = append(deltas, d)
+	}
+	return deltas, fingerprintMismatch
+}

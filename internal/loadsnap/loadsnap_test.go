@@ -1,0 +1,162 @@
+package loadsnap
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		Date: "2026-08-08", GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 4,
+		Seed: 42, Jobs: 1000, Tenants: 3, Clients: 16,
+		DurationSec: 60, JobsPerSec: 16.6, MaxSustainedJobsPerSec: 16.6, SLOPass: true,
+		SLO:          SLO{ClientP99: 30, JobP99: 30},
+		Latency:      map[string]Quantiles{"client": {P50: 0.3, P95: 1.2, P99: 2.5}, "job": {P50: 0.05, P95: 0.4, P99: 1.1}},
+		Counts:       Counts{Submitted: 1000, Done: 980, Cancelled: 20, Restarts: 1},
+		LaneDequeues: map[string]int64{"control": 160, "interactive": 40, "batch": 10},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "LOAD_2026-08-08.json")
+	s := sample()
+	if err := s.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobsPerSec != s.JobsPerSec || got.Counts != s.Counts || got.Latency["client"] != s.Latency["client"] {
+		t.Fatalf("round trip changed the snapshot: %+v", got)
+	}
+	raw, _ := os.ReadFile(path)
+	if !strings.HasSuffix(string(raw), "}\n") {
+		t.Fatal("snapshot file missing trailing newline")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for name, mut := range map[string]func(*Snapshot){
+		"no date":     func(s *Snapshot) { s.Date = "" },
+		"no jobs":     func(s *Snapshot) { s.Counts.Submitted = 0 },
+		"no rate":     func(s *Snapshot) { s.JobsPerSec = 0 },
+		"no duration": func(s *Snapshot) { s.DurationSec = 0 },
+		"lost jobs":   func(s *Snapshot) { s.Counts.Lost = 3 },
+	} {
+		s := sample()
+		mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+		if err := s.Write(filepath.Join(t.TempDir(), "x.json")); err == nil {
+			t.Errorf("%s: wrote anyway", name)
+		}
+	}
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("good snapshot rejected: %v", err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "LOAD_x.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := Read(bad); err == nil {
+		t.Fatal("garbage parsed")
+	}
+	if _, err := Read(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file read")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	dir := t.TempDir()
+	if got := Latest(dir); got != "" {
+		t.Fatalf("Latest(empty) = %q", got)
+	}
+	for _, name := range []string{"LOAD_2026-01-02.json", "LOAD_2026-08-08.json", "LOAD_2025-12-31.json", "BENCH_2026-09-09.json"} {
+		os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644)
+	}
+	if got := Latest(dir); filepath.Base(got) != "LOAD_2026-08-08.json" {
+		t.Fatalf("Latest = %q", got)
+	}
+}
+
+func TestFingerprintAndCapacity(t *testing.T) {
+	s := sample()
+	if fp := s.Fingerprint(); fp != "linux/amd64/cpu4" {
+		t.Fatalf("fingerprint = %q", fp)
+	}
+	s.NumCPU = 0
+	if fp := s.Fingerprint(); fp != "linux/amd64/cpu?" {
+		t.Fatalf("no-cpu fingerprint = %q", fp)
+	}
+	if c := s.Capacity(); c != s.MaxSustainedJobsPerSec {
+		t.Fatalf("capacity = %g", c)
+	}
+	s.MaxSustainedJobsPerSec = 0 // SLO-less or failed run: raw rate gates
+	if c := s.Capacity(); c != s.JobsPerSec {
+		t.Fatalf("fallback capacity = %g", c)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	prev, cur := sample(), sample()
+
+	// Flat: no regression.
+	deltas, mismatch := Compare(prev, cur, 20)
+	if mismatch {
+		t.Fatal("same host flagged as mismatch")
+	}
+	if deltas[0].Regression || deltas[0].Pct != 0 {
+		t.Fatalf("flat compare = %+v", deltas[0])
+	}
+
+	// 30% capacity drop beyond the 20% threshold regresses; 10% does not.
+	cur.MaxSustainedJobsPerSec = prev.MaxSustainedJobsPerSec * 0.7
+	deltas, _ = Compare(prev, cur, 20)
+	if !deltas[0].Regression {
+		t.Fatalf("30%% drop not flagged: %+v", deltas[0])
+	}
+	cur.MaxSustainedJobsPerSec = prev.MaxSustainedJobsPerSec * 0.9
+	deltas, _ = Compare(prev, cur, 20)
+	if deltas[0].Regression {
+		t.Fatalf("10%% drop flagged: %+v", deltas[0])
+	}
+
+	// Capacity gains never regress.
+	cur.MaxSustainedJobsPerSec = prev.MaxSustainedJobsPerSec * 2
+	if deltas, _ = Compare(prev, cur, 20); deltas[0].Regression {
+		t.Fatal("improvement flagged as regression")
+	}
+
+	// Latency deltas ride along informationally.
+	cur = sample()
+	cur.Latency["client"] = Quantiles{P50: 0.3, P95: 1.2, P99: 5.0}
+	deltas, _ = Compare(prev, cur, 20)
+	found := false
+	for _, d := range deltas {
+		if d.Metric == "client p99 s" {
+			found = true
+			if d.Regression {
+				t.Fatalf("latency delta gated: %+v", d)
+			}
+			if d.Pct < 99 {
+				t.Fatalf("latency pct = %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no client p99 delta in %+v", deltas)
+	}
+
+	// Different hosts: advisory.
+	cur = sample()
+	cur.NumCPU = 64
+	if _, mismatch = Compare(prev, cur, 20); !mismatch {
+		t.Fatal("cross-host compare not flagged")
+	}
+}

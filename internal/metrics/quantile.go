@@ -1,0 +1,104 @@
+package metrics
+
+import "math"
+
+// HistSnapshot is a point-in-time copy of a latency histogram in the
+// shape a Prometheus scrape carries: ascending finite upper bounds and
+// cumulative counts (le semantics), with the final entry of Cum covering
+// the implicit +Inf bucket. It is the unit the load-test harness works
+// in: a scraped exposition parses into HistSnapshots, and SLO percentile
+// assertions run against Quantile.
+type HistSnapshot struct {
+	// Bounds are the finite bucket upper bounds in seconds, ascending.
+	Bounds []float64
+	// Cum are cumulative observation counts; Cum[i] counts observations
+	// <= Bounds[i] and Cum[len(Bounds)] is the total (the +Inf bucket).
+	Cum []int64
+	// Sum is the total of all observed values.
+	Sum float64
+	// Count is the number of observations (equal to the last Cum entry).
+	Count int64
+}
+
+// Quantile estimates the q-quantile of the snapshot. See BucketQuantile.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	return BucketQuantile(q, s.Bounds, s.Cum)
+}
+
+// BucketQuantile estimates the q-quantile (q in [0,1]) of a distribution
+// known only through cumulative histogram bucket counts, the way
+// Prometheus' histogram_quantile does: the target rank q*total is located
+// in the first bucket whose cumulative count reaches it, and the value is
+// linearly interpolated between the bucket's edges by rank. The estimator
+// is monotone in q and always lands inside the bucket that contains the
+// true quantile, so its error is bounded by that bucket's width.
+//
+// bounds are the finite upper bounds, ascending; cum must have
+// len(bounds)+1 entries (the last is the +Inf bucket) and be
+// non-decreasing. Degenerate inputs return NaN: no observations,
+// malformed lengths, or q outside [0,1]. A rank that falls in the +Inf
+// bucket returns the highest finite bound — there is no upper edge to
+// interpolate toward, and for SLO gating a conservative finite answer
+// ("at least this") beats +Inf.
+func BucketQuantile(q float64, bounds []float64, cum []int64) float64 {
+	if q < 0 || q > 1 || len(cum) != len(bounds)+1 || len(bounds) == 0 {
+		return math.NaN()
+	}
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return math.NaN()
+	}
+	prev := int64(0)
+	for _, c := range cum {
+		if c < prev { // not a cumulative series
+			return math.NaN()
+		}
+		prev = c
+	}
+	rank := q * float64(total)
+	// First non-empty bucket whose cumulative count reaches the rank
+	// (skipping empty leading buckets makes rank 0 resolve to the first
+	// observed bucket's lower edge rather than 0).
+	i := 0
+	for i < len(cum) && (float64(cum[i]) < rank || cum[i] == 0) {
+		i++
+	}
+	if i >= len(bounds) {
+		return bounds[len(bounds)-1]
+	}
+	lower := 0.0
+	prevCum := int64(0)
+	if i > 0 {
+		lower = bounds[i-1]
+		prevCum = cum[i-1]
+	}
+	inBucket := cum[i] - prevCum
+	if inBucket <= 0 {
+		return lower
+	}
+	return lower + (bounds[i]-lower)*(rank-float64(prevCum))/float64(inBucket)
+}
+
+// Snapshot copies the histogram's current state.
+func (h *LatencyHist) Snapshot() *HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Cum:    make([]int64, len(h.counts)),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+	cum := int64(0)
+	for i, c := range h.counts {
+		cum += c
+		s.Cum[i] = cum
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile of the observed latencies from the
+// bucket counts (see BucketQuantile). NaN with no observations.
+func (h *LatencyHist) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketQuantileTable pins the interpolation arithmetic on
+// hand-computed cases.
+func TestBucketQuantileTable(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	cases := []struct {
+		name string
+		q    float64
+		cum  []int64
+		want float64
+	}{
+		// 10 observations uniformly in one bucket (1,2]: rank q*10
+		// interpolates linearly across the bucket.
+		{"median mid-bucket", 0.5, []int64{0, 10, 10, 10}, 1.5},
+		{"p90 mid-bucket", 0.9, []int64{0, 10, 10, 10}, 1.9},
+		// 4 in (0,1], 4 in (1,2], 2 in (2,4]: p50 rank 5 is the first
+		// observation into the second bucket.
+		{"p50 across buckets", 0.5, []int64{4, 8, 10, 10}, 1.25},
+		{"p80 at bucket edge", 0.8, []int64{4, 8, 10, 10}, 2},
+		{"p90 in last finite", 0.9, []int64{4, 8, 10, 10}, 3},
+		// Rank inside the +Inf bucket clamps to the top finite bound.
+		{"pinf clamps", 0.99, []int64{0, 0, 1, 10}, 4},
+		// q=0 lands at the first non-empty bucket's lower edge.
+		{"q0 lower edge", 0, []int64{0, 5, 5, 5}, 1},
+		// q=1 with everything finite hits the exact upper bound.
+		{"q1 upper bound", 1, []int64{0, 0, 7, 7}, 4},
+	}
+	for _, c := range cases {
+		if got := BucketQuantile(c.q, bounds, c.cum); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: BucketQuantile(%g) = %g, want %g", c.name, c.q, got, c.want)
+		}
+	}
+}
+
+// TestBucketQuantileDegenerate pins NaN on inputs that have no answer.
+func TestBucketQuantileDegenerate(t *testing.T) {
+	bounds := []float64{1, 2}
+	for name, f := range map[string]func() float64{
+		"empty":         func() float64 { return BucketQuantile(0.5, bounds, []int64{0, 0, 0}) },
+		"q below range": func() float64 { return BucketQuantile(-0.1, bounds, []int64{1, 1, 1}) },
+		"q above range": func() float64 { return BucketQuantile(1.1, bounds, []int64{1, 1, 1}) },
+		"length skew":   func() float64 { return BucketQuantile(0.5, bounds, []int64{1, 1}) },
+		"no bounds":     func() float64 { return BucketQuantile(0.5, nil, []int64{1}) },
+		"non-monotone":  func() float64 { return BucketQuantile(0.5, bounds, []int64{5, 3, 5}) },
+	} {
+		if got := f(); !math.IsNaN(got) {
+			t.Errorf("%s: got %g, want NaN", name, got)
+		}
+	}
+}
+
+// TestLatencyHistQuantileAccuracy feeds known samples through Observe
+// and checks the estimate brackets the true quantile within the width of
+// its bucket — the estimator's documented error bound.
+func TestLatencyHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewLatencyHist()
+	samples := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Log-uniform over ~0.2ms..80s, spanning many buckets.
+		v := math.Exp(rng.Float64()*13 - 8.5)
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.95, 0.99} {
+		got := h.Quantile(q)
+		truth := samples[int(q*float64(len(samples)-1))]
+		// Locate the bucket holding the truth; the estimate must be in it.
+		lo, hi := 0.0, math.Inf(1)
+		for i, b := range defaultLatencyBounds {
+			if truth <= b {
+				hi = b
+				if i > 0 {
+					lo = defaultLatencyBounds[i-1]
+				}
+				break
+			}
+			lo = b
+		}
+		if got < lo || got > hi {
+			t.Errorf("q=%g: estimate %g outside bucket [%g,%g] containing true quantile %g", q, got, lo, hi, truth)
+		}
+	}
+}
+
+// TestQuantileMonotone property: the estimator never decreases in q.
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := NewLatencyHist()
+	for i := 0; i < 800; i++ {
+		h.Observe(math.Exp(rng.Float64()*10 - 7))
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0001; q += 0.01 {
+		qq := math.Min(q, 1)
+		v := h.Quantile(qq)
+		if v < prev {
+			t.Fatalf("Quantile(%g) = %g < previous %g", qq, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestSnapshotMatchesRender proves Snapshot and the rendered exposition
+// agree: parsing the render reproduces the snapshot exactly.
+func TestSnapshotMatchesRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`job_seconds{experiment="fig4"}`)
+	for _, v := range []float64{0.002, 0.01, 0.05, 0.05, 0.3, 2, 70} {
+		h.Observe(v)
+	}
+	sc, err := ParseExposition(r.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, ok := sc.Histogram("job_seconds")
+	if !ok {
+		t.Fatal("scrape lost the histogram")
+	}
+	direct := h.Snapshot()
+	if len(parsed.Bounds) != len(direct.Bounds) || parsed.Count != direct.Count {
+		t.Fatalf("scrape shape: %+v vs %+v", parsed, direct)
+	}
+	for i := range direct.Cum {
+		if parsed.Cum[i] != direct.Cum[i] {
+			t.Fatalf("cum[%d] = %d via scrape, %d direct", i, parsed.Cum[i], direct.Cum[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a, b := parsed.Quantile(q), direct.Quantile(q); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("Quantile(%g): %g via scrape, %g direct", q, a, b)
+		}
+	}
+}
+
+// TestScrapeHistogramMergesLabels: two labelled series of one family
+// merge into the population histogram.
+func TestScrapeHistogramMergesLabels(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram(`job_seconds{experiment="fig4"}`)
+	b := r.Histogram(`job_seconds{experiment="table5"}`)
+	for i := 0; i < 10; i++ {
+		a.Observe(0.01)
+		b.Observe(3)
+	}
+	sc, err := ParseExposition(r.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := sc.Histogram("job_seconds")
+	if !ok {
+		t.Fatal("no merged histogram")
+	}
+	if m.Count != 20 {
+		t.Fatalf("merged count = %d, want 20", m.Count)
+	}
+	// Half the population is ~10ms, half ~3s: p25 must sit in the small
+	// buckets and p75 in the seconds range.
+	if q := m.Quantile(0.25); q > 0.1 {
+		t.Fatalf("p25 = %g, want <= 0.1", q)
+	}
+	if q := m.Quantile(0.75); q < 1 {
+		t.Fatalf("p75 = %g, want >= 1", q)
+	}
+}
+
+// TestScrapeValuesAndSeries pins counter/gauge access on a rendered
+// registry, including label-body keyed access.
+func TestScrapeValuesAndSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`lane_dequeues_total{lane="control"}`).Add(16)
+	r.Counter(`lane_dequeues_total{lane="batch"}`).Add(1)
+	r.Gauge("depth").Set(7)
+	sc, err := ParseExposition(r.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("lane_dequeues_total"); !ok || v != 17 {
+		t.Fatalf("Value(lane_dequeues_total) = %g,%v", v, ok)
+	}
+	if v, ok := sc.Value("depth"); !ok || v != 7 {
+		t.Fatalf("Value(depth) = %g,%v", v, ok)
+	}
+	if _, ok := sc.Value("missing"); ok {
+		t.Fatal("Value(missing) reported ok")
+	}
+	series := sc.Series("lane_dequeues_total")
+	if series[`lane="control"`] != 16 || series[`lane="batch"`] != 1 {
+		t.Fatalf("Series = %v", series)
+	}
+	if sc.Types["lane_dequeues_total"] != "counter" || sc.Types["depth"] != "gauge" {
+		t.Fatalf("Types = %v", sc.Types)
+	}
+}
+
+// TestParseExpositionErrors rejects malformed sample lines.
+func TestParseExpositionErrors(t *testing.T) {
+	for _, bad := range []string{"lonely", "name notanumber"} {
+		if _, err := ParseExposition(bad); err == nil {
+			t.Errorf("ParseExposition(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLabelValue pins label-body extraction, including multi-label
+// bodies and the +Inf le value.
+func TestLabelValue(t *testing.T) {
+	body := `experiment="fig4",le="+Inf"`
+	if v, ok := labelValue(body, "le"); !ok || v != "+Inf" {
+		t.Fatalf("le = %q,%v", v, ok)
+	}
+	if v, ok := labelValue(body, "experiment"); !ok || v != "fig4" {
+		t.Fatalf("experiment = %q,%v", v, ok)
+	}
+	if _, ok := labelValue(body, "missing"); ok {
+		t.Fatal("missing label reported ok")
+	}
+	if _, ok := labelValue(`broken`, "le"); ok {
+		t.Fatal("malformed body reported ok")
+	}
+}

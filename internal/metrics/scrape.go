@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scrape is a parsed Prometheus text exposition — the read side of
+// Registry.Render. The load-test harness scrapes a live vaschedd's
+// /metrics and asserts SLO percentiles against the parsed histograms
+// instead of re-grepping exposition text ad hoc.
+type Scrape struct {
+	// Types maps a metric family to its declared TYPE (counter, gauge,
+	// histogram).
+	Types map[string]string
+	// Samples maps each full series name (family plus label body, as
+	// rendered) to its value. Histogram _bucket/_sum/_count series are
+	// included raw.
+	Samples map[string]float64
+}
+
+// ParseExposition parses a Prometheus text-format scrape (the subset
+// Registry.Render and the vaschedd /metrics endpoint emit: TYPE
+// comments, single-line samples, no escaping inside label values beyond
+// what %q produces for metric names used in this repository).
+func ParseExposition(text string) (*Scrape, error) {
+	s := &Scrape{Types: map[string]string{}, Samples: map[string]float64{}}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) == 4 && f[1] == "TYPE" {
+				s.Types[f[2]] = f[3]
+			}
+			continue
+		}
+		// The value is the last space-separated field; the series name is
+		// everything before it (label values may contain spaces).
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			return nil, fmt.Errorf("metrics: malformed sample line %q", line)
+		}
+		name, raw := strings.TrimSpace(line[:i]), line[i+1:]
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: bad value %q in %q", raw, line)
+		}
+		s.Samples[name] = v
+	}
+	return s, nil
+}
+
+// Value returns the sum of every series in the family (a family with one
+// unlabelled series returns that series' value). ok is false when the
+// family has no samples.
+func (s *Scrape) Value(family string) (sum float64, ok bool) {
+	for name, v := range s.Samples {
+		f, _ := splitName(name)
+		if f == family {
+			sum += v
+			ok = true
+		}
+	}
+	return sum, ok
+}
+
+// Series returns the family's samples keyed by label body ("" for an
+// unlabelled series).
+func (s *Scrape) Series(family string) map[string]float64 {
+	out := map[string]float64{}
+	for name, v := range s.Samples {
+		f, labels := splitName(name)
+		if f == family {
+			out[labels] = v
+		}
+	}
+	return out
+}
+
+// Histogram reassembles the family's histogram, merged across label
+// sets: per-le cumulative counts sum across series (the sum of
+// cumulative counts is the cumulative count of the merged population),
+// as do _sum and _count. ok is false when the family has no bucket
+// samples. Merging assumes every series of the family shares one bucket
+// layout, which Registry guarantees (all LatencyHists use the same
+// bounds); a layout mismatch produces a non-monotone Cum that
+// BucketQuantile rejects with NaN rather than a silently wrong answer.
+func (s *Scrape) Histogram(family string) (*HistSnapshot, bool) {
+	perLE := map[float64]int64{}
+	infCum := int64(0)
+	found := false
+	for name, v := range s.Samples {
+		f, labels := splitName(name)
+		switch f {
+		case family + "_bucket":
+			le, ok := labelValue(labels, "le")
+			if !ok {
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			found = true
+			if le == "+Inf" || bound > 1e300 {
+				infCum += int64(v)
+			} else {
+				perLE[bound] += int64(v)
+			}
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	snap := &HistSnapshot{}
+	for b := range perLE {
+		snap.Bounds = append(snap.Bounds, b)
+	}
+	sort.Float64s(snap.Bounds)
+	snap.Cum = make([]int64, len(snap.Bounds)+1)
+	for i, b := range snap.Bounds {
+		snap.Cum[i] = perLE[b]
+	}
+	snap.Cum[len(snap.Bounds)] = infCum
+	sum, _ := s.Value(family + "_sum")
+	cnt, _ := s.Value(family + "_count")
+	snap.Sum = sum
+	snap.Count = int64(cnt)
+	return snap, true
+}
+
+// LabelValue extracts one label's value from a rendered label body like
+// `experiment="fig4",le="0.064"` — the keys Series returns. ok is false
+// when the label is absent or the body is malformed.
+func LabelValue(labels, key string) (string, bool) {
+	return labelValue(labels, key)
+}
+
+// labelValue extracts one label's value from a rendered label body like
+// `experiment="fig4",le="0.064"`.
+func labelValue(labels, key string) (string, bool) {
+	rest := labels
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+			return "", false
+		}
+		name := rest[:eq]
+		end := strings.IndexByte(rest[eq+2:], '"')
+		if end < 0 {
+			return "", false
+		}
+		val := rest[eq+2 : eq+2+end]
+		if name == key {
+			return val, true
+		}
+		rest = rest[eq+2+end+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return "", false
+}

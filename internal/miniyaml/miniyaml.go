@@ -1,0 +1,322 @@
+// Package miniyaml parses the small YAML subset the deploy/ manifests
+// are written in, so the repository can schema-validate its Kubernetes
+// manifests in a unit test without a YAML dependency (the module is
+// pure stdlib by design). The subset is deliberately strict:
+//
+//   - mappings with `key: value` or `key:` followed by a deeper block
+//   - lists whose `- ` items are indented deeper than their parent key
+//   - scalars: double/single-quoted strings, integers, floats, booleans,
+//     null/~, {} and [] literals, and plain strings
+//   - `---` document separators and full-line or trailing comments
+//
+// Tabs, inconsistent indentation, duplicate keys, anchors, flow
+// collections, and multi-line scalars are errors — a manifest that
+// strays outside the subset fails the deploy test loudly instead of
+// validating as something other than what the API server would see.
+package miniyaml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// line is one significant source line.
+type line struct {
+	indent int
+	text   string
+	num    int // 1-based source line, for errors
+}
+
+// Parse parses src into one value per `---` document. Mappings decode
+// as map[string]any, lists as []any, scalars as string, int64, float64,
+// bool, or nil.
+func Parse(src string) ([]any, error) {
+	var docs []any
+	var cur []line
+	flush := func() error {
+		if len(cur) == 0 {
+			return nil
+		}
+		p := &parser{lines: cur}
+		v, err := p.block(0)
+		if err != nil {
+			return err
+		}
+		if p.pos != len(p.lines) {
+			return fmt.Errorf("miniyaml: line %d: content outside the document structure", p.lines[p.pos].num)
+		}
+		docs = append(docs, v)
+		cur = nil
+		return nil
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("miniyaml: line %d: tab characters are not allowed", num)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if trimmed == "" {
+			continue
+		}
+		if trimmed == "---" {
+			if len(text)-len(trimmed) != 0 {
+				return nil, fmt.Errorf("miniyaml: line %d: indented document separator", num)
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		cur = append(cur, line{indent: len(text) - len(trimmed), text: strings.TrimRight(trimmed, " "), num: num})
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return docs, nil
+}
+
+// stripComment removes a full-line or trailing ` #` comment, honouring
+// quotes so a '#' inside a quoted scalar survives.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+// block parses the mapping or list starting at the current line, which
+// must be indented at least minIndent.
+func (p *parser) block(minIndent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("miniyaml: empty document")
+	}
+	ln := p.lines[p.pos]
+	if ln.indent < minIndent {
+		return nil, fmt.Errorf("miniyaml: line %d: expected content indented at least %d spaces", ln.num, minIndent)
+	}
+	if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+		return p.list(ln.indent)
+	}
+	return p.mapping(ln.indent)
+}
+
+// mapping parses `key: value` lines at exactly indent.
+func (p *parser) mapping(indent int) (map[string]any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("miniyaml: line %d: unexpected indent", ln.num)
+		}
+		if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+			return nil, fmt.Errorf("miniyaml: line %d: list item at mapping level (indent list items under their key)", ln.num)
+		}
+		key, rest, err := cutKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("miniyaml: line %d: duplicate key %q", ln.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := scalar(rest, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// Bare `key:` — a nested block if the next line is deeper,
+		// otherwise an explicit null.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.block(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+// list parses `- item` lines at exactly indent. An item's inline
+// content is re-interpreted as a block two columns deeper, which is how
+// `- name: x` followed by aligned `image: y` lines forms one map.
+func (p *parser) list(indent int) ([]any, error) {
+	out := []any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("miniyaml: line %d: unexpected indent", ln.num)
+		}
+		if ln.text == "-" {
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				v, err := p.block(indent + 1)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			} else {
+				out = append(out, nil)
+			}
+			continue
+		}
+		rest, ok := strings.CutPrefix(ln.text, "- ")
+		if !ok {
+			return nil, fmt.Errorf("miniyaml: line %d: mapping key at list level", ln.num)
+		}
+		// An item whose inline content is itself a `key: value` (or a
+		// nested dash) continues as a block two columns deeper — that is
+		// how `- name: x` plus aligned `image: y` lines form one map.
+		// Anything else is a plain scalar item.
+		if _, _, err := cutKey(line{text: rest, num: ln.num}); err == nil ||
+			rest == "-" || strings.HasPrefix(rest, "- ") {
+			p.lines[p.pos] = line{indent: indent + 2, text: rest, num: ln.num}
+			v, err := p.block(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		v, err := scalar(rest, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.pos++
+	}
+	return out, nil
+}
+
+// cutKey splits `key: rest` (or bare `key:`). Keys are plain scalars;
+// the first colon followed by a space or end-of-line terminates them,
+// so values like image tags keep their own colons.
+func cutKey(ln line) (key, rest string, err error) {
+	for i := 0; i < len(ln.text); i++ {
+		if ln.text[i] != ':' {
+			continue
+		}
+		if i+1 == len(ln.text) {
+			return strings.TrimSpace(ln.text[:i]), "", nil
+		}
+		if ln.text[i+1] == ' ' {
+			return strings.TrimSpace(ln.text[:i]), strings.TrimSpace(ln.text[i+1:]), nil
+		}
+	}
+	return "", "", fmt.Errorf("miniyaml: line %d: expected `key: value`, got %q", ln.num, ln.text)
+}
+
+// scalar decodes an inline value.
+func scalar(s string, num int) (any, error) {
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	case "{}":
+		return map[string]any{}, nil
+	case "[]":
+		return []any{}, nil
+	}
+	if strings.HasPrefix(s, "\"") {
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("miniyaml: line %d: bad quoted string %s", num, s)
+		}
+		return v, nil
+	}
+	if strings.HasPrefix(s, "'") {
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, fmt.Errorf("miniyaml: line %d: unterminated single-quoted string %s", num, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	if strings.HasPrefix(s, "{") || strings.HasPrefix(s, "[") || strings.HasPrefix(s, "&") ||
+		strings.HasPrefix(s, "*") || strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">") {
+		return nil, fmt.Errorf("miniyaml: line %d: %q is outside the supported subset", num, s)
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// Get walks a parsed document by mapping keys and integer list indexes
+// (path elements like "spec", "containers", "0", "image"), returning
+// nil, false when any step is missing or mistyped. It keeps manifest
+// assertions readable without reflection at every call site.
+func Get(doc any, path ...string) (any, bool) {
+	cur := doc
+	for _, step := range path {
+		switch node := cur.(type) {
+		case map[string]any:
+			v, ok := node[step]
+			if !ok {
+				return nil, false
+			}
+			cur = v
+		case []any:
+			i, err := strconv.Atoi(step)
+			if err != nil || i < 0 || i >= len(node) {
+				return nil, false
+			}
+			cur = node[i]
+		default:
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// GetString is Get for string leaves.
+func GetString(doc any, path ...string) (string, bool) {
+	v, ok := Get(doc, path...)
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}
+
+// GetInt is Get for integer leaves.
+func GetInt(doc any, path ...string) (int64, bool) {
+	v, ok := Get(doc, path...)
+	if !ok {
+		return 0, false
+	}
+	n, ok := v.(int64)
+	return n, ok
+}

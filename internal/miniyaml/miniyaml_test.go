@@ -1,0 +1,164 @@
+package miniyaml
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseManifestShapes(t *testing.T) {
+	docs, err := Parse(`# a comment
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: vaschedd-coordinator
+  labels:
+    app: vaschedd # trailing comment
+spec:
+  replicas: 1
+  template:
+    spec:
+      containers:
+        - name: vaschedd
+          image: vasched/vaschedd:latest
+          args:
+            - -addr
+            - ":8080"
+          ports:
+            - containerPort: 8080
+              name: http
+          readinessProbe:
+            httpGet:
+              path: /healthz
+              port: 8080
+      volumes:
+        - name: wal
+          emptyDir: {}
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: vaschedd
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("documents = %d, want 2", len(docs))
+	}
+	if kind, _ := GetString(docs[0], "kind"); kind != "Deployment" {
+		t.Fatalf("kind = %q", kind)
+	}
+	if app, _ := GetString(docs[0], "metadata", "labels", "app"); app != "vaschedd" {
+		t.Fatalf("label app = %q (trailing comment not stripped?)", app)
+	}
+	if n, _ := GetInt(docs[0], "spec", "replicas"); n != 1 {
+		t.Fatalf("replicas = %d", n)
+	}
+	if img, _ := GetString(docs[0], "spec", "template", "spec", "containers", "0", "image"); img != "vasched/vaschedd:latest" {
+		t.Fatalf("image = %q (colon in value mishandled)", img)
+	}
+	args, ok := Get(docs[0], "spec", "template", "spec", "containers", "0", "args")
+	if !ok || !reflect.DeepEqual(args, []any{"-addr", ":8080"}) {
+		t.Fatalf("args = %#v", args)
+	}
+	if port, _ := GetInt(docs[0], "spec", "template", "spec", "containers", "0", "ports", "0", "containerPort"); port != 8080 {
+		t.Fatalf("containerPort = %d", port)
+	}
+	if path, _ := GetString(docs[0], "spec", "template", "spec", "containers", "0", "readinessProbe", "httpGet", "path"); path != "/healthz" {
+		t.Fatalf("readiness path = %q", path)
+	}
+	ed, ok := Get(docs[0], "spec", "template", "spec", "volumes", "0", "emptyDir")
+	if !ok || !reflect.DeepEqual(ed, map[string]any{}) {
+		t.Fatalf("emptyDir = %#v", ed)
+	}
+	if kind, _ := GetString(docs[1], "kind"); kind != "Service" {
+		t.Fatalf("second doc kind = %q", kind)
+	}
+}
+
+func TestParseScalars(t *testing.T) {
+	docs, err := Parse(`str: plain
+quoted: "a: b # not a comment"
+single: 'it''s'
+num: -7
+flt: 2.5
+yes: true
+no: false
+nothing: null
+tilde: ~
+empty:
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := docs[0].(map[string]any)
+	want := map[string]any{
+		"str": "plain", "quoted": "a: b # not a comment", "single": "it's",
+		"num": int64(-7), "flt": 2.5, "yes": true, "no": false,
+		"nothing": nil, "tilde": nil, "empty": nil,
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("parsed = %#v\nwant %#v", m, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"tab indent":        "a:\n\tb: 1\n",
+		"duplicate key":     "a: 1\na: 2\n",
+		"missing colon":     "just words\n",
+		"ragged indent":     "a:\n   b: 1\n  c: 2\n",
+		"list at map level": "a: 1\n- b\n",
+		"flow mapping":      "a: {b: 1}\n",
+		"anchor":            "a: &x 1\n",
+		"block scalar":      "a: |\n  text\n",
+		"unterminated":      "a: 'oops\n",
+		"sibling list":      "key:\n- under-indented item\n",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestParseEmptyAndSeparators(t *testing.T) {
+	docs, err := Parse("\n# only comments\n\n")
+	if err != nil || len(docs) != 0 {
+		t.Fatalf("docs = %v, err = %v", docs, err)
+	}
+	docs, err = Parse("---\na: 1\n---\nb: 2\n")
+	if err != nil || len(docs) != 2 {
+		t.Fatalf("docs = %v, err = %v", docs, err)
+	}
+}
+
+func TestGetMisses(t *testing.T) {
+	docs, _ := Parse("a:\n  b:\n    - 1\n    - 2\n")
+	doc := docs[0]
+	if v, ok := Get(doc, "a", "b", "1"); !ok || v != int64(2) {
+		t.Fatalf("index get = %v %v", v, ok)
+	}
+	for _, path := range [][]string{
+		{"missing"}, {"a", "missing"}, {"a", "b", "9"}, {"a", "b", "x"}, {"a", "b", "0", "deeper"},
+	} {
+		if _, ok := Get(doc, path...); ok {
+			t.Errorf("Get(%v) succeeded", path)
+		}
+	}
+	if _, ok := GetString(doc, "a", "b", "0"); ok {
+		t.Error("GetString on int succeeded")
+	}
+	if _, ok := GetInt(doc, "a"); ok {
+		t.Error("GetInt on map succeeded")
+	}
+}
+
+func TestParseRejectsContentAfterDocument(t *testing.T) {
+	// A second top-level block at deeper indent than the first is
+	// structurally impossible; make sure it errors rather than being
+	// silently dropped.
+	if _, err := Parse("a: 1\n  b: 2\n"); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}

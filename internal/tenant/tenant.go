@@ -140,7 +140,10 @@ type Controller struct {
 	mu      sync.Mutex
 	queues  [NumLanes][]Item
 	current [NumLanes]int // smooth-WRR credit
-	open    map[string]int
+	// dequeues counts contested wins per lane — the fairness
+	// observable: under saturation the counts converge to laneWeights.
+	dequeues [NumLanes]int64
+	open     map[string]int
 }
 
 // NewController returns a Controller with the given bounds.
@@ -222,11 +225,28 @@ func (c *Controller) Dequeue() (it Item, ok bool) {
 		return Item{}, false
 	}
 	c.current[best] -= total
+	c.dequeues[best]++
 	q := c.queues[best]
 	it = q[0]
 	copy(q, q[1:])
 	c.queues[best] = q[:len(q)-1]
 	return it, true
+}
+
+// DequeueCounts returns how many dequeues each lane has won since the
+// controller was created, indexed by Lane. The ratio across lanes is
+// the delivered (as opposed to configured) fairness, which the metrics
+// layer and the load-test harness export and assert on.
+func (c *Controller) DequeueCounts() [NumLanes]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dequeues
+}
+
+// Weights returns the configured smooth-WRR lane weights, indexed by
+// Lane — the denominator for fairness assertions.
+func Weights() [NumLanes]int {
+	return laneWeights
 }
 
 // Remove deletes a queued item by ID (a cancel of a not-yet-claimed

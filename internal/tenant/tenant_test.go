@@ -3,6 +3,7 @@ package tenant
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -265,5 +266,106 @@ func TestConcurrentMixedTenantLoad(t *testing.T) {
 		if d != 0 {
 			t.Fatalf("residual depth %v", c.Depths())
 		}
+	}
+}
+
+// TestFairnessUnderSaturation is the sustained-saturation property test:
+// with every lane kept permanently full (each dequeued item is replaced
+// immediately, the worst case a loaded coordinator sees), the delivered
+// dequeue shares over 10k dequeues must match the configured 16/4/1
+// smooth-WRR weights to within one scheduling cycle — smooth WRR is
+// deterministic, so the tolerance is exact arithmetic, not statistics.
+func TestFairnessUnderSaturation(t *testing.T) {
+	const rounds = 10_000
+	c := NewController(Config{LaneCapacity: 8, MaxOpenPerTenant: rounds * 2})
+	id := uint64(1)
+	for lane := Lane(0); lane < NumLanes; lane++ {
+		for i := 0; i < 8; i++ {
+			c.Requeue(Item{ID: id, Tenant: "sat", Lane: lane})
+			id++
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		it, ok := c.Dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d failed under saturation", i)
+		}
+		c.Release(it.Tenant) // keep the open count from growing unbounded
+		c.Requeue(Item{ID: id, Tenant: "sat", Lane: it.Lane})
+		id++
+	}
+
+	counts := c.DequeueCounts()
+	weights := Weights()
+	totalW := 0
+	for _, w := range weights {
+		totalW += w
+	}
+	for lane := 0; lane < NumLanes; lane++ {
+		expected := float64(rounds) * float64(weights[lane]) / float64(totalW)
+		// One full WRR cycle of slack: the run may end mid-cycle.
+		slack := float64(weights[lane]) + 1
+		if diff := math.Abs(float64(counts[lane]) - expected); diff > slack {
+			t.Errorf("lane %s won %d of %d dequeues, want %.1f ± %.0f",
+				Lane(lane), counts[lane], rounds, expected, slack)
+		}
+	}
+	// No lane starves outright.
+	for lane := 0; lane < NumLanes; lane++ {
+		if counts[lane] == 0 {
+			t.Errorf("lane %s starved over %d dequeues", Lane(lane), rounds)
+		}
+	}
+}
+
+// TestRetryAfterSaneUnderExhaustion pins the backpressure hints under
+// sustained quota exhaustion: every rejection carries a positive,
+// bounded Retry-After equal to the configured hint, for both error
+// kinds, and the default is non-zero.
+func TestRetryAfterSaneUnderExhaustion(t *testing.T) {
+	c := NewController(Config{MaxOpenPerTenant: 1, LaneCapacity: 1, RetryAfter: 3 * time.Second})
+	if err := c.Admit(Item{ID: 1, Tenant: "hog", Lane: LaneBatch}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		var qe *QuotaError
+		if err := c.Admit(Item{ID: uint64(100 + i), Tenant: "hog", Lane: LaneBatch}); !errors.As(err, &qe) {
+			t.Fatalf("exhausted admit %d = %v", i, err)
+		} else if qe.RetryAfter != 3*time.Second || qe.RetryAfter <= 0 || qe.RetryAfter > time.Minute {
+			t.Fatalf("QuotaError Retry-After = %v", qe.RetryAfter)
+		}
+		var lf *LaneFullError
+		if err := c.Admit(Item{ID: uint64(500 + i), Tenant: "other", Lane: LaneBatch}); !errors.As(err, &lf) {
+			t.Fatalf("full-lane admit %d = %v", i, err)
+		} else if lf.RetryAfter != 3*time.Second {
+			t.Fatalf("LaneFullError Retry-After = %v", lf.RetryAfter)
+		}
+	}
+	// The zero-config default hint is positive and bounded too.
+	d := NewController(Config{MaxOpenPerTenant: 1})
+	if err := d.Admit(Item{ID: 1, Tenant: "t", Lane: LaneControl}); err != nil {
+		t.Fatal(err)
+	}
+	var qe *QuotaError
+	if err := d.Admit(Item{ID: 2, Tenant: "t", Lane: LaneControl}); !errors.As(err, &qe) {
+		t.Fatalf("default-config exhausted admit = %v", err)
+	}
+	if qe.RetryAfter <= 0 || qe.RetryAfter > time.Minute {
+		t.Fatalf("default Retry-After = %v", qe.RetryAfter)
+	}
+}
+
+// TestDequeueCountsEmpty: uncontested and empty controllers report zero
+// wins everywhere.
+func TestDequeueCountsEmpty(t *testing.T) {
+	c := NewController(Config{})
+	if got := c.DequeueCounts(); got != [NumLanes]int64{} {
+		t.Fatalf("fresh controller counts = %v", got)
+	}
+	if _, ok := c.Dequeue(); ok {
+		t.Fatal("dequeue from empty controller succeeded")
+	}
+	if got := c.DequeueCounts(); got != [NumLanes]int64{} {
+		t.Fatalf("failed dequeue counted: %v", got)
 	}
 }
