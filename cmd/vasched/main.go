@@ -10,6 +10,7 @@
 //	vasched -experiment ext-cluster -cluster 3 -fault-rate 0.2 -trace out.json
 //	vasched -experiment ext-adapt -adaptive -adapt-metric power-ratio -adapt-ci 0.02
 //	vasched -run -sched "VarF&AppIPC" -manager LinOpt -threads 16 -budget 60
+//	vasched -dynamic -threads 16 -duration 100 -dt-ms 1 -horizon 3,7
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -64,6 +66,11 @@ func run(args []string, stdout io.Writer) error {
 		die     = fs.Int("die", 0, "die index for -run")
 		sigma   = fs.Float64("sigma", 0.12, "Vth sigma/mu for -run")
 
+		dynF    = fs.Bool("dynamic", false, "run the time-stepped dynamic scenario engine instead of a paper experiment (uses -sched/-threads/-duration/-die/-sigma)")
+		dtMS    = fs.Float64("dt-ms", 1, "with -dynamic, thermal integration step in milliseconds")
+		horizon = fs.String("horizon", "", "with -dynamic, comma-separated wearout horizon years (e.g. 3,7); each re-runs the scenario on the aged die")
+		migMS   = fs.Float64("mig-penalty", 0, "with -dynamic, per-migration thread stall in milliseconds")
+
 		traceOut  = fs.String("trace", "", "write the run's spans as a Chrome trace_event JSON file (experiments only; open in chrome://tracing or Perfetto)")
 		clusterN  = fs.Int("cluster", 0, "spin up N in-process shard workers and route kernel-based die loops through them (output is identical to a local run)")
 		faultRate = fs.Float64("fault-rate", 0, "with -cluster, deterministically inject dispatch faults at this rate in [0,1]; retries recover and outputs are unchanged")
@@ -89,6 +96,8 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(stdout, "  "+id)
 		}
 		return nil
+	case *dynF:
+		return runDynamic(stdout, *schedF, *threads, *dur, *die, *sigma, *dtMS, *migMS, *horizon)
 	case *runF:
 		return runScenario(stdout, *schedF, *manager, *mode, *threads, *budget, *dur, *die, *sigma)
 	case *expID != "":
@@ -221,6 +230,55 @@ func startLocalCluster(n, par int, faultRate float64, faultSeed int64) (*cluster
 		opt.Fault = cluster.SeededFaultPlan(faultSeed, 4096, faultRate)
 	}
 	return cluster.NewClient(urls, opt), stop, nil
+}
+
+// runDynamic drives the time-stepped scenario engine: transient thermal
+// integration, phase-shifting workloads, emergency throttling, and an
+// optional wearout horizon sweep on the same die.
+func runDynamic(stdout io.Writer, schedName string, threads int, durMS float64, die int, sigma, dtMS, migMS float64, horizon string) error {
+	var years []float64
+	if horizon != "" {
+		for _, part := range strings.Split(horizon, ",") {
+			y, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return fmt.Errorf("-horizon: %w", err)
+			}
+			years = append(years, y)
+		}
+	}
+	opt := vasched.DefaultOptions()
+	opt.DieIndex = die
+	opt.VthSigmaOverMu = sigma
+	plat, err := vasched.NewPlatform(opt)
+	if err != nil {
+		return err
+	}
+	apps := vasched.SPECApps()
+	for len(apps) < threads {
+		apps = append(apps, apps[len(apps)%14])
+	}
+	apps = apps[:threads]
+
+	epochs, err := plat.RunDynamic(vasched.DynamicConfig{
+		Scheduler:          schedName,
+		DtMS:               dtMS,
+		MigrationPenaltyMS: migMS,
+		HorizonYears:       years,
+	}, apps, durMS)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "dynamic scenario: die %d (sigma/mu %.2f), %d threads, scheduler %s, %.0f ms at dt=%.1f ms\n\n",
+		die, sigma, threads, schedName, durMS, dtMS)
+	fmt.Fprintf(stdout, "%7s %10s %9s %8s %6s %11s %9s %8s %10s\n",
+		"years", "dVth(mV)", "fmax(GHz)", "MIPS", "avg W", "peak T(C)", "emergenc", "thr(ms)", "migrations")
+	for _, ep := range epochs {
+		st := ep.Stats
+		fmt.Fprintf(stdout, "%7.1f %10.1f %9.3f %8.0f %6.1f %11.2f %9d %8.1f %10d\n",
+			ep.Years, ep.DVthMaxMV, ep.MinFmaxGHz, st.MIPS, st.AvgPowerW, st.MaxTempC,
+			st.Emergencies, st.ThrottledMS, st.Migrations)
+	}
+	return nil
 }
 
 func runScenario(stdout io.Writer, schedName, manager, mode string, threads int, budget, durMS float64, die int, sigma float64) error {

@@ -170,3 +170,35 @@ func TestRunScenario(t *testing.T) {
 		}
 	}
 }
+
+// TestRunDynamicMode drives the -dynamic path with a horizon sweep and
+// checks the epoch table renders.
+func TestRunDynamicMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the scenario engine plus an aged-die rebuild")
+	}
+	var buf strings.Builder
+	err := run([]string{"-dynamic", "-threads", "4", "-duration", "10", "-dt-ms", "2",
+		"-mig-penalty", "2", "-horizon", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dynamic scenario", "years", "dVth(mV)", "fmax(GHz)", "migrations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dynamic report missing %q:\n%s", want, out)
+		}
+	}
+	// One row per epoch: fresh + 4-year.
+	if n := strings.Count(out, "\n"); n < 5 {
+		t.Fatalf("expected epoch rows, got:\n%s", out)
+	}
+}
+
+// TestRunDynamicBadHorizon pins the flag-parse error path.
+func TestRunDynamicBadHorizon(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-dynamic", "-horizon", "3,x"}, &buf); err == nil {
+		t.Fatal("malformed -horizon accepted")
+	}
+}

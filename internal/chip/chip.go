@@ -219,12 +219,22 @@ type EvalResult struct {
 // the given states. dyn and coreDyn are caller-provided buffers (cleared
 // here); coreIPC is freshly allocated because it escapes into the result.
 func (c *Chip) assembleDynamic(dyn, coreDyn []float64, states []CoreState, cpu *cpusim.Model) (coreIPC []float64, err error) {
+	coreIPC = make([]float64, c.NumCores())
+	if err := c.assembleDynamicInto(dyn, coreDyn, coreIPC, states, cpu); err != nil {
+		return nil, err
+	}
+	return coreIPC, nil
+}
+
+// assembleDynamicInto is assembleDynamic with a caller-provided coreIPC
+// buffer — the zero-allocation form the time-stepped simulations use.
+func (c *Chip) assembleDynamicInto(dyn, coreDyn, coreIPC []float64, states []CoreState, cpu *cpusim.Model) error {
 	if len(states) != c.NumCores() {
-		return nil, fmt.Errorf("chip: %d states for %d cores", len(states), c.NumCores())
+		return fmt.Errorf("chip: %d states for %d cores", len(states), c.NumCores())
 	}
 	clear(dyn)
 	clear(coreDyn)
-	coreIPC = make([]float64, c.NumCores())
+	clear(coreIPC)
 	l2Accesses := 0.0
 
 	for core, st := range states {
@@ -232,16 +242,16 @@ func (c *Chip) assembleDynamic(dyn, coreDyn []float64, states []CoreState, cpu *
 			continue
 		}
 		if st.F <= 0 || st.V <= 0 {
-			return nil, fmt.Errorf("chip: core %d active with invalid (V,f)=(%v,%v)", core, st.V, st.F)
+			return fmt.Errorf("chip: core %d active with invalid (V,f)=(%v,%v)", core, st.V, st.F)
 		}
 		if rated := c.FmaxAt(core, st.V); st.F > rated+1e-6 {
-			return nil, fmt.Errorf("chip: core %d frequency %.3g exceeds rated %.3g at %.2fV",
+			return fmt.Errorf("chip: core %d frequency %.3g exceeds rated %.3g at %.2fV",
 				core, st.F, rated, st.V)
 		}
 		phase := st.App.PhaseAt(st.ElapsedMS)
 		ipc, err := cpu.IPC(st.App, phase, st.F)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		coreIPC[core] = ipc
 		// Dynamic power: the profile's Table 5 number scaled by (V,f) and
@@ -274,7 +284,7 @@ func (c *Chip) assembleDynamic(dyn, coreDyn []float64, states []CoreState, cpu *
 			dyn[bi] = l2DynTotal / float64(len(l2Blocks))
 		}
 	}
-	return coreIPC, nil
+	return nil
 }
 
 // leakageFn returns the per-block leakage closure for the given states:
@@ -326,60 +336,102 @@ func (c *Chip) Evaluate(states []CoreState, cpu *cpusim.Model) (*EvalResult, err
 // activity-migration policies need. A nil prevBlockTemps starts from
 // ambient.
 func (c *Chip) EvaluateTransient(states []CoreState, cpu *cpusim.Model, prevBlockTemps []float64, dtMS float64) (*EvalResult, error) {
-	sc := c.getScratch()
-	defer c.evalPool.Put(sc)
-	dyn := sc.dyn
-	coreIPC, err := c.assembleDynamic(dyn, sc.coreDyn, states, cpu)
-	if err != nil {
+	res := &EvalResult{}
+	if err := c.EvaluateTransientInto(res, states, cpu, prevBlockTemps, dtMS); err != nil {
 		return nil, err
 	}
-	c.stepMu.Lock()
-	stepper, ok := c.steppers[dtMS]
-	c.stepMu.Unlock()
-	if !ok {
-		stepper, err = c.Therm.NewTransient(dtMS)
-		if err != nil {
-			return nil, err
-		}
-		c.stepMu.Lock()
-		if prior, ok := c.steppers[dtMS]; ok {
-			stepper = prior // another goroutine factorised first; share it
-		} else {
-			c.steppers[dtMS] = stepper
-		}
-		c.stepMu.Unlock()
-	}
+	return res, nil
+}
+
+// EvaluateTransientInto is EvaluateTransient writing into a caller-owned
+// result: out's slices are reused when already sized for this chip, so a
+// tight stepping loop (internal/dynamic) allocates nothing per tick after
+// the first call. prevBlockTemps must not alias out.BlockTempC — keep a
+// separate previous-temperature buffer and copy out.BlockTempC into it
+// between steps.
+func (c *Chip) EvaluateTransientInto(out *EvalResult, states []CoreState, cpu *cpusim.Model, prevBlockTemps []float64, dtMS float64) error {
+	sc := c.getScratch()
+	defer c.evalPool.Put(sc)
 	nb := len(c.FP.Blocks)
+	nc := c.NumCores()
+	if len(out.CorePowerW) != nc {
+		out.CorePowerW = make([]float64, nc)
+	}
+	if len(out.CoreTempC) != nc {
+		out.CoreTempC = make([]float64, nc)
+	}
+	if len(out.CoreIPC) != nc {
+		out.CoreIPC = make([]float64, nc)
+	}
+	if len(out.BlockTempC) != nb {
+		out.BlockTempC = make([]float64, nb)
+	}
+	dyn := sc.dyn
+	if err := c.assembleDynamicInto(dyn, sc.coreDyn, out.CoreIPC, states, cpu); err != nil {
+		return err
+	}
+	stepper, err := c.stepperFor(dtMS)
+	if err != nil {
+		return err
+	}
 	if prevBlockTemps == nil {
-		prevBlockTemps = make([]float64, nb)
-		for i := range prevBlockTemps {
-			prevBlockTemps[i] = c.Therm.Config().AmbientC
-		}
+		prevBlockTemps = c.Therm.AmbientTemps(nil)
 	}
 	leak := c.leakageFn(sc.leak, states)(prevBlockTemps)
 	total := sc.total
 	for i := range total {
 		total[i] = dyn[i] + leak[i]
 	}
-	// temps escapes into the result (and chains into the next step's
-	// prevBlockTemps), so it is freshly allocated; only the rhs is scratch.
-	temps := make([]float64, nb)
-	if err := stepper.StepInto(temps, sc.rhs, total, prevBlockTemps); err != nil {
+	if err := stepper.StepInto(out.BlockTempC, sc.rhs, total, prevBlockTemps); err != nil {
+		return err
+	}
+	c.buildResultInto(out, states, dyn, leak, out.BlockTempC, 1)
+	return nil
+}
+
+// stepperFor returns the cached transient stepper for dtMS, factorising on
+// first use.
+func (c *Chip) stepperFor(dtMS float64) (*thermal.Transient, error) {
+	c.stepMu.Lock()
+	stepper, ok := c.steppers[dtMS]
+	c.stepMu.Unlock()
+	if ok {
+		return stepper, nil
+	}
+	stepper, err := c.Therm.NewTransient(dtMS)
+	if err != nil {
 		return nil, err
 	}
-	return c.buildResult(states, dyn, leak, temps, coreIPC, 1), nil
+	c.stepMu.Lock()
+	if prior, ok := c.steppers[dtMS]; ok {
+		stepper = prior // another goroutine factorised first; share it
+	} else {
+		c.steppers[dtMS] = stepper
+	}
+	c.stepMu.Unlock()
+	return stepper, nil
 }
 
 // buildResult aggregates per-block power and temperatures into the
 // caller-facing summary.
 func (c *Chip) buildResult(states []CoreState, dyn, leak, temps []float64, coreIPC []float64, iters int) *EvalResult {
 	res := &EvalResult{
-		CorePowerW:   make([]float64, c.NumCores()),
-		CoreTempC:    make([]float64, c.NumCores()),
-		CoreIPC:      coreIPC,
-		BlockTempC:   temps,
-		ThermalIters: iters,
+		CorePowerW: make([]float64, c.NumCores()),
+		CoreTempC:  make([]float64, c.NumCores()),
+		CoreIPC:    coreIPC,
+		BlockTempC: temps,
 	}
+	c.buildResultInto(res, states, dyn, leak, temps, iters)
+	return res
+}
+
+// buildResultInto fills res's aggregates in place. res.CorePowerW,
+// res.CoreTempC and res.BlockTempC must already be sized; temps may alias
+// res.BlockTempC.
+func (c *Chip) buildResultInto(res *EvalResult, states []CoreState, dyn, leak, temps []float64, iters int) {
+	res.TotalW, res.DynW, res.StaticW, res.L2PowerW = 0, 0, 0, 0
+	res.ThermalIters = iters
+	clear(res.CorePowerW)
 	for bi, b := range c.FP.Blocks {
 		p := dyn[bi] + leak[bi]
 		res.TotalW += p
@@ -394,7 +446,6 @@ func (c *Chip) buildResult(states []CoreState, dyn, leak, temps []float64, coreI
 	for core := 0; core < c.NumCores(); core++ {
 		res.CoreTempC[core] = c.Therm.CoreMeanTemp(temps, core)
 	}
-	return res
 }
 
 // CoreStaticCached returns core's static power at supply v and uniform

@@ -291,3 +291,67 @@ func TestEvaluateTransientInertia(t *testing.T) {
 		t.Fatalf("1 ms rise %v vs steady rise %v: missing inertia", oneRise, rise)
 	}
 }
+
+func TestEvaluateTransientIntoMatchesAllocatingForm(t *testing.T) {
+	c, cpu := testChip(t)
+	apps := workload.SPEC()
+	st := c.OffStates()
+	for core := 0; core < 20; core++ {
+		st[core] = CoreState{App: apps[core%len(apps)], V: 0.9, F: c.FmaxAt(core, 0.9)}
+	}
+	prev := c.Therm.AmbientTemps(nil)
+	var reused EvalResult
+	for step := 0; step < 5; step++ {
+		want, err := c.EvaluateTransient(st, cpu, prev, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.EvaluateTransientInto(&reused, st, cpu, prev, 1); err != nil {
+			t.Fatal(err)
+		}
+		if reused.TotalW != want.TotalW || reused.ThermalIters != want.ThermalIters {
+			t.Fatalf("step %d: Into total %v vs %v", step, reused.TotalW, want.TotalW)
+		}
+		for i := range want.BlockTempC {
+			if reused.BlockTempC[i] != want.BlockTempC[i] {
+				t.Fatalf("step %d block %d: %v vs %v", step, i, reused.BlockTempC[i], want.BlockTempC[i])
+			}
+		}
+		for core := range want.CorePowerW {
+			if reused.CorePowerW[core] != want.CorePowerW[core] ||
+				reused.CoreTempC[core] != want.CoreTempC[core] ||
+				reused.CoreIPC[core] != want.CoreIPC[core] {
+				t.Fatalf("step %d core %d diverged", step, core)
+			}
+		}
+		copy(prev, want.BlockTempC)
+	}
+}
+
+func TestEvaluateTransientIntoDoesNotAllocate(t *testing.T) {
+	c, cpu := testChip(t)
+	apps := workload.SPEC()
+	st := c.OffStates()
+	for core := 0; core < 20; core++ {
+		st[core] = CoreState{App: apps[core%len(apps)], V: 0.9, F: c.FmaxAt(core, 0.9)}
+	}
+	prev := c.Therm.AmbientTemps(nil)
+	var out EvalResult
+	// Warm up: first call sizes out's slices and the stepper cache.
+	if err := c.EvaluateTransientInto(&out, st, cpu, prev, 1); err != nil {
+		t.Fatal(err)
+	}
+	copy(prev, out.BlockTempC)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := c.EvaluateTransientInto(&out, st, cpu, prev, 1); err != nil {
+			t.Fatal(err)
+		}
+		copy(prev, out.BlockTempC)
+	})
+	// The engine's tick loop rides this path; a handful of allocations per
+	// call (scratch pool churn) is tolerable, per-block or per-grid-cell
+	// allocation is not.
+	if allocs > 8 {
+		t.Fatalf("EvaluateTransientInto allocates %v objects per call", allocs)
+	}
+}

@@ -49,7 +49,8 @@ func quickRun(t *testing.T, id string) Renderer {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ext-abb", "ext-adapt", "ext-cluster", "ext-parallel", "ext-sann-par", "ext-sched",
+	want := []string{"ext-abb", "ext-adapt", "ext-cluster", "ext-parallel", "ext-phase-mig", "ext-sann-par", "ext-sched",
+		"ext-transient", "ext-wearout",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "sann", "sec74", "table5"}
 	got := IDs()

@@ -131,6 +131,19 @@ var adaptMetrics = map[string]adaptMetric{
 		err := json.Unmarshal(b, &s)
 		return s.PowerW, err
 	}},
+	// Dynamic-scenario metrics: the adaptive sampler can target the
+	// time-stepped engine's outputs because die-transient rides the same
+	// kernel fan-out as every other per-die metric.
+	"dyn-tput": {kernel: kernelDieTransient, unit: "MIPS", extract: func(b []byte) (float64, error) {
+		var s dieTransientBlob
+		err := json.Unmarshal(b, &s)
+		return s.MIPS, err
+	}},
+	"dyn-maxtemp": {kernel: kernelDieTransient, unit: "C", extract: func(b []byte) (float64, error) {
+		var s dieTransientBlob
+		err := json.Unmarshal(b, &s)
+		return s.MaxTempC, err
+	}},
 }
 
 // AdaptiveMetrics lists the metric names ext-adapt accepts, sorted.

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vasched/internal/adapt"
+	"vasched/internal/cluster"
+	"vasched/internal/stats"
+)
+
+// dynamicExperimentIDs are the scenario-engine experiments; the acceptance
+// proof below pins each one byte-identical across worker counts, cluster
+// shards, and the adaptive-exact path.
+var dynamicExperimentIDs = []string{"ext-transient", "ext-phase-mig", "ext-wearout"}
+
+func renderDynamic(t *testing.T, id string, workers int, c *cluster.Client) string {
+	t.Helper()
+	e, err := QuickEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Workers = workers
+	if c != nil {
+		e.Cluster = c
+	}
+	r, err := Run(id, e)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return r.Render()
+}
+
+// TestDynamicDeterminismAcrossWorkersAndCluster is the ISSUE's acceptance
+// proof: every dynamic experiment renders byte-identically run locally at
+// 1, 2, and 4 farm workers and through 1, 2, and 4 cluster shard workers.
+func TestDynamicDeterminismAcrossWorkersAndCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism proof runs full kernels")
+	}
+	for _, id := range dynamicExperimentIDs {
+		local := renderDynamic(t, id, 1, nil)
+		for _, w := range []int{2, 4} {
+			if got := renderDynamic(t, id, w, nil); got != local {
+				t.Fatalf("%s at %d workers diverges:\n%s\nvs\n%s", id, w, got, local)
+			}
+		}
+		for _, w := range []int{1, 2, 4} {
+			c := startCluster(t, w, cluster.Options{ShardSize: 3})
+			if got := renderDynamic(t, id, 4, c); got != local {
+				t.Fatalf("%s through %d shard workers diverges:\n%s\nvs\n%s", id, w, got, local)
+			}
+		}
+	}
+}
+
+// The adaptive sampler's exact mode targeting dyn-tput must reproduce the
+// full-batch transient experiment's mean MIPS bit-for-bit: both paths
+// evaluate the identical die-transient kernel blobs over the identical
+// batch and reduce in index order.
+func TestExtAdaptExactDynTputMatchesExtTransient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact mode evaluates the full population")
+	}
+	e, err := QuickEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ExtTransient(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *ExtAdaptResult {
+		ea, err := QuickEnv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ea.Workers = workers
+		ea.Adaptive = &AdaptiveConfig{Metric: "dyn-tput", Config: adapt.Config{Exact: true}}
+		res, err := ExtAdapt(ea)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(1)
+	if res.Sampling.Mean != stats.Mean(tr.MIPS) {
+		t.Fatalf("adaptive-exact dyn-tput mean %v != ext-transient mean %v",
+			res.Sampling.Mean, stats.Mean(tr.MIPS))
+	}
+	if res.Unit != "MIPS" {
+		t.Fatalf("dyn-tput unit = %q", res.Unit)
+	}
+	if got := run(8).Render(); got != res.Render() {
+		t.Fatalf("adaptive-exact dyn-tput render differs at 8 workers:\n%s\nvs\n%s", got, res.Render())
+	}
+}
+
+// Sanity anchors on the rendered physics, independent of the goldens: the
+// transient run genuinely trips the governor, the migration penalty sweep
+// monotonically costs throughput, and the aged dies bin no faster.
+func TestDynamicPhysicsAnchors(t *testing.T) {
+	e, err := QuickEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ExtTransient(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean(tr.Emergencies) <= 0 || stats.Mean(tr.ThrottledMS) <= 0 {
+		t.Fatalf("governor never engaged at quick scale: %+v", tr)
+	}
+	if stats.Mean(tr.MaxTempC) <= extDynEmergencyC {
+		t.Fatalf("mean peak %v below the trip threshold yet emergencies counted", stats.Mean(tr.MaxTempC))
+	}
+
+	pm, err := ExtPhaseMig(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean(pm.Migrations) <= 0 || stats.Mean(pm.PhaseSwitches) <= 0 {
+		t.Fatalf("no migrations or phase switches observed: %+v", pm)
+	}
+	for pi := 1; pi < len(pm.PenaltiesMS); pi++ {
+		if stats.Mean(pm.MIPS[pi]) >= stats.Mean(pm.MIPS[pi-1]) {
+			t.Fatalf("penalty %v ms not costlier than %v ms", pm.PenaltiesMS[pi], pm.PenaltiesMS[pi-1])
+		}
+	}
+
+	wo, err := ExtWearout(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wo.Years) != len(extDynYears)+1 || wo.Years[0] != 0 {
+		t.Fatalf("epoch years = %v", wo.Years)
+	}
+	for i := 1; i < len(wo.Years); i++ {
+		if wo.DVthMaxMV[i] <= wo.DVthMaxMV[i-1] {
+			t.Fatalf("Vth drift not growing with age: %v", wo.DVthMaxMV)
+		}
+		if wo.MinFmaxGHz[i] > wo.MinFmaxGHz[0] {
+			t.Fatalf("aged die bins faster than fresh: %v", wo.MinFmaxGHz)
+		}
+	}
+	if !strings.Contains(wo.Render(), "end-of-life throughput") {
+		t.Fatalf("wearout render missing summary:\n%s", wo.Render())
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -16,6 +18,80 @@ import (
 // of the goldens is to catch *unintentional* numeric drift (e.g. from a
 // performance change that was supposed to be bit-identical).
 var update = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// experimentFilter restricts TestGolden to a comma-separated subset of
+// experiment ids. CI's golden matrix runs one shard per job:
+//
+//	go test ./internal/experiments -run TestGolden -experiments "fig4,fig5"
+//
+// An empty value (the default, and every local run) sweeps everything.
+var experimentFilter = flag.String("experiments", "", "comma-separated experiment ids for TestGolden (empty = all)")
+
+// goldenShards partitions the registry for the CI matrix: one job per
+// entry, roughly balanced by experiment cost (the DVFS sweeps and the
+// dynamic scenarios dominate). TestGoldenShardsCoverRegistry pins the
+// union against IDs(), so adding an experiment without assigning it a
+// shard fails the suite rather than silently skipping its golden in CI.
+var goldenShards = map[string]string{
+	"figures-a": "fig4,fig5,fig6,fig7,fig8,fig9,table5",
+	"figures-b": "fig10,fig11,fig12,fig13,fig14,fig15,sann,sec74",
+	"ext":       "ext-abb,ext-adapt,ext-cluster,ext-parallel,ext-sann-par,ext-sched",
+	"dynamic":   "ext-transient,ext-phase-mig,ext-wearout",
+}
+
+// goldenIDs resolves the -experiments filter against the registry.
+func goldenIDs(t *testing.T) []string {
+	t.Helper()
+	if *experimentFilter == "" {
+		return IDs()
+	}
+	known := map[string]bool{}
+	for _, id := range IDs() {
+		known[id] = true
+	}
+	var ids []string
+	for _, id := range strings.Split(*experimentFilter, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !known[id] {
+			t.Fatalf("-experiments: unknown id %q (known: %v)", id, IDs())
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		t.Fatal("-experiments: empty filter")
+	}
+	return ids
+}
+
+// TestGoldenShardsCoverRegistry proves the CI matrix sweeps the whole
+// registry: the shards must partition IDs() exactly — no experiment
+// missing, none duplicated across jobs.
+func TestGoldenShardsCoverRegistry(t *testing.T) {
+	var all []string
+	seen := map[string]string{}
+	for shard, csv := range goldenShards {
+		for _, id := range strings.Split(csv, ",") {
+			if prev, dup := seen[id]; dup {
+				t.Errorf("%s appears in shards %s and %s", id, prev, shard)
+			}
+			seen[id] = shard
+			all = append(all, id)
+		}
+	}
+	sort.Strings(all)
+	want := IDs()
+	if len(all) != len(want) {
+		t.Fatalf("shards cover %d experiments, registry has %d:\n%v\nvs\n%v", len(all), len(want), all, want)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("shard union %v != registry %v", all, want)
+		}
+	}
+}
 
 // durRE matches rendered time.Duration tokens. Figure 15 reports host
 // wall-clock solve times, which legitimately vary run to run; every other
@@ -43,7 +119,7 @@ func TestGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden sweep runs every experiment; skipped in -short")
 	}
-	for _, id := range IDs() {
+	for _, id := range goldenIDs(t) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			got := normalizeGolden(id, quickRun(t, id).Render())

@@ -38,6 +38,11 @@ var registry = map[string]Runner{
 	"ext-cluster":  func(e *Env) (Renderer, error) { return ExtCluster(e) },
 	"ext-sann-par": func(e *Env) (Renderer, error) { return ExtSAnnPar(e) },
 	"ext-adapt":    func(e *Env) (Renderer, error) { return ExtAdapt(e) },
+	// Dynamic scenarios (internal/dynamic): time-stepped thermal
+	// transients, phase-shifting workloads, wearout horizons.
+	"ext-transient": func(e *Env) (Renderer, error) { return ExtTransient(e) },
+	"ext-phase-mig": func(e *Env) (Renderer, error) { return ExtPhaseMig(e) },
+	"ext-wearout":   func(e *Env) (Renderer, error) { return ExtWearout(e) },
 }
 
 // IDs returns the known experiment ids in sorted order.

@@ -1,0 +1,67 @@
+package pm
+
+import "testing"
+
+func TestThrottleGovernorValidation(t *testing.T) {
+	if _, err := NewThrottleGovernor(80, 85); err == nil {
+		t.Fatal("recover above trip accepted")
+	}
+	if _, err := NewThrottleGovernor(85, 85); err != nil {
+		t.Fatalf("equal thresholds rejected: %v", err)
+	}
+}
+
+func TestThrottleGovernorHysteresis(t *testing.T) {
+	g, err := NewThrottleGovernor(85, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxDepth = 3
+
+	// Cool chip: nothing happens.
+	if d, trip := g.Observe(70, maxDepth); d != 0 || trip {
+		t.Fatalf("cool observe: depth %d trip %v", d, trip)
+	}
+	// Over trip: deepen once per observation.
+	if d, trip := g.Observe(90, maxDepth); d != 1 || !trip {
+		t.Fatalf("first trip: depth %d trip %v", d, trip)
+	}
+	if d, trip := g.Observe(88, maxDepth); d != 2 || !trip {
+		t.Fatalf("second trip: depth %d trip %v", d, trip)
+	}
+	// Inside the hysteresis band [80, 85]: hold, neither trip nor release.
+	if d, trip := g.Observe(83, maxDepth); d != 2 || trip {
+		t.Fatalf("band observe: depth %d trip %v", d, trip)
+	}
+	// Below recover: release one level per observation.
+	if d, trip := g.Observe(78, maxDepth); d != 1 || trip {
+		t.Fatalf("first release: depth %d trip %v", d, trip)
+	}
+	if d, _ := g.Observe(78, maxDepth); d != 0 {
+		t.Fatalf("second release: depth %d", d)
+	}
+	// Fully released: further cool observations hold at zero.
+	if d, _ := g.Observe(78, maxDepth); d != 0 {
+		t.Fatal("depth went negative")
+	}
+	if g.Emergencies() != 2 {
+		t.Fatalf("emergencies = %d, want 2", g.Emergencies())
+	}
+}
+
+func TestThrottleGovernorDepthBound(t *testing.T) {
+	g, err := NewThrottleGovernor(85, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		g.Observe(120, 2)
+	}
+	if g.Depth() != 2 {
+		t.Fatalf("depth %d exceeds bound 2", g.Depth())
+	}
+	// Saturated observations are not counted as fresh emergencies.
+	if g.Emergencies() != 2 {
+		t.Fatalf("emergencies = %d, want 2", g.Emergencies())
+	}
+}

@@ -213,6 +213,19 @@ func (m *Model) FixedPointWith(sc *FixedPointScratch, dynPowerW []float64, leaka
 	return temps, leak, maxIter, nil
 }
 
+// AmbientTemps fills dst with the ambient temperature — the initial
+// condition of every transient simulation (cold silicon) — and returns it.
+// A nil dst allocates a fresh vector sized for the model.
+func (m *Model) AmbientTemps(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.n)
+	}
+	for i := range dst {
+		dst[i] = m.cfg.AmbientC
+	}
+	return dst
+}
+
 // CoreMeanTemp returns the area-weighted mean temperature of core c's
 // blocks given a block temperature vector.
 func (m *Model) CoreMeanTemp(tempsC []float64, core int) float64 {

@@ -115,6 +115,19 @@ func (a *Accumulator) Add(tempC, v []float64, dt float64) error {
 	return nil
 }
 
+// Total returns the wall time integrated so far (the sum of every Add's
+// dt).
+func (a *Accumulator) Total() float64 { return a.total }
+
+// EquivalentTime returns the per-core accumulated equivalent nominal time:
+// the integral of the acceleration factor over wall time. Unlike Index it
+// is monotonically non-decreasing under positive dt, which makes it the
+// quantity long-horizon aging models extrapolate (Vth drift grows with
+// equivalent stress time, not with the momentary rate).
+func (a *Accumulator) EquivalentTime() []float64 {
+	return append([]float64(nil), a.aged...)
+}
+
 // Index returns the per-core wearout indices: equivalent nominal aging per
 // unit wall time. Zero before any samples.
 func (a *Accumulator) Index() []float64 {

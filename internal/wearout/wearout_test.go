@@ -116,3 +116,86 @@ func TestAccelerationFactorSaneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAddRejectsMismatchedVoltages(t *testing.T) {
+	acc, err := NewAccumulator(DefaultParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add([]float64{60, 60, 60}, []float64{1}, 1); err == nil {
+		t.Fatal("mismatched voltage slice accepted")
+	}
+}
+
+func TestTotalAndEquivalentTime(t *testing.T) {
+	acc, err := NewAccumulator(DefaultParams(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add([]float64{80, 60}, []float64{1, 1}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add([]float64{80, 60}, []float64{1, 1}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Total() != 10 {
+		t.Fatalf("total = %v", acc.Total())
+	}
+	eq := acc.EquivalentTime()
+	if eq[0] <= eq[1] {
+		t.Fatalf("hotter core accumulated less: %v vs %v", eq[0], eq[1])
+	}
+	// EquivalentTime returns a copy, not a view.
+	eq[0] = -1
+	if acc.EquivalentTime()[0] < 0 {
+		t.Fatal("EquivalentTime exposes internal state")
+	}
+}
+
+// Property: equivalent time is monotonically non-decreasing under positive
+// dt at any physical operating point — the invariant horizon extrapolation
+// relies on.
+func TestEquivalentTimeMonotoneProperty(t *testing.T) {
+	p := DefaultParams()
+	acc, err := NewAccumulator(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	f := func(tRaw, vRaw, dtRaw float64) bool {
+		temp := 40 + math.Mod(math.Abs(tRaw), 80)  // [40, 120)
+		v := math.Mod(math.Abs(vRaw), 1.2)         // [0, 1.2)
+		dt := 1e-3 + math.Mod(math.Abs(dtRaw), 10) // (0, 10]
+		if math.IsNaN(temp) || math.IsNaN(v) || math.IsNaN(dt) {
+			return true
+		}
+		if err := acc.Add([]float64{temp}, []float64{v}, dt); err != nil {
+			return false
+		}
+		cur := acc.EquivalentTime()[0]
+		ok := cur >= prev
+		prev = cur
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the acceleration factor is strictly increasing in temperature
+// at fixed positive voltage.
+func TestAccelerationMonotoneInTemperatureProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(tRaw, dRaw, vRaw float64) bool {
+		t1 := 40 + math.Mod(math.Abs(tRaw), 70)  // [40, 110)
+		d := 0.1 + math.Mod(math.Abs(dRaw), 10)  // (0, 10.1)
+		v := 0.6 + math.Mod(math.Abs(vRaw), 0.5) // [0.6, 1.1)
+		if math.IsNaN(t1) || math.IsNaN(d) || math.IsNaN(v) {
+			return true
+		}
+		return p.AccelerationFactor(t1+d, v) > p.AccelerationFactor(t1, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

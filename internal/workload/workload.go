@@ -10,6 +10,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"vasched/internal/stats"
 )
@@ -86,28 +87,52 @@ func (a *AppProfile) Validate() error {
 	return nil
 }
 
+// neutralPhase is what steady applications (and degenerate phase lists)
+// report: unit scales, so downstream models see the profile's base numbers.
+var neutralPhase = Phase{DurationMS: 1, IPCScale: 1, PowerScale: 1}
+
 // PhaseAt returns the phase active after elapsedMS milliseconds of
 // execution, cycling through the phase list. Steady applications return a
 // neutral phase.
 func (a *AppProfile) PhaseAt(elapsedMS float64) Phase {
+	_, p := a.PhaseIndexAt(elapsedMS)
+	return p
+}
+
+// PhaseIndexAt is PhaseAt plus the index of the active phase within
+// Phases, so time-stepped callers can detect phase transitions. Steady
+// applications report index 0 with the neutral phase. Cycling uses
+// math.Mod, so the cost is independent of how far elapsedMS is beyond one
+// period (long-horizon simulations push it years out), and a phase list
+// whose total duration is not positive — zero-length phases are rejected
+// by Validate but can be constructed directly — degrades to the neutral
+// phase instead of looping forever.
+func (a *AppProfile) PhaseIndexAt(elapsedMS float64) (int, Phase) {
 	if len(a.Phases) == 0 {
-		return Phase{DurationMS: 1, IPCScale: 1, PowerScale: 1}
+		return 0, neutralPhase
 	}
 	total := 0.0
 	for _, p := range a.Phases {
 		total += p.DurationMS
 	}
-	t := elapsedMS
-	for t >= total {
-		t -= total
+	if total <= 0 {
+		return 0, neutralPhase
 	}
-	for _, p := range a.Phases {
+	t := elapsedMS
+	if t >= total {
+		t = math.Mod(t, total)
+	}
+	for i, p := range a.Phases {
+		// Strict less-than: an elapsed time exactly on a phase edge
+		// belongs to the *next* phase (and exactly on the period edge, to
+		// phase 0 of the next cycle, which math.Mod already delivered).
+		// Zero-length phases can therefore never be selected.
 		if t < p.DurationMS {
-			return p
+			return i, p
 		}
 		t -= p.DurationMS
 	}
-	return a.Phases[len(a.Phases)-1]
+	return len(a.Phases) - 1, a.Phases[len(a.Phases)-1]
 }
 
 // SPEC returns the paper's 14-application pool. DynPowerW and IPCNom are

@@ -242,3 +242,66 @@ func TestStreamGenTinyWorkingSetFloor(t *testing.T) {
 		}
 	}
 }
+
+func TestPhaseIndexAtBoundaries(t *testing.T) {
+	a := &AppProfile{
+		Name: "x", DynPowerW: 1, IPCNom: 1, MLP: 1, L1MPKI: 1, L2MPKI: 1,
+		Phases: []Phase{
+			{DurationMS: 10, IPCScale: 2, PowerScale: 1},
+			{DurationMS: 5, IPCScale: 0.5, PowerScale: 1},
+		},
+	}
+	cases := []struct {
+		name string
+		at   float64
+		idx  int
+	}{
+		{"start", 0, 0},
+		{"inside first", 9.99, 0},
+		{"exact phase edge belongs to next", 10, 1},
+		{"inside second", 14.9, 1},
+		{"exact period edge wraps to first", 15, 0},
+		{"beyond one period", 25.5, 1},
+		{"many periods out", 15*1e6 + 3, 0},
+	}
+	for _, c := range cases {
+		idx, p := a.PhaseIndexAt(c.at)
+		if idx != c.idx {
+			t.Errorf("%s: PhaseIndexAt(%v) = %d, want %d", c.name, c.at, idx, c.idx)
+		}
+		if p != a.Phases[idx] {
+			t.Errorf("%s: index %d but phase %+v", c.name, idx, p)
+		}
+	}
+}
+
+func TestPhaseIndexAtDegenerateLists(t *testing.T) {
+	steady := &AppProfile{Name: "s", DynPowerW: 1, IPCNom: 1, MLP: 1, L1MPKI: 1, L2MPKI: 1}
+	if idx, p := steady.PhaseIndexAt(1e9); idx != 0 || p.IPCScale != 1 || p.PowerScale != 1 {
+		t.Fatalf("steady app: idx %d phase %+v", idx, p)
+	}
+	// Zero-length phases are rejected by Validate but constructible; the
+	// lookup must neither loop forever nor select one.
+	zero := &AppProfile{
+		Name: "z", DynPowerW: 1, IPCNom: 1, MLP: 1, L1MPKI: 1, L2MPKI: 1,
+		Phases: []Phase{{DurationMS: 0, IPCScale: 9, PowerScale: 9}},
+	}
+	if idx, p := zero.PhaseIndexAt(3); idx != 0 || p.IPCScale != 1 {
+		t.Fatalf("zero-total list: idx %d phase %+v", idx, p)
+	}
+	mixed := &AppProfile{
+		Name: "m", DynPowerW: 1, IPCNom: 1, MLP: 1, L1MPKI: 1, L2MPKI: 1,
+		Phases: []Phase{
+			{DurationMS: 0, IPCScale: 9, PowerScale: 9},
+			{DurationMS: 4, IPCScale: 2, PowerScale: 1},
+		},
+	}
+	// An elapsed time of 0 sits exactly on the zero-length phase's edge and
+	// must skip past it.
+	if idx, _ := mixed.PhaseIndexAt(0); idx != 1 {
+		t.Fatalf("zero-length phase selected: idx %d", idx)
+	}
+	if idx, _ := mixed.PhaseIndexAt(4); idx != 1 {
+		t.Fatalf("wrap over zero-length phase: idx %d", idx)
+	}
+}

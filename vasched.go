@@ -8,6 +8,7 @@ import (
 	"vasched/internal/core"
 	"vasched/internal/cpusim"
 	"vasched/internal/delay"
+	"vasched/internal/dynamic"
 	"vasched/internal/floorplan"
 	"vasched/internal/metrics"
 	"vasched/internal/pm"
@@ -65,6 +66,11 @@ type Platform struct {
 	opt  Options
 	chip *chip.Chip
 	cpu  *cpusim.Model
+	// The calibration the die was characterised with, kept so wearout
+	// horizons can re-characterise drifted variants of the same die.
+	dcfg delay.Config
+	pcfg power.Model
+	tcfg thermal.Config
 }
 
 // NewPlatform generates the variation maps for the selected die,
@@ -96,7 +102,8 @@ func NewPlatform(opt Options) (*Platform, error) {
 		return nil, err
 	}
 	fp := floorplan.NewCMP(opt.Cores, opt.DieAreaMM2)
-	c, err := chip.Build(maps, fp, delay.DefaultConfig(), power.DefaultModel(vcfg.Tech), thermal.DefaultConfig())
+	dcfg, pcfg, tcfg := delay.DefaultConfig(), power.DefaultModel(vcfg.Tech), thermal.DefaultConfig()
+	c, err := chip.Build(maps, fp, dcfg, pcfg, tcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +111,7 @@ func NewPlatform(opt Options) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Platform{opt: opt, chip: c, cpu: cpu}, nil
+	return &Platform{opt: opt, chip: c, cpu: cpu, dcfg: dcfg, pcfg: pcfg, tcfg: tcfg}, nil
 }
 
 // NumCores returns the platform's core count.
@@ -314,6 +321,115 @@ type Stats struct {
 	Trace []TracePoint
 	// InstructionsM is per-thread progress in millions of instructions.
 	InstructionsM []float64
+}
+
+// DynamicConfig selects the time-stepped scenario engine
+// (internal/dynamic): transient thermal integration, phase-shifting
+// workloads, emergency DVFS throttling, and optional wearout horizons.
+type DynamicConfig struct {
+	// Scheduler is one of the Sched* names; default SchedVarFAppIPC.
+	Scheduler string
+	// DtMS is the thermal integration step (default 1 ms).
+	DtMS float64
+	// OSIntervalMS is the re-scheduling cadence (default 10 ms).
+	OSIntervalMS float64
+	// EmergencyC trips the thermal throttle and RecoverC releases it
+	// (defaults 85 / 80).
+	EmergencyC float64
+	RecoverC   float64
+	// MigrationPenaltyMS stalls a thread each time it moves cores.
+	MigrationPenaltyMS float64
+	// HorizonYears, when non-empty, re-runs the scenario on Vth-drifted
+	// dies at each simulated age (must be positive and increasing).
+	HorizonYears []float64
+}
+
+// DynamicStats summarises one dynamic epoch's run.
+type DynamicStats struct {
+	DurationMS    float64
+	AvgPowerW     float64
+	MIPS          float64
+	MaxTempC      float64
+	Emergencies   int
+	ThrottledMS   float64
+	Migrations    int
+	PhaseSwitches int
+	WearoutMax    float64
+}
+
+// DynamicEpoch is one simulated age of a dynamic scenario.
+type DynamicEpoch struct {
+	// Years is the simulated age (0 = fresh die); DVthMaxMV the largest
+	// applied threshold drift and MinFmaxGHz the slowest core's rated
+	// frequency at that age.
+	Years      float64
+	DVthMaxMV  float64
+	MinFmaxGHz float64
+	Stats      DynamicStats
+}
+
+// RunDynamic executes the time-stepped scenario on this platform's die:
+// one epoch for the fresh die, plus one per HorizonYears entry on the
+// correspondingly aged die. Deterministic for fixed (Options, config,
+// apps, duration).
+func (p *Platform) RunDynamic(cfg DynamicConfig, appNames []string, durationMS float64) ([]DynamicEpoch, error) {
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = SchedVarFAppIPC
+	}
+	policy, err := sched.New(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	apps := make([]*workload.AppProfile, len(appNames))
+	for i, name := range appNames {
+		a, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		apps[i] = a
+	}
+	run := dynamic.Config{
+		Chip:               p.chip,
+		CPU:                p.cpu,
+		Scheduler:          policy,
+		DtMS:               cfg.DtMS,
+		OSIntervalMS:       cfg.OSIntervalMS,
+		EmergencyC:         cfg.EmergencyC,
+		RecoverC:           cfg.RecoverC,
+		MigrationPenaltyMS: cfg.MigrationPenaltyMS,
+		SensorNoise:        p.opt.SensorNoise,
+		Seed:               p.opt.Seed,
+	}
+	hres, err := dynamic.RunHorizon(dynamic.HorizonConfig{
+		Run:        run,
+		DelayCfg:   p.dcfg,
+		PowerCfg:   p.pcfg,
+		ThermalCfg: p.tcfg,
+		Years:      cfg.HorizonYears,
+	}, apps, durationMS)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DynamicEpoch, len(hres.Epochs))
+	for i, ep := range hres.Epochs {
+		out[i] = DynamicEpoch{
+			Years:      ep.Years,
+			DVthMaxMV:  ep.DVthMaxV * 1000,
+			MinFmaxGHz: ep.MinFmaxHz / 1e9,
+			Stats: DynamicStats{
+				DurationMS:    ep.Result.DurationMS,
+				AvgPowerW:     ep.Result.AvgPowerW,
+				MIPS:          ep.Result.MIPS,
+				MaxTempC:      ep.Result.MaxTempC,
+				Emergencies:   ep.Result.Emergencies,
+				ThrottledMS:   ep.Result.ThrottledMS,
+				Migrations:    ep.Result.Migrations,
+				PhaseSwitches: ep.Result.PhaseSwitches,
+				WearoutMax:    ep.Result.WearoutMax,
+			},
+		}
+	}
+	return out, nil
 }
 
 // Run executes the named applications (one thread per core at most) for

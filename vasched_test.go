@@ -171,7 +171,7 @@ func TestDefaultManagerIsLinOpt(t *testing.T) {
 
 func TestExperimentAPI(t *testing.T) {
 	ids := vasched.ExperimentIDs()
-	if len(ids) != 21 {
+	if len(ids) != 24 {
 		t.Fatalf("ids = %v", ids)
 	}
 	found := false
@@ -266,5 +266,58 @@ func TestCaptureTraceAndSparkline(t *testing.T) {
 	}
 	if n := len([]rune(spark)); n > 20 {
 		t.Fatalf("sparkline width %d", n)
+	}
+}
+
+func TestRunDynamicSingleEpoch(t *testing.T) {
+	p := testPlatform(t)
+	epochs, err := p.RunDynamic(vasched.DynamicConfig{DtMS: 2}, vasched.SPECApps()[:6], 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 1 {
+		t.Fatalf("epochs = %d, want 1 (no horizon)", len(epochs))
+	}
+	st := epochs[0].Stats
+	if st.MIPS <= 0 || st.AvgPowerW <= 0 || st.MaxTempC <= 0 || st.WearoutMax <= 0 {
+		t.Fatalf("degenerate dynamic stats: %+v", st)
+	}
+	if epochs[0].Years != 0 || epochs[0].DVthMaxMV != 0 {
+		t.Fatalf("fresh epoch mislabelled: %+v", epochs[0])
+	}
+}
+
+func TestRunDynamicHorizonAges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("horizon re-characterises the die per epoch")
+	}
+	p := testPlatform(t)
+	epochs, err := p.RunDynamic(vasched.DynamicConfig{DtMS: 2, HorizonYears: []float64{5}},
+		vasched.SPECApps()[:6], 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 2 {
+		t.Fatalf("epochs = %d, want 2", len(epochs))
+	}
+	aged := epochs[1]
+	if aged.Years != 5 || aged.DVthMaxMV <= 0 {
+		t.Fatalf("aged epoch: %+v", aged)
+	}
+	if aged.MinFmaxGHz > epochs[0].MinFmaxGHz {
+		t.Fatal("aged die bins faster than fresh")
+	}
+}
+
+func TestRunDynamicValidation(t *testing.T) {
+	p := testPlatform(t)
+	if _, err := p.RunDynamic(vasched.DynamicConfig{Scheduler: "nope"}, vasched.SPECApps()[:2], 10); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := p.RunDynamic(vasched.DynamicConfig{}, []string{"doom"}, 10); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := p.RunDynamic(vasched.DynamicConfig{HorizonYears: []float64{3, 2}}, vasched.SPECApps()[:2], 10); err == nil {
+		t.Fatal("non-increasing horizon accepted")
 	}
 }
